@@ -1,0 +1,56 @@
+// Ablation: why milliScope refuses to sample. Dapper/Zipkin-style tracers
+// keep 1-in-N requests to bound overhead; this bench shows what that does to
+// very-short-bottleneck *detection*: with 1/128 or 1/1024 sampling the VSB
+// windows mostly vanish from the PIT signal, while milliScope (full tracing)
+// keeps them all — at a measured 1-3% overhead.
+
+#include <map>
+
+#include "bench_common.h"
+
+using namespace mscope;
+using namespace mscope::bench;
+
+int main() {
+  core::TestbedConfig cfg;
+  cfg.workload = 2000;
+  cfg.duration = util::sec(30);
+  cfg.log_dir = bench_dir("ablation_sampling");
+  cfg.scenario_a = core::ScenarioA{};  // flushes at 8, 18, 28 s
+
+  std::printf("Sampling ablation (scenario A, three VSB episodes)\n");
+  core::Experiment exp(cfg);
+  exp.run();
+  const auto& completed = exp.testbed().clients().completed();
+
+  const auto windows_for = [&](int keep_one_in) {
+    std::vector<sim::RequestPtr> sampled;
+    for (const auto& r : completed) {
+      if (r->id % static_cast<std::uint64_t>(keep_one_in) == 0) {
+        sampled.push_back(r);
+      }
+    }
+    const auto pit = core::pit_response_time(sampled, util::msec(50));
+    const auto windows =
+        core::find_vsb_windows(pit, 10.0, util::msec(200));
+    return std::make_pair(sampled.size(), windows.size());
+  };
+
+  const auto [full_n, full_windows] = windows_for(1);
+  std::printf("%-14s%-12s%-10s\n", "sampling", "requests", "windows");
+  std::printf("%-14s%-12zu%-10zu\n", "1/1 (mScope)", full_n, full_windows);
+
+  std::size_t w128 = 0, w1024 = 0;
+  for (const int n : {8, 32, 128, 1024}) {
+    const auto [count, windows] = windows_for(n);
+    std::printf("1/%-12d%-12zu%-10zu\n", n, count, windows);
+    if (n == 128) w128 = windows;
+    if (n == 1024) w1024 = windows;
+  }
+
+  check(full_windows >= 3, "full tracing sees every VSB episode");
+  check(w1024 < full_windows,
+        "1/1024 sampling (Dapper-scale) loses VSB windows");
+  check(w128 <= full_windows, "sampling never invents windows");
+  return finish("ablation_sampling");
+}

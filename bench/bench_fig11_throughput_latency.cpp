@@ -1,0 +1,69 @@
+// Figure 11: system throughput and response time with the event
+// mScopeMonitors enabled vs disabled, across workloads. The paper finds
+// almost no throughput difference and ~2 ms extra latency.
+
+#include "bench_common.h"
+
+using namespace mscope;
+using namespace mscope::bench;
+
+namespace {
+
+struct RunStats {
+  double throughput = 0;    // completed requests / s
+  double mean_rt_ms = 0;
+  double p99_rt_ms = 0;
+};
+
+RunStats run(int workload, bool instrumented) {
+  core::TestbedConfig cfg;
+  cfg.workload = workload;
+  cfg.duration = util::sec(10);
+  cfg.event_monitors = instrumented;
+  cfg.resource_monitors = false;
+  cfg.capture_messages = false;
+  cfg.log_dir = bench_dir(std::string("fig11_") +
+                          (instrumented ? "on" : "off"));
+  core::Experiment exp(cfg);
+  exp.run();
+  const auto& done = exp.testbed().clients().completed();
+  RunStats out;
+  out.throughput =
+      static_cast<double>(done.size()) / util::to_sec(cfg.duration);
+  out.mean_rt_ms = core::mean_response_ms(done);
+  out.p99_rt_ms = core::response_percentile_ms(done, 99);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 11: throughput & response time, monitors on vs off\n");
+  std::printf("%-10s%-12s%-12s%-12s%-12s%-12s%-12s\n", "workload", "tput-on",
+              "tput-off", "rt-on ms", "rt-off ms", "p99-on", "p99-off");
+
+  bool throughput_unchanged = true;
+  bool latency_small = true;
+  double max_rt_delta = 0;
+  for (const int workload : {1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000}) {
+    const RunStats on = run(workload, true);
+    const RunStats off = run(workload, false);
+    std::printf("%-10d%-12.0f%-12.0f%-12.2f%-12.2f%-12.1f%-12.1f\n", workload,
+                on.throughput, off.throughput, on.mean_rt_ms, off.mean_rt_ms,
+                on.p99_rt_ms, off.p99_rt_ms);
+    if (std::abs(on.throughput / off.throughput - 1.0) > 0.05) {
+      throughput_unchanged = false;
+    }
+    const double delta = on.mean_rt_ms - off.mean_rt_ms;
+    max_rt_delta = std::max(max_rt_delta, delta);
+    if (delta > 3.0) latency_small = false;
+  }
+  std::printf("max mean-RT delta across workloads: %.2f ms\n", max_rt_delta);
+
+  check(throughput_unchanged,
+        "throughput within 5% with monitors enabled (paper: 'almost no "
+        "difference')");
+  check(latency_small,
+        "mean response time penalty stays within a few ms (paper: ~2 ms)");
+  return finish("fig11");
+}

@@ -1,0 +1,65 @@
+// Figure 2: Point-In-Time response time. The maximal PIT response time
+// exceeds twenty times the average inside a sub-second window — and a
+// monitoring tool sampling at 1-second intervals misses it entirely.
+//
+// Also reproduces the paper's core motivation as an ablation: the same data
+// re-bucketed at coarser granularities makes the peak fade.
+
+#include "bench_common.h"
+
+using namespace mscope;
+using namespace mscope::bench;
+
+int main() {
+  core::TestbedConfig cfg;
+  cfg.workload = 2000;
+  cfg.duration = util::sec(20);
+  cfg.log_dir = bench_dir("fig2");
+  cfg.scenario_a = core::ScenarioA{};
+
+  std::printf("Figure 2: Point-In-Time response time "
+              "(workload %d, scenario A)\n",
+              cfg.workload);
+  core::Experiment exp(cfg);
+  exp.run();
+  db::Database db;
+  exp.load_warehouse(db);
+
+  const auto pit = core::pit_response_time_db(
+      db, exp.event_tables().front(), util::msec(50));
+  std::printf("overall average response time: %.2f ms (median %.2f ms)\n",
+              pit.overall_avg_ms, pit.overall_p50_ms);
+  print_series_window("max PIT response time (ms), 50 ms buckets, around the "
+                      "first very short bottleneck",
+                      pit.max_rt_ms, util::sec(7), util::sec(10));
+
+  const double peak = series_max(pit.max_rt_ms);
+  std::printf("peak PIT = %.0f ms -> peak/average = %.1fx\n", peak,
+              peak / pit.overall_avg_ms);
+
+  // Ablation: PIT bucket width. At 1 s granularity the mean of each bucket
+  // hides the peak (the paper's "sampling at 1 second intervals would miss
+  // the response time fluctuations").
+  std::printf("\n# PIT bucket-width ablation (peak of bucket-mean RT, ms)\n");
+  std::printf("%-12s%-14s%s\n", "bucket", "peak-mean", "peak-max");
+  double peak_mean_1s = 0, peak_mean_50ms = 0;
+  for (const util::SimTime bucket :
+       {util::msec(10), util::msec(50), util::msec(100), util::sec(1)}) {
+    const auto p = core::pit_response_time_db(
+        db, exp.event_tables().front(), bucket);
+    const double pm = series_max(p.avg_rt_ms);
+    const double px = series_max(p.max_rt_ms);
+    std::printf("%-12s%-14.1f%.1f\n",
+                (std::to_string(bucket / util::kMsec) + " ms").c_str(), pm,
+                px);
+    if (bucket == util::msec(50)) peak_mean_50ms = pm;
+    if (bucket == util::sec(1)) peak_mean_1s = pm;
+  }
+
+  check(pit.overall_avg_ms < 50.0, "average response time is ~tens of ms");
+  check(peak > 20.0 * pit.overall_avg_ms,
+        "max PIT response time > 20x the average (paper Fig. 2)");
+  check(peak_mean_1s < 0.35 * peak_mean_50ms,
+        "1-second averaging hides most of the peak that 50 ms buckets show");
+  return finish("fig2");
+}

@@ -1,0 +1,61 @@
+// Figure 4: disk utilization of each tier during the very short bottleneck.
+// The database node's disk swings to full utilization inside the window
+// while every other tier's disk stays consistently low.
+
+#include "bench_common.h"
+
+using namespace mscope;
+using namespace mscope::bench;
+
+int main() {
+  core::TestbedConfig cfg;
+  cfg.workload = 2000;
+  cfg.duration = util::sec(20);
+  cfg.log_dir = bench_dir("fig4");
+  cfg.scenario_a = core::ScenarioA{};
+
+  std::printf("Figure 4: per-tier disk utilization (scenario A)\n");
+  core::Experiment exp(cfg);
+  exp.run();
+  db::Database db;
+  exp.load_warehouse(db);
+
+  // The window around the first redo-log flush (8 s).
+  const util::SimTime t0 = util::sec(7);
+  const util::SimTime t1 = util::sec(10);
+
+  double db_peak = 0.0;
+  double others_peak = 0.0;
+  for (int tier = 0; tier < 4; ++tier) {
+    const auto& node = core::Testbed::node_names()[static_cast<std::size_t>(tier)];
+    const auto util_series =
+        core::resource_series(db, "res_collectl_" + node, "dsk_pctutil");
+    print_series_window("disk utilization %, " + node, util_series, t0, t1);
+    const double peak = series_max_in(util_series, t0, t1);
+    if (tier == 3) {
+      db_peak = peak;
+    } else {
+      others_peak = std::max(others_peak, peak);
+    }
+  }
+  std::printf("db tier peak util: %.0f%%; max other-tier peak: %.0f%%\n",
+              db_peak, others_peak);
+
+  check(db_peak >= 99.0, "database disk reaches full utilization in-window");
+  check(others_peak < 50.0, "all other tiers' disks stay low");
+
+  // Outside the windows, even the DB disk is calm (the bottleneck is *very
+  // short*).
+  const auto db_series =
+      core::resource_series(db, "res_collectl_db1", "dsk_pctutil");
+  util::RunningStats calm;
+  for (const auto& s : db_series) {
+    const double sec = util::to_sec(s.time);
+    const bool in_any_window = (sec > 7.8 && sec < 9.0) || (sec > 17.8 && sec < 19.0);
+    if (!in_any_window) calm.add(s.value);
+  }
+  std::printf("db disk utilization outside the windows: mean %.1f%%\n",
+              calm.mean());
+  check(calm.mean() < 25.0, "db disk is calm outside the short windows");
+  return finish("fig4");
+}

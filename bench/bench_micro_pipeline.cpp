@@ -1,0 +1,146 @@
+// Microbenchmarks of the data-pipeline stages (google-benchmark): how fast
+// mScopeDataTransformer parses native logs, infers schemas, loads mScopeDB,
+// and how fast the warehouse answers the analysis queries. These bound how
+// quickly a collected run can be turned into a diagnosis.
+
+#include <benchmark/benchmark.h>
+
+#include "db/query.h"
+#include "logging/formats.h"
+#include "sim/simulation.h"
+#include "transform/declaration.h"
+#include "transform/parsers.h"
+#include "transform/xml_to_csv.h"
+#include "transform/importer.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mscope;
+namespace fmt = logging::formats;
+
+std::string make_apache_log(int lines) {
+  std::string out;
+  util::Rng rng(7);
+  for (int i = 0; i < lines; ++i) {
+    fmt::ApacheRecord r;
+    r.ua = util::msec(i);
+    r.ud = r.ua + 3000 + static_cast<util::SimTime>(rng.next_below(20000));
+    r.ds = r.ua + 500;
+    r.dr = r.ud - 500;
+    r.id = static_cast<std::uint64_t>(i);
+    r.url = "/rubbos/ViewStory";
+    r.bytes = 7000;
+    out += fmt::apache_access(r);
+    out += '\n';
+  }
+  return out;
+}
+
+std::unique_ptr<transform::XmlNode> parse_apache(const std::string& content) {
+  static const transform::DeclarationRegistry registry;
+  const transform::Declaration* d = registry.match("apache_access.log");
+  const transform::ParseContext ctx{"web1", "apache_access.log", d};
+  return transform::ParserRegistry::get(d->parser_id)(content, ctx);
+}
+
+void BM_ApacheParser(benchmark::State& state) {
+  const auto lines = static_cast<int>(state.range(0));
+  const std::string content = make_apache_log(lines);
+  for (auto _ : state) {
+    auto doc = parse_apache(content);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetItemsProcessed(state.iterations() * lines);
+}
+BENCHMARK(BM_ApacheParser)->Arg(1000)->Arg(10000);
+
+void BM_XmlToCsvConversion(benchmark::State& state) {
+  const auto lines = static_cast<int>(state.range(0));
+  const auto doc = parse_apache(make_apache_log(lines));
+  for (auto _ : state) {
+    auto conv = transform::XmlToCsvConverter::convert(*doc);
+    benchmark::DoNotOptimize(conv);
+  }
+  state.SetItemsProcessed(state.iterations() * lines);
+}
+BENCHMARK(BM_XmlToCsvConversion)->Arg(1000)->Arg(10000);
+
+void BM_DataImport(benchmark::State& state) {
+  const auto lines = static_cast<int>(state.range(0));
+  const auto doc = parse_apache(make_apache_log(lines));
+  const auto conv = transform::XmlToCsvConverter::convert(*doc);
+  int round = 0;
+  for (auto _ : state) {
+    db::Database db;
+    transform::DataImporter::import(db, "t" + std::to_string(round++), conv);
+    benchmark::DoNotOptimize(db);
+  }
+  state.SetItemsProcessed(state.iterations() * lines);
+}
+BENCHMARK(BM_DataImport)->Arg(1000)->Arg(10000);
+
+db::Database& warehouse_100k() {
+  static db::Database& db = *[] {
+    auto* d = new db::Database();  // intentionally leaked benchmark fixture
+    auto& t = d->create_table("ev", {{"req_id", db::DataType::kText},
+                                    {"ua_usec", db::DataType::kInt},
+                                    {"ud_usec", db::DataType::kInt},
+                                    {"duration_usec", db::DataType::kInt}});
+    util::Rng rng(13);
+    for (int i = 0; i < 100000; ++i) {
+      const std::int64_t ua = util::msec(i);
+      const std::int64_t dur =
+          3000 + static_cast<std::int64_t>(rng.next_below(20000));
+      t.insert({db::Value{std::string("ID") + std::to_string(i)},
+                db::Value{ua}, db::Value{ua + dur}, db::Value{dur}});
+    }
+    return d;
+  }();
+  return db;
+}  // NOLINT
+
+void BM_QueryTimeRangeScan(benchmark::State& state) {
+  db::Database& db = warehouse_100k();
+  for (auto _ : state) {
+    const auto n = db::Query(db.get("ev"))
+                       .time_range("ua_usec", util::sec(10), util::sec(20))
+                       .count();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_QueryTimeRangeScan);
+
+void BM_QueryGroupByBucket(benchmark::State& state) {
+  db::Database& db = warehouse_100k();
+  for (auto _ : state) {
+    const auto t = db::Query(db.get("ev"))
+                       .group_by_bucket("ud_usec", util::msec(50),
+                                        {{db::Query::AggKind::kMax,
+                                          "duration_usec"}});
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_QueryGroupByBucket);
+
+void BM_SimulationEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    // A self-propagating chain of 100k events.
+    int remaining = 100000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.schedule(1, tick);
+    };
+    sim.schedule(1, tick);
+    sim.run_until(util::sec(100));
+    benchmark::DoNotOptimize(sim.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SimulationEventThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

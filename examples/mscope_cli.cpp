@@ -1,0 +1,243 @@
+// mscope — command-line front end for the whole workflow:
+//
+//   mscope run [--workload N] [--duration SEC] [--scenario a|b|c|none]
+//              [--log-dir DIR] [--no-monitors] [--seed N]
+//              [--archive DIR] [--report]
+//   mscope report --archive DIR
+//   mscope query  --archive DIR "SELECT ... FROM ... [WHERE ...]"
+//
+// `run` simulates the RUBBoS testbed, transforms the logs into mScopeDB,
+// prints the diagnosis report, and optionally archives the warehouse.
+// `report` re-analyzes a previously archived warehouse without re-running;
+// `query` runs ad-hoc SQL against it.
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/milliscope.h"
+#include "core/report.h"
+#include "db/sql.h"
+#include "transform/warehouse_io.h"
+
+using namespace mscope;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string sql;
+  int workload = 2000;
+  double duration_sec = 20.0;
+  std::string scenario = "a";
+  std::string log_dir = "mscope_run_logs";
+  std::string archive;
+  bool monitors = true;
+  bool want_report = true;
+  std::uint64_t seed = 42;
+};
+
+void usage() {
+  std::printf(
+      "usage:\n"
+      "  mscope_cli run [--workload N] [--duration SEC] "
+      "[--scenario a|b|c|none]\n"
+      "                 [--log-dir DIR] [--no-monitors] [--seed N]\n"
+      "                 [--archive DIR] [--no-report]\n"
+      "  mscope_cli report --archive DIR\n"
+      "  mscope_cli query --archive DIR \"SELECT ...\"\n");
+}
+
+std::optional<Args> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args a;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (flag == "--workload") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.workload = std::atoi(v);
+    } else if (flag == "--duration") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.duration_sec = std::atof(v);
+    } else if (flag == "--scenario") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.scenario = v;
+    } else if (flag == "--log-dir") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.log_dir = v;
+    } else if (flag == "--archive") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.archive = v;
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (flag == "--no-monitors") {
+      a.monitors = false;
+    } else if (flag == "--no-report") {
+      a.want_report = false;
+    } else if (flag.rfind("--", 0) != 0 && a.command == "query") {
+      a.sql = flag;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return std::nullopt;
+    }
+  }
+  return a;
+}
+
+void print_report(const db::Database& db, util::SimTime horizon) {
+  // Discover the deployment from the warehouse itself: every replica of a
+  // tier appears in the ms_node metadata table.
+  static const char* kPrefixes[4] = {"ev_apache", "ev_tomcat", "ev_cjdbc",
+                                     "ev_mysql"};
+  core::Diagnoser::Tables tables;
+  std::vector<std::string> flat_events, services;
+  const db::Table& node_table = db.get(db::Database::kNodeTable);
+  for (int tier = 0; tier < 4; ++tier) {
+    const std::string& service =
+        core::Testbed::services()[static_cast<std::size_t>(tier)];
+    std::vector<std::string> events, collectl, nodes;
+    for (std::size_t r = 0; r < node_table.row_count(); ++r) {
+      if (db::value_to_string(node_table.at(r, "service")) != service)
+        continue;
+      const std::string node = db::value_to_string(node_table.at(r, "node"));
+      events.push_back(std::string(kPrefixes[tier]) + "_" + node);
+      collectl.push_back("res_collectl_" + node);
+      nodes.push_back(node);
+    }
+    if (events.empty()) {
+      // Fall back to the single-node default names.
+      const std::string node = core::Testbed::replica_name(tier, 0);
+      events.push_back(std::string(kPrefixes[tier]) + "_" + node);
+      collectl.push_back("res_collectl_" + node);
+      nodes.push_back(node);
+    }
+    flat_events.push_back(events.front());
+    services.push_back(service);
+    tables.event_tables.push_back(std::move(events));
+    tables.collectl_tables.push_back(std::move(collectl));
+    tables.nodes.push_back(std::move(nodes));
+  }
+  core::Diagnoser diagnoser(db, tables);
+  const auto pit = diagnoser.pit(horizon);
+  const auto diagnoses = diagnoser.diagnose(horizon);
+  const auto contributions =
+      core::tier_contributions(db, flat_events, services);
+  std::printf("%s", core::render_report(diagnoses, pit, contributions).c_str());
+
+  // Which pages suffer: per-interaction breakdown with VLRT share.
+  const auto breakdown = core::interaction_breakdown(db, flat_events.front());
+  if (!breakdown.empty()) {
+    std::printf("\ntop interactions (count / mean ms / max ms / VLRTs):\n");
+    for (std::size_t i = 0; i < breakdown.size() && i < 8; ++i) {
+      const auto& s = breakdown[i];
+      std::printf("  %-32s %6zu  %8.2f  %8.0f  %zu\n", s.path.c_str(),
+                  s.count, s.mean_rt_ms, s.max_rt_ms, s.vlrt_count);
+    }
+  }
+}
+
+int cmd_run(const Args& a) {
+  core::TestbedConfig cfg;
+  cfg.workload = a.workload;
+  cfg.duration = util::secf(a.duration_sec);
+  cfg.log_dir = a.log_dir;
+  cfg.event_monitors = a.monitors;
+  cfg.seed = a.seed;
+  if (a.scenario == "a") cfg.scenario_a = core::ScenarioA{};
+  else if (a.scenario == "b") cfg.scenario_b = core::ScenarioB::figure8();
+  else if (a.scenario == "c") cfg.scenario_c = core::ScenarioC{};
+  else if (a.scenario != "none") {
+    std::fprintf(stderr, "unknown scenario: %s\n", a.scenario.c_str());
+    return 2;
+  }
+
+  std::printf("running: workload %d, %.1f s, scenario %s, monitors %s\n",
+              cfg.workload, a.duration_sec, a.scenario.c_str(),
+              cfg.event_monitors ? "on" : "off");
+  core::Experiment exp(cfg);
+  exp.run();
+  const auto& done = exp.testbed().clients().completed();
+  std::printf("completed %zu requests (%.0f req/s), mean RT %.2f ms\n",
+              done.size(),
+              static_cast<double>(done.size()) / a.duration_sec,
+              core::mean_response_ms(done));
+
+  db::Database db;
+  const auto report = exp.load_warehouse(db);
+  std::printf("transformed %zu files into %zu tables (%zu rows)\n",
+              report.files.size(), report.tables_created,
+              report.rows_loaded);
+
+  if (a.want_report) print_report(db, cfg.duration);
+  if (!a.archive.empty()) {
+    transform::WarehouseIO::save(db, a.archive);
+    std::printf("warehouse archived to %s\n", a.archive.c_str());
+  }
+  return 0;
+}
+
+int cmd_report(const Args& a) {
+  if (a.archive.empty()) {
+    usage();
+    return 2;
+  }
+  db::Database db;
+  transform::WarehouseIO::load(db, a.archive);
+  // Horizon: widest time range recorded in the load catalog.
+  util::SimTime horizon = 0;
+  const db::Table& catalog = db.get(db::Database::kLoadCatalogTable);
+  for (std::size_t r = 0; r < catalog.row_count(); ++r) {
+    if (const auto t = db::as_int(catalog.at(r, "t_max_usec"))) {
+      horizon = std::max(horizon, *t);
+    }
+  }
+  std::printf("archive %s: %zu tables, horizon %.1f s\n", a.archive.c_str(),
+              db.table_names().size(), util::to_sec(horizon));
+  print_report(db, horizon + util::sec(1));
+  return 0;
+}
+
+int cmd_query(const Args& a) {
+  if (a.archive.empty() || a.sql.empty()) {
+    usage();
+    return 2;
+  }
+  db::Database db;
+  transform::WarehouseIO::load(db, a.archive);
+  try {
+    const db::Table result = db::Sql::execute(db, a.sql);
+    std::printf("%s", db::Sql::format(result).c_str());
+    std::printf("(%zu rows)\n", result.row_count());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse(argc, argv);
+  if (!args) {
+    usage();
+    return 2;
+  }
+  if (args->command == "run") return cmd_run(*args);
+  if (args->command == "report") return cmd_report(*args);
+  if (args->command == "query") return cmd_query(*args);
+  usage();
+  return 2;
+}

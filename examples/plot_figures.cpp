@@ -1,0 +1,136 @@
+// Renders the paper's key figures as SVG files under ./figures/ — the
+// visual counterparts of the bench binaries' numeric output:
+//   fig2_pit.svg          Point-In-Time response time + detected VSB windows
+//   fig4_disk.svg         per-tier disk utilization
+//   fig6_queues.svg       per-tier queue lengths (push-back)
+//   fig7_correlation.svg  DB disk utilization vs Apache queue
+//   fig8_overview.svg     dirty-page scenario: PIT + CPU + dirty pages
+//   fig9_sysviz.svg       event-monitor vs SysViz queue length
+
+#include <cstdio>
+
+#include "core/milliscope.h"
+#include "util/svg_plot.h"
+
+using namespace mscope;
+
+namespace {
+
+util::Series scale(util::Series s, double k) {
+  for (auto& p : s) p.value *= k;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const std::filesystem::path out_dir = "figures";
+
+  // ---- scenario A run -------------------------------------------------------
+  core::TestbedConfig cfg;
+  cfg.workload = 2000;
+  cfg.duration = util::sec(20);
+  cfg.log_dir = "plot_logs_a";
+  cfg.scenario_a = core::ScenarioA{};
+  core::Experiment exp(cfg);
+  exp.run();
+  db::Database db;
+  exp.load_warehouse(db);
+
+  const auto pit = core::pit_response_time_db(
+      db, exp.event_tables().front(), util::msec(50));
+  const auto windows = core::find_vsb_windows(pit, 10.0, util::msec(200));
+
+  {
+    util::SvgPlot plot({.title = "Fig 2: Point-In-Time response time "
+                                 "(max per 50 ms bucket)",
+                        .y_label = "response time (ms)"});
+    for (const auto& w : windows) plot.add_vspan(w.begin, w.end);
+    plot.add_line(pit.max_rt_ms, "max PIT");
+    plot.add_line(pit.avg_rt_ms, "mean PIT");
+    plot.save(out_dir / "fig2_pit.svg");
+  }
+  {
+    util::SvgPlot plot({.title = "Fig 4: disk utilization per tier",
+                        .y_label = "disk util (%)",
+                        .y_max = 105});
+    for (int tier = 0; tier < 4; ++tier) {
+      const auto& node =
+          core::Testbed::node_names()[static_cast<std::size_t>(tier)];
+      plot.add_line(
+          core::resource_series(db, "res_collectl_" + node, "dsk_pctutil"),
+          node);
+    }
+    plot.save(out_dir / "fig4_disk.svg");
+  }
+  {
+    util::SvgPlot plot({.title = "Fig 6: request queue length per tier",
+                        .y_label = "queued requests"});
+    for (int tier = 0; tier < 4; ++tier) {
+      plot.add_steps(
+          core::queue_length_db(db,
+                                exp.event_tables()[static_cast<std::size_t>(tier)],
+                                util::msec(50), 0, cfg.duration),
+          core::Testbed::services()[static_cast<std::size_t>(tier)]);
+    }
+    plot.save(out_dir / "fig6_queues.svg");
+  }
+  {
+    util::SvgPlot plot({.title = "Fig 7: DB disk IO vs Apache queue",
+                        .y_label = "util (%) / queue"});
+    plot.add_line(
+        core::resource_series(db, "res_collectl_db1", "dsk_pctutil"),
+        "db1 disk util %");
+    plot.add_steps(core::queue_length_db(db, exp.event_tables().front(),
+                                         util::msec(50), 0, cfg.duration),
+                   "apache queue");
+    plot.save(out_dir / "fig7_correlation.svg");
+  }
+  {
+    const auto sysviz = exp.sysviz_reconstruct();
+    util::SvgPlot plot({.title = "Fig 9: apache queue, event monitors vs "
+                                 "SysViz reconstruction",
+                        .y_label = "queued requests"});
+    plot.add_steps(core::queue_length_db(db, exp.event_tables().front(),
+                                         util::msec(50), 0, cfg.duration),
+                   "event mScopeMonitors");
+    plot.add_steps(util::integrate_deltas(sysviz.queue_deltas[0],
+                                          util::msec(50), 0, cfg.duration),
+                   "SysViz (passive)");
+    plot.save(out_dir / "fig9_sysviz.svg");
+  }
+
+  // ---- scenario B run --------------------------------------------------------
+  core::TestbedConfig cfg_b;
+  cfg_b.workload = 2000;
+  cfg_b.duration = util::sec(6);
+  cfg_b.log_dir = "plot_logs_b";
+  cfg_b.scenario_b = core::ScenarioB::figure8();
+  core::Experiment exp_b(cfg_b);
+  exp_b.run();
+  db::Database db_b;
+  exp_b.load_warehouse(db_b);
+  {
+    const auto pit_b = core::pit_response_time_db(
+        db_b, exp_b.event_tables().front(), util::msec(50));
+    util::SvgPlot plot({.title = "Fig 8: dirty-page scenario — PIT RT, web "
+                                 "CPU, dirty pages (scaled)",
+                        .y_label = "ms / % / MB"});
+    plot.add_line(pit_b.max_rt_ms, "max PIT (ms)");
+    auto web_cpu = core::resource_series(db_b, "res_collectl_web1",
+                                         "cpu_sys_pct");
+    plot.add_line(web_cpu, "web1 cpu sys (%)");
+    plot.add_line(
+        scale(core::resource_series(db_b, "res_collectl_web1", "mem_dirtykb"),
+              1.0 / 1024.0),
+        "web1 dirty (MB)");
+    plot.add_line(
+        scale(core::resource_series(db_b, "res_collectl_app1", "mem_dirtykb"),
+              1.0 / 1024.0),
+        "app1 dirty (MB)");
+    plot.save(out_dir / "fig8_overview.svg");
+  }
+
+  std::printf("wrote 6 SVG figures under %s/\n", out_dir.string().c_str());
+  return 0;
+}

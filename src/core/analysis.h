@@ -1,0 +1,133 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "db/database.h"
+#include "util/simtime.h"
+#include "util/stats.h"
+
+namespace mscope::core {
+
+/// A very-long-response-time request (paper Section II): response time one
+/// to two orders of magnitude above the average.
+struct VlrtRequest {
+  std::uint64_t id = 0;
+  SimTime completed_at = 0;
+  double rt_ms = 0.0;
+};
+
+/// Finds VLRT requests: rt > factor * overall average.
+[[nodiscard]] std::vector<VlrtRequest> find_vlrt(
+    const std::vector<sim::RequestPtr>& completed, double factor = 10.0);
+
+/// A very short bottleneck window: a maximal run of PIT buckets whose max
+/// response time exceeds factor * overall average (gaps up to `merge_gap`
+/// are merged).
+struct VsbWindow {
+  SimTime begin = 0;
+  SimTime end = 0;
+  double peak_rt_ms = 0.0;
+
+  [[nodiscard]] SimTime duration() const { return end - begin; }
+};
+
+[[nodiscard]] std::vector<VsbWindow> find_vsb_windows(const PitSeries& pit,
+                                                      double factor = 10.0,
+                                                      SimTime merge_gap = 0);
+
+/// Cross-tier push-back (paper Fig. 6): inside a window, which tiers' queues
+/// grow together. Queue amplification across >= 2 adjacent tiers reaching
+/// the front tier is the signature of a deep-tier bottleneck.
+struct PushbackReport {
+  std::vector<int> growing_tiers;  ///< tiers whose queue grows in-window
+  int deepest_growing = -1;
+  bool cross_tier = false;  ///< >= 2 adjacent growing tiers
+};
+
+[[nodiscard]] PushbackReport detect_pushback(
+    const std::vector<Series>& tier_queues, const VsbWindow& window,
+    double min_slope_per_sec = 20.0, double min_peak = 10.0);
+
+/// One piece of evidence for a diagnosis: a resource metric compared inside
+/// vs. outside the bottleneck window.
+struct Evidence {
+  std::string node;
+  std::string metric;
+  double in_window = 0.0;
+  double outside = 0.0;
+  /// Correlation of this metric with the front tier's queue length over the
+  /// whole run (paper Fig. 7 pairs DB disk utilization with Apache queue).
+  double corr_with_front_queue = 0.0;
+};
+
+/// The verdict for one VSB window.
+struct Diagnosis {
+  VsbWindow window;
+  PushbackReport pushback;
+  int bottleneck_tier = -1;
+  /// The specific replica node implicated (with replicated tiers the
+  /// diagnoser singles out the hot node, e.g. "db1" and not "db2").
+  std::string bottleneck_node;
+  /// "disk-io", "cpu", "memory-dirty-page", or "unknown".
+  std::string root_cause;
+  std::vector<Evidence> evidence;
+};
+
+/// The milliScope diagnosis engine. Reproduces the workflow of the paper's
+/// Section V case studies against the warehouse:
+///  1. find VSB windows in the PIT response time;
+///  2. compute per-tier queue lengths from the event tables and detect
+///     push-back: the deepest tier with a growing queue is the suspect;
+///  3. interrogate the suspect node's resource tables inside the window:
+///     saturated disk -> "disk-io"; saturated CPU with an abrupt dirty-page
+///     drop -> "memory-dirty-page"; saturated CPU otherwise -> "cpu".
+class Diagnoser {
+ public:
+  struct Tables {
+    /// Event tables per tier (front to back), one per replica
+    /// (e.g. {{"ev_apache_web1"}, {"ev_tomcat_app1", "ev_tomcat_app2"}, ...}).
+    std::vector<std::vector<std::string>> event_tables;
+    /// Collectl table per tier, per replica node.
+    std::vector<std::vector<std::string>> collectl_tables;
+    /// Node names per tier, per replica.
+    std::vector<std::vector<std::string>> nodes;
+  };
+
+  struct Config {
+    SimTime pit_bucket = 50 * util::kMsec;
+    SimTime queue_bucket = 50 * util::kMsec;
+    double vlrt_factor = 10.0;
+    double disk_saturation_pct = 80.0;
+    double cpu_saturation_pct = 85.0;
+    /// Dirty-page drop (fraction of in-window max) that implicates
+    /// recycling — with an absolute floor, because normal log buffering
+    /// makes the dirty count wiggle by tens of KB without any recycling.
+    double dirty_drop_fraction = 0.5;
+    double min_dirty_drop_kb = 32 * 1024.0;  ///< 32 MB
+    /// How far before a symptom window to look for its cause.
+    SimTime lookback = util::kSec;
+  };
+
+  Diagnoser(const db::Database& db, Tables tables, Config cfg);
+  Diagnoser(const db::Database& db, Tables tables)
+      : Diagnoser(db, std::move(tables), Config{}) {}
+
+  /// Full pipeline over [0, horizon): PIT -> windows -> diagnosis each.
+  [[nodiscard]] std::vector<Diagnosis> diagnose(SimTime horizon) const;
+
+  /// Diagnoses one window (exposed for tests and the examples).
+  [[nodiscard]] Diagnosis diagnose_window(const VsbWindow& w,
+                                          SimTime horizon) const;
+
+  /// The PIT series the engine works from (front tier).
+  [[nodiscard]] PitSeries pit(SimTime horizon) const;
+
+ private:
+  const db::Database& db_;
+  Tables tables_;
+  Config cfg_;
+};
+
+}  // namespace mscope::core

@@ -1,0 +1,180 @@
+#include "core/consistency.h"
+
+#include <algorithm>
+#include <map>
+
+#include "db/query.h"
+
+namespace mscope::core {
+
+std::string WarehouseValidator::Report::summary() const {
+  std::string out = "checked " + std::to_string(rows_checked) + " rows, " +
+                    std::to_string(edges_checked) + " causal edges: ";
+  if (violations.empty()) {
+    out += "consistent";
+    return out;
+  }
+  out += std::to_string(violations.size()) + " violation(s); first: " +
+         violations.front().table + "[" +
+         std::to_string(violations.front().row) + "] " +
+         violations.front().what;
+  return out;
+}
+
+namespace {
+
+/// All (ds, dr) downstream windows of one event row (ds_usec/dr_usec or the
+/// Tomcat monitor's dsN/drN columns).
+std::vector<std::pair<std::int64_t, std::int64_t>> downstream_windows(
+    const db::Table& t, std::size_t row) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> out;
+  const auto ds = t.column_index("ds_usec");
+  const auto dr = t.column_index("dr_usec");
+  if (ds && dr) {
+    const auto a = db::as_int(t.at(row, *ds));
+    const auto b = db::as_int(t.at(row, *dr));
+    if (a && b) out.emplace_back(*a, *b);
+  }
+  for (int call = 0; call < 64; ++call) {
+    const auto dn = t.column_index("ds" + std::to_string(call) + "_usec");
+    const auto rn = t.column_index("dr" + std::to_string(call) + "_usec");
+    if (!dn || !rn) break;
+    const auto a = db::as_int(t.at(row, *dn));
+    const auto b = db::as_int(t.at(row, *rn));
+    if (a && b) out.emplace_back(*a, *b);
+  }
+  return out;
+}
+
+}  // namespace
+
+void WarehouseValidator::check_row_order(const db::Database& db,
+                                         const std::string& table,
+                                         Report& report) const {
+  const db::Table* t = db.find(table);
+  if (t == nullptr) {
+    report.violations.push_back({table, 0, "table missing"});
+    return;
+  }
+  const auto ua = t->column_index("ua_usec");
+  const auto ud = t->column_index("ud_usec");
+  if (!ua || !ud) {
+    report.violations.push_back({table, 0, "no ua/ud columns"});
+    return;
+  }
+  for (std::size_t r = 0; r < t->row_count(); ++r) {
+    if (full(report)) return;
+    ++report.rows_checked;
+    const auto a = db::as_int(t->at(r, *ua));
+    const auto d = db::as_int(t->at(r, *ud));
+    if (!a || !d) continue;  // baseline rows carry no event timestamps
+    if (*a > *d) {
+      report.violations.push_back({table, r, "ua > ud"});
+      continue;
+    }
+    for (const auto& [s, e] : downstream_windows(*t, r)) {
+      if (s < *a) report.violations.push_back({table, r, "ds < ua"});
+      if (e < s) report.violations.push_back({table, r, "dr < ds"});
+      if (*d < e) report.violations.push_back({table, r, "ud < dr"});
+    }
+  }
+}
+
+void WarehouseValidator::check_nesting(
+    const db::Database& db, const std::vector<std::string>& parents,
+    const std::vector<std::string>& children, Report& report) const {
+  // Collect the parents' downstream windows per request id.
+  std::map<std::string, std::vector<std::pair<std::int64_t, std::int64_t>>>
+      windows;
+  std::string parent_name;
+  for (const auto& pt : parents) {
+    const db::Table* p = db.find(pt);
+    if (p == nullptr) continue;
+    parent_name = pt;
+    const auto rid = p->column_index("req_id");
+    if (!rid) continue;
+    for (std::size_t r = 0; r < p->row_count(); ++r) {
+      const db::Value& id = p->at(r, *rid);
+      if (db::is_null(id)) continue;
+      auto& w = windows[db::value_to_string(id)];
+      for (const auto& win : downstream_windows(*p, r)) w.push_back(win);
+    }
+  }
+
+  for (const auto& ct : children) {
+    const db::Table* c = db.find(ct);
+    if (c == nullptr) continue;
+    const auto rid = c->column_index("req_id");
+    const auto ua = c->column_index("ua_usec");
+    const auto ud = c->column_index("ud_usec");
+    if (!rid || !ua || !ud) continue;
+    for (std::size_t r = 0; r < c->row_count(); ++r) {
+      if (full(report)) return;
+      const db::Value& id = c->at(r, *rid);
+      const auto a = db::as_int(c->at(r, *ua));
+      const auto d = db::as_int(c->at(r, *ud));
+      if (db::is_null(id) || !a || !d) continue;
+      const auto it = windows.find(db::value_to_string(id));
+      if (it == windows.end()) {
+        // The parent record may be missing because the request was still in
+        // flight upstream at the end of collection — not a violation.
+        continue;
+      }
+      ++report.edges_checked;
+      bool nested = false;
+      for (const auto& [s, e] : it->second) {
+        if (*a >= s - cfg_.nesting_slack && *d <= e + cfg_.nesting_slack) {
+          nested = true;
+          break;
+        }
+      }
+      if (!nested) {
+        report.violations.push_back(
+            {ct, r, "visit not nested in any downstream window of " +
+                        parent_name});
+      }
+    }
+  }
+}
+
+void WarehouseValidator::check_catalog(const db::Database& db,
+                                       Report& report) const {
+  const db::Table& catalog = db.get(db::Database::kLoadCatalogTable);
+  for (std::size_t r = 0; r < catalog.row_count(); ++r) {
+    if (full(report)) return;
+    const std::string table = db::value_to_string(catalog.at(r, "table_name"));
+    const auto rows = db::as_int(catalog.at(r, "rows"));
+    const db::Table* t = db.find(table);
+    if (t == nullptr) {
+      report.violations.push_back(
+          {catalog.name(), r, "cataloged table missing: " + table});
+      continue;
+    }
+    if (rows && static_cast<std::size_t>(*rows) != t->row_count()) {
+      report.violations.push_back(
+          {catalog.name(), r,
+           "catalog row count " + std::to_string(*rows) + " != actual " +
+               std::to_string(t->row_count()) + " for " + table});
+    }
+  }
+}
+
+WarehouseValidator::Report WarehouseValidator::validate(
+    const db::Database& db,
+    const std::vector<std::vector<std::string>>& event_tables) const {
+  Report report;
+  check_catalog(db, report);
+  for (const auto& tier : event_tables) {
+    for (const auto& table : tier) {
+      if (full(report)) return report;
+      check_row_order(db, table, report);
+    }
+  }
+  for (std::size_t tier = 0; tier + 1 < event_tables.size(); ++tier) {
+    if (full(report)) return report;
+    check_nesting(db, event_tables[tier], event_tables[tier + 1], report);
+  }
+  return report;
+}
+
+}  // namespace mscope::core

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "util/simtime.h"
+
+namespace mscope::core {
+
+/// Warehouse consistency validator.
+///
+/// milliScope merges records from many independently-written logs, so a
+/// correct warehouse must satisfy structural invariants that no single
+/// monitor can check alone. This validator enforces them after a load:
+///
+///  * per event row: ua <= ds <= dr <= ud (the four timestamps are ordered);
+///  * per causal edge: a child visit (joined on req_id) nests inside its
+///    parent's downstream window — child.ua/ud within [parent ds, dr]
+///    allowing one network hop of slack;
+///  * the load catalog row counts match the actual table sizes;
+///  * every timestamp lies within the catalog's recorded [t_min, t_max].
+///
+/// Violations indicate clock skew, parser bugs, or log corruption — exactly
+/// the failure modes a multi-log integration pipeline must surface.
+class WarehouseValidator {
+ public:
+  struct Violation {
+    std::string table;
+    std::size_t row = 0;
+    std::string what;
+  };
+
+  struct Report {
+    std::vector<Violation> violations;
+    std::size_t rows_checked = 0;
+    std::size_t edges_checked = 0;
+
+    [[nodiscard]] bool ok() const { return violations.empty(); }
+    [[nodiscard]] std::string summary() const;
+  };
+
+  struct Config {
+    /// Slack allowed on nesting checks (one network hop each way).
+    util::SimTime nesting_slack = 300;
+    /// Stop collecting after this many violations (0 = unlimited).
+    std::size_t max_violations = 100;
+  };
+
+  explicit WarehouseValidator(Config cfg) : cfg_(cfg) {}
+  WarehouseValidator() : WarehouseValidator(Config{}) {}
+
+  /// Validates event tables given per tier, front to back, one entry per
+  /// replica (the shape of Diagnoser::Tables::event_tables).
+  [[nodiscard]] Report validate(
+      const db::Database& db,
+      const std::vector<std::vector<std::string>>& event_tables) const;
+
+ private:
+  void check_row_order(const db::Database& db, const std::string& table,
+                       Report& report) const;
+  void check_nesting(const db::Database& db,
+                     const std::vector<std::string>& parents,
+                     const std::vector<std::string>& children,
+                     Report& report) const;
+  void check_catalog(const db::Database& db, Report& report) const;
+  [[nodiscard]] bool full(const Report& r) const {
+    return cfg_.max_violations > 0 &&
+           r.violations.size() >= cfg_.max_violations;
+  }
+
+  Config cfg_;
+};
+
+}  // namespace mscope::core

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "sim/request.h"
+#include "util/simtime.h"
+#include "util/stats.h"
+
+namespace mscope::core {
+
+using util::Series;
+using util::SimTime;
+
+/// Point-In-Time response time (paper Fig. 2): per fine-grained time bucket,
+/// the maximum and mean response time of requests *completing* in that
+/// bucket, plus the overall average. The paper's motivating observation is
+/// that max-PIT can exceed the overall average by 20x inside windows that
+/// 1-second sampling completely misses.
+struct PitSeries {
+  Series max_rt_ms;  ///< per bucket: max response time (ms)
+  Series avg_rt_ms;  ///< per bucket: mean response time (ms)
+  double overall_avg_ms = 0.0;
+  /// Median response time — a robust normal-operation baseline that, unlike
+  /// the mean, is not inflated by the VLRT requests themselves.
+  double overall_p50_ms = 0.0;
+  SimTime bucket = 0;
+
+  /// max over buckets of (max PIT) / overall average.
+  [[nodiscard]] double peak_to_average() const;
+};
+
+/// Ground-truth path: PIT from the client's completed requests.
+[[nodiscard]] PitSeries pit_response_time(
+    const std::vector<sim::RequestPtr>& completed, SimTime bucket);
+
+/// Warehouse path: PIT from an Apache event table in mScopeDB (columns
+/// ud_usec and duration_usec, written by the Apache mScopeMonitor).
+[[nodiscard]] PitSeries pit_response_time_db(const db::Database& db,
+                                             const std::string& apache_table,
+                                             SimTime bucket);
+
+/// Same, aggregated over several front-tier replicas' event tables.
+[[nodiscard]] PitSeries pit_response_time_db_multi(
+    const db::Database& db, const std::vector<std::string>& apache_tables,
+    SimTime bucket);
+
+/// Per-tier instantaneous queue length (paper Figs. 6/8b/9): the number of
+/// requests that have arrived at a tier but not departed, computed from an
+/// event table's (ua_usec, ud_usec) columns and sampled per bucket (max
+/// within each bucket).
+[[nodiscard]] Series queue_length_db(const db::Database& db,
+                                     const std::string& event_table,
+                                     SimTime bucket, SimTime t_begin,
+                                     SimTime t_end);
+
+/// Tier-aggregate queue length over several replicas' event tables (a
+/// tier's "instantaneous concurrent requests" is the sum over its nodes).
+[[nodiscard]] Series queue_length_db_multi(
+    const db::Database& db, const std::vector<std::string>& event_tables,
+    SimTime bucket, SimTime t_begin, SimTime t_end);
+
+/// Ground-truth queue length from simulator records, for validation.
+[[nodiscard]] Series queue_length_truth(
+    const std::vector<sim::RequestPtr>& completed, int tier, SimTime bucket,
+    SimTime t_begin, SimTime t_end);
+
+/// Extracts a resource metric series (e.g. "dsk_pctutil", "cpu_user_pct",
+/// "mem_dirtykb") from a resource table, time-ordered. A missing table or
+/// column yields an empty series — a node whose monitor was not deployed
+/// must degrade the diagnosis, not crash it.
+[[nodiscard]] Series resource_series(const db::Database& db,
+                                     const std::string& table,
+                                     const std::string& column);
+
+/// Per-interaction response-time breakdown from an Apache event table:
+/// groups requests by servlet path (the URL up to '?') and reports count,
+/// mean/max response time and each interaction's share of the VLRT
+/// population — "which pages suffer when the VSB strikes".
+struct InteractionStats {
+  std::string path;
+  std::size_t count = 0;
+  double mean_rt_ms = 0.0;
+  double max_rt_ms = 0.0;
+  std::size_t vlrt_count = 0;
+};
+
+/// `vlrt_factor` defines VLRT as rt > factor x median. Sorted by count
+/// descending.
+[[nodiscard]] std::vector<InteractionStats> interaction_breakdown(
+    const db::Database& db, const std::string& apache_table,
+    double vlrt_factor = 10.0);
+
+/// Completed requests per second, bucketed (paper Fig. 11 throughput).
+[[nodiscard]] Series throughput(const std::vector<sim::RequestPtr>& completed,
+                                SimTime bucket);
+
+/// Mean end-to-end response time in ms over completed requests.
+[[nodiscard]] double mean_response_ms(
+    const std::vector<sim::RequestPtr>& completed);
+
+/// Response-time percentile (q in [0,100]) in ms.
+[[nodiscard]] double response_percentile_ms(
+    const std::vector<sim::RequestPtr>& completed, double q);
+
+}  // namespace mscope::core

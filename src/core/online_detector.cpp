@@ -1,0 +1,37 @@
+#include "core/online_detector.h"
+
+#include <algorithm>
+
+namespace mscope::core {
+
+void OnlineVsbDetector::on_complete(SimTime completed_at, SimTime rt) {
+  baseline_.record(rt);
+  ++seen_;
+  window_.push_back({completed_at, rt});
+  while (!window_.empty() &&
+         window_.front().time < completed_at - cfg_.window) {
+    window_.pop_front();
+  }
+  if (seen_ < cfg_.min_samples) return;
+
+  const double baseline_ms = baseline_median_ms();
+  if (baseline_ms <= 0) return;
+  SimTime peak = 0;
+  for (const auto& s : window_) peak = std::max(peak, s.rt);
+  const double peak_ms = static_cast<double>(peak) / 1000.0;
+  const bool hot = peak_ms > cfg_.factor * baseline_ms;
+
+  if (hot && !alarm_open()) {
+    alarms_.push_back({completed_at, -1, peak_ms, baseline_ms});
+    if (callback_) callback_(alarms_.back());
+  } else if (alarm_open()) {
+    Alarm& a = alarms_.back();
+    a.peak_rt_ms = std::max(a.peak_rt_ms, peak_ms);
+    if (!hot) {
+      a.closed_at = completed_at;
+      if (callback_) callback_(a);
+    }
+  }
+}
+
+}  // namespace mscope::core

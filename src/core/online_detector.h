@@ -1,0 +1,83 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/request.h"
+#include "util/histogram.h"
+#include "util/simtime.h"
+
+namespace mscope::core {
+
+using util::SimTime;
+
+/// Streaming VLRT/VSB detector — catches anomalies *while the experiment is
+/// still running* instead of post-hoc from the warehouse.
+///
+/// Feed it every completed request (e.g. via ClientPool::set_on_complete).
+/// It maintains a long-horizon response-time histogram as the "normal"
+/// baseline and a short sliding window of recent completions; when the max
+/// response time inside the window exceeds `factor` x the baseline median,
+/// a VSB alarm opens (one callback), and it closes once the window cools
+/// down. Warm-up: no alarms before `min_samples` completions.
+class OnlineVsbDetector {
+ public:
+  struct Config {
+    SimTime window = 500 * util::kMsec;  ///< sliding window length
+    double factor = 10.0;                ///< threshold over baseline median
+    std::size_t min_samples = 500;       ///< warm-up before alarming
+  };
+
+  struct Alarm {
+    SimTime opened_at = 0;
+    SimTime closed_at = -1;  ///< -1 while still open
+    double peak_rt_ms = 0.0;
+    double baseline_ms = 0.0;
+  };
+
+  using AlarmCallback = std::function<void(const Alarm&)>;
+
+  explicit OnlineVsbDetector(Config cfg) : cfg_(cfg) {}
+  OnlineVsbDetector() : OnlineVsbDetector(Config{}) {}
+
+  /// Called when an alarm opens (alarm.closed_at == -1) and again when it
+  /// closes (closed_at set).
+  void set_callback(AlarmCallback cb) { callback_ = std::move(cb); }
+
+  /// Feed one completion (`completed_at` in sim time, `rt` response time).
+  void on_complete(SimTime completed_at, SimTime rt);
+
+  /// Convenience for wiring to a ClientPool.
+  void on_complete(const sim::RequestPtr& req) {
+    if (req->response_time() >= 0) {
+      on_complete(req->client_recv, req->response_time());
+    }
+  }
+
+  /// All alarms so far (the last one may still be open).
+  [[nodiscard]] const std::vector<Alarm>& alarms() const { return alarms_; }
+
+  [[nodiscard]] bool alarm_open() const {
+    return !alarms_.empty() && alarms_.back().closed_at < 0;
+  }
+
+  [[nodiscard]] double baseline_median_ms() const {
+    return static_cast<double>(baseline_.percentile(50)) / 1000.0;
+  }
+
+ private:
+  struct Sample {
+    SimTime time;
+    SimTime rt;
+  };
+
+  Config cfg_;
+  AlarmCallback callback_;
+  util::LatencyHistogram baseline_;  ///< rt in usec
+  std::deque<Sample> window_;
+  std::vector<Alarm> alarms_;
+  std::size_t seen_ = 0;
+};
+
+}  // namespace mscope::core

@@ -1,0 +1,147 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace mscope::core {
+
+std::vector<TierContribution> tier_contributions(
+    const db::Database& db, const std::vector<std::string>& event_tables,
+    const std::vector<std::string>& services, util::SimTime t0,
+    util::SimTime t1) {
+  std::vector<TierContribution> out;
+  double total_exclusive = 0.0;
+
+  for (std::size_t tier = 0; tier < event_tables.size(); ++tier) {
+    TierContribution c;
+    c.service = tier < services.size() ? services[tier] : "?";
+    const db::Table* table = db.find(event_tables[tier]);
+    if (table == nullptr) {
+      out.push_back(c);
+      continue;
+    }
+    const auto ua = table->column_index("ua_usec");
+    const auto ud = table->column_index("ud_usec");
+    if (!ua || !ud) {
+      out.push_back(c);
+      continue;
+    }
+    const auto ds = table->column_index("ds_usec");
+    const auto dr = table->column_index("dr_usec");
+    // Tomcat's variable-width columns.
+    std::vector<std::pair<std::size_t, std::size_t>> call_cols;
+    for (int call = 0; call < 64; ++call) {
+      const auto a =
+          table->column_index("ds" + std::to_string(call) + "_usec");
+      const auto b =
+          table->column_index("dr" + std::to_string(call) + "_usec");
+      if (!a || !b) break;
+      call_cols.emplace_back(*a, *b);
+    }
+
+    double sum_excl = 0.0, sum_incl = 0.0;
+    std::size_t n = 0;
+    for (std::size_t r = 0; r < table->row_count(); ++r) {
+      const auto a = db::as_int(table->at(r, *ua));
+      const auto d = db::as_int(table->at(r, *ud));
+      if (!a || !d) continue;
+      if (t1 > t0 && (*d < t0 || *d >= t1)) continue;
+      const double incl = static_cast<double>(*d - *a);
+      double wait = 0.0;
+      if (ds && dr) {
+        const auto s = db::as_int(table->at(r, *ds));
+        const auto e = db::as_int(table->at(r, *dr));
+        if (s && e && *e >= *s) wait += static_cast<double>(*e - *s);
+      }
+      for (const auto& [ci, cj] : call_cols) {
+        const auto s = db::as_int(table->at(r, ci));
+        const auto e = db::as_int(table->at(r, cj));
+        if (s && e && *e >= *s) wait += static_cast<double>(*e - *s);
+      }
+      sum_incl += incl;
+      sum_excl += std::max(0.0, incl - wait);
+      ++n;
+    }
+    if (n > 0) {
+      c.mean_exclusive_ms = sum_excl / static_cast<double>(n) / 1000.0;
+      c.mean_inclusive_ms = sum_incl / static_cast<double>(n) / 1000.0;
+      c.visits = n;
+    }
+    total_exclusive += c.mean_exclusive_ms;
+    out.push_back(c);
+  }
+  if (total_exclusive > 0) {
+    for (auto& c : out) c.share = c.mean_exclusive_ms / total_exclusive;
+  }
+  return out;
+}
+
+std::string render_report(const std::vector<Diagnosis>& diagnoses,
+                          const PitSeries& pit,
+                          const std::vector<TierContribution>& contributions) {
+  std::string out;
+  char buf[256];
+  out += "=== milliScope diagnosis report ===\n";
+  std::snprintf(buf, sizeof(buf),
+                "response time: avg %.2f ms, median %.2f ms, "
+                "max PIT %.0f ms (%.1fx avg)\n",
+                pit.overall_avg_ms, pit.overall_p50_ms,
+                pit.overall_avg_ms * pit.peak_to_average(),
+                pit.peak_to_average());
+  out += buf;
+
+  if (!contributions.empty()) {
+    out += "\nper-tier latency contribution (mean exclusive time):\n";
+    for (const auto& c : contributions) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-8s %8.3f ms exclusive (%4.1f%%), %8.3f ms inclusive, "
+                    "%zu visits\n",
+                    c.service.c_str(), c.mean_exclusive_ms, c.share * 100,
+                    c.mean_inclusive_ms, c.visits);
+      out += buf;
+    }
+  }
+
+  if (diagnoses.empty()) {
+    out += "\nno very short bottlenecks detected.\n";
+    return out;
+  }
+  std::snprintf(buf, sizeof(buf), "\n%zu very short bottleneck window(s):\n",
+                diagnoses.size());
+  out += buf;
+  for (const auto& d : diagnoses) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n* window [%.2fs, %.2fs] (%.0f ms), peak PIT %.0f ms\n",
+                  util::to_sec(d.window.begin), util::to_sec(d.window.end),
+                  util::to_msec(d.window.duration()), d.window.peak_rt_ms);
+    out += buf;
+    out += "  push-back: ";
+    if (d.pushback.growing_tiers.empty()) {
+      out += "none detected";
+    } else {
+      std::vector<std::string> tiers;
+      for (const int t : d.pushback.growing_tiers)
+        tiers.push_back("tier" + std::to_string(t));
+      out += util::join(tiers, " -> ");
+      out += d.pushback.cross_tier ? "  (cross-tier amplification)"
+                                   : "  (single tier)";
+    }
+    out += '\n';
+    std::snprintf(buf, sizeof(buf), "  verdict: %s at %s\n",
+                  d.root_cause.c_str(),
+                  d.bottleneck_node.empty() ? "?" : d.bottleneck_node.c_str());
+    out += buf;
+    for (const auto& e : d.evidence) {
+      std::snprintf(buf, sizeof(buf),
+                    "    %-14s in-window %8.1f   outside %8.1f   "
+                    "corr(front queue) %+.2f\n",
+                    e.metric.c_str(), e.in_window, e.outside,
+                    e.corr_with_front_queue);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace mscope::core

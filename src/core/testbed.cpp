@@ -1,0 +1,317 @@
+#include "core/testbed.h"
+
+#include <stdexcept>
+
+namespace mscope::core {
+
+namespace {
+
+using workload::Rubbos;
+
+/// Worker pool sizes per tier — shaped like a real RUBBoS deployment
+/// (thick Apache pool, thinner pools downstream). The ordering matters for
+/// push-back: when a deep tier stalls, each upstream pool fills in turn.
+constexpr int kWorkers[4] = {100, 40, 40, 30};
+
+/// Tier host-name stems: web1, app1/app2, mid1, db1/db2, ...
+constexpr const char* kStems[4] = {"web", "app", "mid", "db"};
+
+const monitors::InteractionInfo& interaction_info(int index) {
+  static std::vector<monitors::InteractionInfo> infos = [] {
+    std::vector<monitors::InteractionInfo> v;
+    for (const auto& ix : Rubbos::interactions()) {
+      v.push_back({ix.url, ix.sql_template});
+    }
+    return v;
+  }();
+  return infos.at(static_cast<std::size_t>(index));
+}
+
+}  // namespace
+
+ScenarioB ScenarioB::figure8() {
+  ScenarioB b;
+  // ~430 MB of dirty pages crossing the 400 MB threshold: recycling drains
+  // ~370 MB at ~500 MB/s, i.e. a ~0.75 s kernel-priority CPU storm per
+  // node. Apache first, Tomcat two seconds later (paper Fig. 8).
+  b.bursts.push_back({Rubbos::kApache, util::msec(1200), 430LL << 20});
+  b.bursts.push_back({Rubbos::kTomcat, util::msec(3200), 430LL << 20});
+  return b;
+}
+
+const std::array<std::string, 4>& Testbed::node_names() {
+  static const std::array<std::string, 4> names{"web1", "app1", "mid1", "db1"};
+  return names;
+}
+
+const std::vector<std::string>& Testbed::services() {
+  return Rubbos::tier_names();
+}
+
+std::string Testbed::replica_name(int tier, int replica) {
+  if (tier < 0 || tier >= kTiers)
+    throw std::out_of_range("Testbed::replica_name: bad tier");
+  return std::string(kStems[tier]) + std::to_string(replica + 1);
+}
+
+Testbed::Testbed(TestbedConfig cfg) : cfg_(std::move(cfg)), net_(sim_, {}) {
+  if (cfg_.workload < 1) throw std::invalid_argument("Testbed: workload < 1");
+  for (const int n : cfg_.nodes_per_tier) {
+    if (n < 1) throw std::invalid_argument("Testbed: nodes_per_tier < 1");
+  }
+  if (cfg_.capture_messages) net_.set_tap(&tap_);
+
+  std::filesystem::remove_all(cfg_.log_dir);
+  std::filesystem::create_directories(cfg_.log_dir);
+
+  // --- nodes ---------------------------------------------------------------
+  nodes_.resize(kTiers);
+  for (int tier = 0; tier < kTiers; ++tier) {
+    for (int r = 0; r < cfg_.nodes_per_tier[static_cast<std::size_t>(tier)];
+         ++r) {
+      sim::Node::Config nc;
+      nc.name = replica_name(tier, r);
+      nc.cores = cfg_.cores_per_node;
+      // The DB nodes carry the redo-log spindle (scenario A's stall is a
+      // function of its bandwidth); the other tiers have faster local
+      // disks, which bounds how long a dirty-page recycling storm lasts
+      // (scenario B).
+      nc.disk.bandwidth_mbps = (tier == Rubbos::kMysql) ? 150.0 : 500.0;
+      nc.disk.per_op = 200;
+      // Page-cache thresholds: high enough that normal logging never
+      // triggers recycling; scenario B's bursts cross them deliberately.
+      // Recycling drains to the low watermark at roughly disk speed, so
+      // (burst - low_watermark) / bandwidth bounds the CPU-storm length.
+      nc.page_cache.recycle_threshold_bytes = 400LL << 20;
+      nc.page_cache.low_watermark_bytes = 60LL << 20;
+      nc.page_cache.background_chunk_bytes = 4LL << 20;
+      // Dirty-throttled writers spin in the kernel alongside the flusher:
+      // request processing is almost completely starved during recycling.
+      nc.page_cache.flusher_cpu_fraction = 0.99;
+      nodes_[static_cast<std::size_t>(tier)].push_back(
+          std::make_unique<sim::Node>(sim_, nc));
+    }
+  }
+  {
+    sim::Node::Config cc;
+    cc.name = "client";
+    cc.cores = 16;  // client machines are never the bottleneck
+    client_node_ = std::make_unique<sim::Node>(sim_, cc);
+  }
+
+  // --- servers -------------------------------------------------------------
+  servers_.resize(kTiers);
+  for (int tier = 0; tier < kTiers; ++tier) {
+    for (int r = 0; r < cfg_.nodes_per_tier[static_cast<std::size_t>(tier)];
+         ++r) {
+      sim::Server::Config sc;
+      sc.service = services()[static_cast<std::size_t>(tier)];
+      sc.tier = tier;
+      sc.workers = kWorkers[tier];
+      const auto wire = Rubbos::wire_sizes(tier);
+      sc.request_bytes = wire.request;
+      sc.response_bytes = wire.response;
+      servers_[static_cast<std::size_t>(tier)].push_back(
+          std::make_unique<sim::Server>(
+              sim_, *nodes_[static_cast<std::size_t>(tier)]
+                         [static_cast<std::size_t>(r)],
+              net_, sc));
+    }
+  }
+  for (int tier = 0; tier + 1 < kTiers; ++tier) {
+    std::vector<sim::Server*> next;
+    for (const auto& s : servers_[static_cast<std::size_t>(tier) + 1]) {
+      next.push_back(s.get());
+    }
+    for (const auto& s : servers_[static_cast<std::size_t>(tier)]) {
+      s->set_downstream_group(next);
+    }
+  }
+
+  // --- logging facilities & monitors ----------------------------------------
+  facilities_.resize(kTiers);
+  for (int tier = 0; tier < kTiers; ++tier) {
+    for (int r = 0; r < cfg_.nodes_per_tier[static_cast<std::size_t>(tier)];
+         ++r) {
+      logging::LoggingFacility::Config fc;
+      fc.dir = cfg_.log_dir / replica_name(tier, r);
+      fc.model_costs = cfg_.model_log_costs;
+      facilities_[static_cast<std::size_t>(tier)].push_back(
+          std::make_unique<logging::LoggingFacility>(
+              sim_, *nodes_[static_cast<std::size_t>(tier)]
+                         [static_cast<std::size_t>(r)],
+              fc));
+    }
+  }
+
+  // Event mScopeMonitors: attach one per server replica. With
+  // event_monitors=false the monitor runs in baseline mode — the unmodified
+  // server's native logging — so overhead comparisons (Figs. 10/11) compare
+  // like with like.
+  using monitors::EventMonitor;
+  const EventMonitor::TierKind kinds[4] = {
+      EventMonitor::TierKind::kApache, EventMonitor::TierKind::kTomcat,
+      EventMonitor::TierKind::kCjdbc, EventMonitor::TierKind::kMysql};
+  for (int tier = 0; tier < kTiers; ++tier) {
+    for (int r = 0; r < cfg_.nodes_per_tier[static_cast<std::size_t>(tier)];
+         ++r) {
+      auto mc = EventMonitor::default_config(kinds[tier], cfg_.event_monitors);
+      mc.cpu_per_record = static_cast<SimTime>(
+          static_cast<double>(mc.cpu_per_record) *
+          cfg_.event_monitor_cost_multiplier);
+      event_monitors_.push_back(std::make_unique<EventMonitor>(
+          *facilities_[static_cast<std::size_t>(tier)]
+                      [static_cast<std::size_t>(r)],
+          mc, interaction_info));
+      servers_[static_cast<std::size_t>(tier)][static_cast<std::size_t>(r)]
+          ->set_hooks(event_monitors_.back().get());
+    }
+  }
+
+  // Resource mScopeMonitors. Collectl (CSV) everywhere — the uniform source
+  // for the analyses — plus a deliberately heterogeneous extra deployment
+  // per tier so every parser path of the transformer gets exercised:
+  // sar-text on the web nodes, sar-XML on app and db nodes, collectl-plain
+  // on mid nodes, iostat on web and db nodes.
+  if (cfg_.resource_monitors) {
+    using monitors::CollectlMonitor;
+    using monitors::IostatMonitor;
+    using monitors::ResourceMonitor;
+    using monitors::SarMonitor;
+    ResourceMonitor::Config rc;
+    rc.interval = cfg_.resource_interval;
+    for (int tier = 0; tier < kTiers; ++tier) {
+      for (int r = 0; r < cfg_.nodes_per_tier[static_cast<std::size_t>(tier)];
+           ++r) {
+        auto& node =
+            *nodes_[static_cast<std::size_t>(tier)][static_cast<std::size_t>(r)];
+        auto& fac = *facilities_[static_cast<std::size_t>(tier)]
+                                [static_cast<std::size_t>(r)];
+        resource_monitors_.push_back(std::make_unique<CollectlMonitor>(
+            sim_, node, fac, rc, CollectlMonitor::Output::kCsv));
+        switch (tier) {
+          case Rubbos::kApache:
+            resource_monitors_.push_back(std::make_unique<SarMonitor>(
+                sim_, node, fac, rc, SarMonitor::Output::kText));
+            resource_monitors_.push_back(
+                std::make_unique<IostatMonitor>(sim_, node, fac, rc));
+            break;
+          case Rubbos::kTomcat:
+            resource_monitors_.push_back(std::make_unique<SarMonitor>(
+                sim_, node, fac, rc, SarMonitor::Output::kXml));
+            break;
+          case Rubbos::kCjdbc:
+            resource_monitors_.push_back(std::make_unique<CollectlMonitor>(
+                sim_, node, fac, rc, CollectlMonitor::Output::kPlain));
+            break;
+          case Rubbos::kMysql:
+            resource_monitors_.push_back(std::make_unique<SarMonitor>(
+                sim_, node, fac, rc, SarMonitor::Output::kXml));
+            resource_monitors_.push_back(
+                std::make_unique<IostatMonitor>(sim_, node, fac, rc));
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+
+  // --- clients ---------------------------------------------------------------
+  workload::ClientPool::Config cc;
+  cc.users = cfg_.workload;
+  cc.mean_think = cfg_.think_time;
+  cc.seed = cfg_.seed;
+  if (cfg_.scenario_a) {
+    cc.buffer_miss_multiplier = cfg_.scenario_a->buffer_miss_multiplier;
+  }
+  std::vector<sim::Server*> entries;
+  for (const auto& s : servers_[0]) entries.push_back(s.get());
+  clients_ = std::make_unique<workload::ClientPool>(sim_, net_, *client_node_,
+                                                    entries, cc);
+
+  // --- scenarios --------------------------------------------------------------
+  if (cfg_.scenario_a) schedule_scenario_a(*cfg_.scenario_a);
+  if (cfg_.scenario_b) schedule_scenario_b(*cfg_.scenario_b);
+  if (cfg_.scenario_c) schedule_scenario_c(*cfg_.scenario_c);
+}
+
+Testbed::~Testbed() = default;
+
+void Testbed::schedule_scenario_a(const ScenarioA& a) {
+  // Periodic redo-log flush on the first database replica's disk. The flush
+  // is one large sequential write; everything submitted during it queues
+  // behind.
+  auto& db_node = *nodes_[static_cast<std::size_t>(Rubbos::kMysql)][0];
+  const std::uint64_t bytes = a.flush_bytes;
+  // Runs last minutes, so scheduling every occurrence up front is cheap.
+  for (SimTime t = a.first_flush; t < cfg_.duration; t += a.interval) {
+    sim_.schedule_at(t, [&db_node, bytes] {
+      db_node.disk().submit(bytes, /*is_write=*/true, nullptr);
+    });
+  }
+}
+
+void Testbed::schedule_scenario_b(const ScenarioB& b) {
+  for (const auto& burst : b.bursts) {
+    auto& node = *nodes_.at(static_cast<std::size_t>(burst.tier)).at(0);
+    sim_.schedule_at(burst.at, [&node, bytes = burst.bytes] {
+      node.page_cache().dirty(bytes);
+    });
+  }
+}
+
+void Testbed::schedule_scenario_c(const ScenarioC& c) {
+  auto& node = *nodes_.at(static_cast<std::size_t>(c.tier)).at(0);
+  for (SimTime t = c.first_pause; t < cfg_.duration; t += c.period) {
+    sim_.schedule_at(t, [&node, pause = c.pause] {
+      // Stop-the-world: the collector occupies every core at kernel
+      // priority in one burst; request jobs queue behind it.
+      for (int core = 0; core < node.cores(); ++core) {
+        node.cpu().submit(pause, sim::CpuCategory::kUser,
+                          sim::CpuPriority::kKernel, nullptr);
+      }
+    });
+  }
+}
+
+void Testbed::run() {
+  clients_->start();
+  for (auto& m : resource_monitors_) m->start();
+  sim_.run_until(cfg_.duration);
+  flush_logs();
+}
+
+void Testbed::flush_logs() {
+  for (auto& m : resource_monitors_) m->finalize();
+  for (auto& tier : facilities_) {
+    for (auto& f : tier) f->flush_all();
+  }
+}
+
+std::vector<Testbed::NodeStats> Testbed::node_stats() const {
+  std::vector<NodeStats> out;
+  for (int tier = 0; tier < kTiers; ++tier) {
+    for (int r = 0; r < cfg_.nodes_per_tier[static_cast<std::size_t>(tier)];
+         ++r) {
+      NodeStats s;
+      s.name = replica_name(tier, r);
+      s.service = services()[static_cast<std::size_t>(tier)];
+      s.tier = tier;
+      s.replica = r;
+      s.counters = nodes_[static_cast<std::size_t>(tier)]
+                         [static_cast<std::size_t>(r)]
+                             ->counters();
+      s.log_bytes = facilities_[static_cast<std::size_t>(tier)]
+                               [static_cast<std::size_t>(r)]
+                                   ->bytes_written();
+      s.log_records = facilities_[static_cast<std::size_t>(tier)]
+                                 [static_cast<std::size_t>(r)]
+                                     ->records();
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+}  // namespace mscope::core

@@ -1,0 +1,197 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logging/facility.h"
+#include "monitors/event_monitor.h"
+#include "monitors/resource_monitor.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/server.h"
+#include "sim/simulation.h"
+#include "workload/client.h"
+#include "workload/rubbos.h"
+
+namespace mscope::core {
+
+using util::SimTime;
+
+/// Scenario A (paper Section V-A): the database periodically flushes its
+/// redo log from memory to disk. The multi-megabyte write saturates the DB
+/// disk for a few hundred milliseconds; commits and buffer-pool misses queue
+/// behind it, MySQL's workers block, and the stall pushes back through
+/// CJDBC, Tomcat and Apache — a very short bottleneck causing VLRT requests.
+/// With replicated MySQL backends only replica 0 flushes, so the diagnosis
+/// must single out that node.
+struct ScenarioA {
+  SimTime first_flush = 8 * util::kSec;
+  SimTime interval = 10 * util::kSec;
+  std::uint64_t flush_bytes = 64ULL << 20;  ///< ~430 ms at 150 MB/s
+  /// Cold buffer pool: scales per-query miss probability so that, as in the
+  /// paper's deployment, most DB visits touch the disk and the flush stall
+  /// propagates to every tier.
+  double buffer_miss_multiplier = 3.0;
+};
+
+/// Scenario B (paper Section V-B): dirty pages on the web/app tiers reach
+/// the kernel threshold and the page flusher's recycling storm saturates the
+/// CPU of that tier only. Bursts model the accumulated dirty cache crossing
+/// the threshold at different times on different nodes (Apache first,
+/// Tomcat two seconds later, as in Fig. 8).
+struct ScenarioB {
+  struct Burst {
+    int tier = 0;  ///< which tier's node gets the dirty burst (replica 0)
+    SimTime at = 0;
+    std::int64_t bytes = 0;
+  };
+  std::vector<Burst> bursts;
+
+  /// The paper's Fig. 8 configuration: Apache at 1.2 s, Tomcat at 3.2 s.
+  [[nodiscard]] static ScenarioB figure8();
+};
+
+/// Scenario C: stop-the-world JVM garbage collection on the Tomcat node —
+/// another of the very-short-bottleneck causes the paper's Section II
+/// catalogues. Each pause pins every core at kernel priority for
+/// `pause` (the collector threads), so requests starve exactly as during
+/// GC, the app tier's queue grows, and the diagnosis engine should report
+/// "cpu" — with *no* dirty-page signature this time.
+struct ScenarioC {
+  SimTime first_pause = 5 * util::kSec;
+  SimTime period = 7 * util::kSec;
+  SimTime pause = 400 * util::kMsec;
+  int tier = 1;  ///< Tomcat (replica 0)
+};
+
+/// Full experiment configuration.
+struct TestbedConfig {
+  int workload = 1000;               ///< concurrent users (the paper's x-axis)
+  SimTime duration = 30 * util::kSec;
+  std::uint64_t seed = 42;
+  SimTime think_time = 7 * util::kSec;
+
+  /// Replicas per tier. {1,1,1,1} is the compact testbed used by most
+  /// benches; {1,2,1,2} is the paper's Fig. 1 topology (two Tomcats behind
+  /// ModJK, two MySQL backends behind CJDBC).
+  std::array<int, 4> nodes_per_tier{1, 1, 1, 1};
+
+  /// true = event mScopeMonitors attached (instrumented servers);
+  /// false = unmodified servers (baseline native logging only).
+  bool event_monitors = true;
+  /// Scales the event monitors' per-record CPU cost. 1.0 = the paper's
+  /// native-logging-facility integration; ~5 models a naive tracer doing
+  /// its own synchronous, unbuffered logging (ablation bench).
+  double event_monitor_cost_multiplier = 1.0;
+  bool resource_monitors = true;
+  SimTime resource_interval = 50 * util::kMsec;
+
+  /// Node-local log directory root; logs land in log_dir/<node>/.
+  /// The directory is wiped at construction.
+  std::filesystem::path log_dir = "mscope_logs";
+  /// Model the CPU/page-cache cost of logging (disable only in data-pipeline
+  /// tests).
+  bool model_log_costs = true;
+  /// Record inter-tier messages in the passive tap (for the SysViz
+  /// comparison).
+  bool capture_messages = true;
+
+  int cores_per_node = 4;
+
+  std::optional<ScenarioA> scenario_a;
+  std::optional<ScenarioB> scenario_b;
+  std::optional<ScenarioC> scenario_c;
+};
+
+/// The simulated n-tier RUBBoS testbed: per-tier server replicas
+/// (web* -> app* -> mid* -> db*), a client machine, the network with its
+/// passive tap, per-node logging facilities, and the full monitor
+/// deployment. This is the substitution for the paper's physical cluster.
+class Testbed {
+ public:
+  static constexpr int kTiers = workload::Rubbos::kTiers;
+  /// Node host names of the single-replica deployment, by tier.
+  [[nodiscard]] static const std::array<std::string, 4>& node_names();
+  /// Service names by tier (apache, tomcat, cjdbc, mysql).
+  [[nodiscard]] static const std::vector<std::string>& services();
+  /// Host name of a replica: web1, app2, db1, ...
+  [[nodiscard]] static std::string replica_name(int tier, int replica);
+
+  explicit Testbed(TestbedConfig cfg);
+  ~Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  /// Runs the workload for config().duration of virtual time.
+  void run();
+
+  [[nodiscard]] const TestbedConfig& config() const { return cfg_; }
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] int replicas(int tier) const {
+    return static_cast<int>(servers_[static_cast<std::size_t>(tier)].size());
+  }
+  [[nodiscard]] sim::Server& server(int tier, int replica = 0) {
+    return *servers_.at(static_cast<std::size_t>(tier))
+                .at(static_cast<std::size_t>(replica));
+  }
+  [[nodiscard]] sim::Node& node(int tier, int replica = 0) {
+    return *nodes_.at(static_cast<std::size_t>(tier))
+                .at(static_cast<std::size_t>(replica));
+  }
+  [[nodiscard]] const workload::ClientPool& clients() const {
+    return *clients_;
+  }
+  [[nodiscard]] workload::ClientPool& clients() { return *clients_; }
+  [[nodiscard]] const sim::MessageTap& tap() const { return tap_; }
+
+  /// Wire id of a tier replica's node (for the SysViz topology).
+  [[nodiscard]] std::uint16_t tier_wire_id(int tier, int replica = 0) const {
+    return servers_.at(static_cast<std::size_t>(tier))
+        .at(static_cast<std::size_t>(replica))
+        ->wire_id();
+  }
+
+  /// End-of-run statistics for one node.
+  struct NodeStats {
+    std::string name;
+    std::string service;
+    int tier = 0;
+    int replica = 0;
+    sim::Node::Counters counters;
+    std::uint64_t log_bytes = 0;
+    std::uint64_t log_records = 0;
+  };
+  /// Stats for every node, tier-major order. With the default single-node
+  /// deployment, index == tier.
+  [[nodiscard]] std::vector<NodeStats> node_stats() const;
+
+  /// Flushes all log files to the host filesystem (run() does this too).
+  void flush_logs();
+
+ private:
+  void schedule_scenario_a(const ScenarioA& a);
+  void schedule_scenario_b(const ScenarioB& b);
+  void schedule_scenario_c(const ScenarioC& c);
+
+  TestbedConfig cfg_;
+  sim::Simulation sim_;
+  sim::Network net_;
+  sim::MessageTap tap_;
+  std::unique_ptr<sim::Node> client_node_;
+  // Tier-major: xs_[tier][replica].
+  std::vector<std::vector<std::unique_ptr<sim::Node>>> nodes_;
+  std::vector<std::vector<std::unique_ptr<sim::Server>>> servers_;
+  std::vector<std::vector<std::unique_ptr<logging::LoggingFacility>>>
+      facilities_;
+  std::vector<std::unique_ptr<monitors::EventMonitor>> event_monitors_;
+  std::vector<std::unique_ptr<monitors::ResourceMonitor>> resource_monitors_;
+  std::unique_ptr<workload::ClientPool> clients_;
+};
+
+}  // namespace mscope::core

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "sim/request.h"
+#include "util/simtime.h"
+
+namespace mscope::core {
+
+using util::SimTime;
+
+/// One tier visit inside a reconstructed trace (the paper's Fig. 5 data).
+struct TraceSpan {
+  int tier = -1;
+  std::string service;
+  int visit = 0;
+  SimTime ua = -1;  ///< Upstream Arrival
+  SimTime ud = -1;  ///< Upstream Departure
+  std::vector<std::pair<SimTime, SimTime>> calls;  ///< (ds, dr) pairs
+
+  /// Time spent at this tier excluding downstream waits (the paper's
+  /// "contribution of each server to the response time").
+  [[nodiscard]] SimTime exclusive_time() const;
+  [[nodiscard]] SimTime inclusive_time() const {
+    return (ua >= 0 && ud >= 0) ? ud - ua : 0;
+  }
+};
+
+/// A request's full causal path, reconstructed by joining the event tables
+/// on the propagated request ID (paper Section IV-B: "By joining the tracing
+/// records containing the same request ID ... milliScope is able to
+/// reconstruct the execution path explicitly").
+struct Trace {
+  std::uint64_t req_id = 0;
+  std::vector<TraceSpan> spans;  ///< ordered front tier -> back tier, visits
+
+  [[nodiscard]] SimTime response_time() const;
+};
+
+/// Reconstructs traces from mScopeDB event tables.
+class TraceReconstructor {
+ public:
+  /// `event_tables` front-to-back, `services` the matching service names.
+  TraceReconstructor(const db::Database& db,
+                     std::vector<std::string> event_tables,
+                     std::vector<std::string> services);
+
+  /// Reconstructs one request's trace; nullopt if the ID appears nowhere.
+  [[nodiscard]] std::optional<Trace> reconstruct(std::uint64_t req_id) const;
+
+  /// All request IDs present in the front tier's table, completion-ordered.
+  [[nodiscard]] std::vector<std::uint64_t> request_ids() const;
+
+  /// Renders a Fig. 5-style happens-before diagram.
+  [[nodiscard]] static std::string render(const Trace& t);
+
+  /// Validates a reconstructed trace against simulator ground truth;
+  /// returns the number of mismatched timestamps (0 = perfect).
+  [[nodiscard]] static int compare_with_truth(const Trace& t,
+                                              const sim::Request& truth);
+
+ private:
+  const db::Database& db_;
+  std::vector<std::string> event_tables_;
+  std::vector<std::string> services_;
+};
+
+}  // namespace mscope::core

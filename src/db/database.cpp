@@ -1,0 +1,108 @@
+#include "db/database.h"
+
+#include <stdexcept>
+
+namespace mscope::db {
+
+Database::Database() {
+  create_table(kExperimentTable,
+               {{"run_id", DataType::kText},
+                {"description", DataType::kText},
+                {"workload", DataType::kInt},
+                {"duration_usec", DataType::kInt}});
+  create_table(kNodeTable, {{"node", DataType::kText},
+                            {"service", DataType::kText},
+                            {"cores", DataType::kInt}});
+  create_table(kDeploymentTable, {{"node", DataType::kText},
+                                  {"monitor", DataType::kText},
+                                  {"log_file", DataType::kText},
+                                  {"interval_usec", DataType::kInt}});
+  create_table(kLoadCatalogTable, {{"file", DataType::kText},
+                                   {"table_name", DataType::kText},
+                                   {"rows", DataType::kInt},
+                                   {"t_min_usec", DataType::kInt},
+                                   {"t_max_usec", DataType::kInt}});
+}
+
+bool Database::is_static(const std::string& name) {
+  return name == kExperimentTable || name == kNodeTable ||
+         name == kDeploymentTable || name == kLoadCatalogTable;
+}
+
+Table& Database::create_table(const std::string& name, Schema schema) {
+  if (tables_.contains(name))
+    throw std::invalid_argument("Database: table exists: " + name);
+  auto t = std::make_unique<Table>(name, std::move(schema));
+  Table& ref = *t;
+  tables_.emplace(name, std::move(t));
+  return ref;
+}
+
+Table* Database::find(const std::string& name) {
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::find(const std::string& name) const {
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table& Database::get(const std::string& name) {
+  Table* t = find(name);
+  if (t == nullptr)
+    throw std::out_of_range("Database: no such table: " + name);
+  return *t;
+}
+
+const Table& Database::get(const std::string& name) const {
+  const Table* t = find(name);
+  if (t == nullptr)
+    throw std::out_of_range("Database: no such table: " + name);
+  return *t;
+}
+
+bool Database::drop(const std::string& name) {
+  if (is_static(name)) return false;
+  return tables_.erase(name) > 0;
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) names.push_back(name);
+  return names;
+}
+
+void Database::record_experiment(const std::string& run_id,
+                                 const std::string& description,
+                                 std::int64_t workload,
+                                 util::SimTime duration) {
+  get(kExperimentTable)
+      .insert({Value{run_id}, Value{description}, Value{workload},
+               Value{duration}});
+}
+
+void Database::record_node(const std::string& node, const std::string& service,
+                           std::int64_t cores) {
+  get(kNodeTable).insert({Value{node}, Value{service}, Value{cores}});
+}
+
+void Database::record_deployment(const std::string& node,
+                                 const std::string& monitor,
+                                 const std::string& log_file,
+                                 util::SimTime interval_usec) {
+  get(kDeploymentTable)
+      .insert({Value{node}, Value{monitor}, Value{log_file},
+               Value{interval_usec}});
+}
+
+void Database::record_load(const std::string& file, const std::string& table,
+                           std::int64_t rows, util::SimTime t_min,
+                           util::SimTime t_max) {
+  get(kLoadCatalogTable)
+      .insert({Value{file}, Value{table}, Value{rows}, Value{t_min},
+               Value{t_max}});
+}
+
+}  // namespace mscope::db

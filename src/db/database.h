@@ -1,0 +1,81 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "util/simtime.h"
+
+namespace mscope::db {
+
+/// mScopeDB: the dynamic data warehouse (paper Section III-C).
+///
+/// Four *static* tables store load metadata (experiment configuration, node
+/// inventory, monitor deployment, load catalog); *dynamic* tables are
+/// created on the fly by mScope Data Importer — one per (monitor, node)
+/// log file, with the schema inferred upstream by the XMLtoCSV converter.
+class Database {
+ public:
+  /// Names of the four static metadata tables.
+  static constexpr const char* kExperimentTable = "ms_experiment";
+  static constexpr const char* kNodeTable = "ms_node";
+  static constexpr const char* kDeploymentTable = "ms_monitor_deployment";
+  static constexpr const char* kLoadCatalogTable = "ms_load_catalog";
+
+  Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a dynamic table; throws std::invalid_argument if it exists.
+  Table& create_table(const std::string& name, Schema schema);
+
+  /// Looks up a table (static or dynamic); nullptr if absent.
+  [[nodiscard]] Table* find(const std::string& name);
+  [[nodiscard]] const Table* find(const std::string& name) const;
+
+  /// Like find(), but throws std::out_of_range with a helpful message.
+  [[nodiscard]] Table& get(const std::string& name);
+  [[nodiscard]] const Table& get(const std::string& name) const;
+
+  [[nodiscard]] bool exists(const std::string& name) const {
+    return find(name) != nullptr;
+  }
+
+  /// Drops a dynamic table; static tables cannot be dropped.
+  bool drop(const std::string& name);
+
+  /// All table names in sorted order.
+  [[nodiscard]] std::vector<std::string> table_names() const;
+
+  // --- static-table convenience writers -----------------------------------
+
+  /// Records an experiment in ms_experiment.
+  void record_experiment(const std::string& run_id,
+                         const std::string& description, std::int64_t workload,
+                         util::SimTime duration);
+
+  /// Records a node in ms_node.
+  void record_node(const std::string& node, const std::string& service,
+                   std::int64_t cores);
+
+  /// Records a monitor deployment in ms_monitor_deployment.
+  void record_deployment(const std::string& node, const std::string& monitor,
+                         const std::string& log_file,
+                         util::SimTime interval_usec);
+
+  /// Records a completed load in ms_load_catalog (file -> table mapping,
+  /// row count, covered time range).
+  void record_load(const std::string& file, const std::string& table,
+                   std::int64_t rows, util::SimTime t_min,
+                   util::SimTime t_max);
+
+ private:
+  [[nodiscard]] static bool is_static(const std::string& name);
+
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace mscope::db

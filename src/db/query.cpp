@@ -1,0 +1,246 @@
+#include "db/query.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mscope::db {
+
+Query::Query(const Table& table) : table_(table) {}
+
+std::size_t Query::col_or_throw(const std::string& name) const {
+  const auto idx = table_.column_index(name);
+  if (!idx)
+    throw std::out_of_range("Query: table '" + table_.name() +
+                            "' has no column '" + name + "'");
+  return *idx;
+}
+
+Query& Query::where(std::string column, std::function<bool(const Value&)> pred) {
+  filters_.push_back({col_or_throw(column), std::move(pred)});
+  return *this;
+}
+
+Query& Query::where_eq(std::string column, Value v) {
+  return where(std::move(column),
+               [v = std::move(v)](const Value& x) { return compare(x, v) == 0; });
+}
+
+Query& Query::time_range(std::string column, util::SimTime lo,
+                         util::SimTime hi) {
+  return where(std::move(column), [lo, hi](const Value& x) {
+    const auto t = as_int(x);
+    return t && *t >= lo && *t < hi;
+  });
+}
+
+Query& Query::project(std::vector<std::string> columns) {
+  projection_ = std::move(columns);
+  return *this;
+}
+
+Query& Query::order_by(std::string column, bool ascending) {
+  order_col_ = std::move(column);
+  order_asc_ = ascending;
+  has_order_ = true;
+  return *this;
+}
+
+Query& Query::limit(std::size_t n) {
+  limit_ = n;
+  has_limit_ = true;
+  return *this;
+}
+
+std::vector<std::size_t> Query::matching_rows() const {
+  std::vector<std::size_t> out;
+  for (std::size_t r = 0; r < table_.row_count(); ++r) {
+    bool ok = true;
+    for (const auto& f : filters_) {
+      if (!f.pred(table_.at(r, f.col))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(r);
+  }
+  if (has_order_) {
+    const std::size_t c = col_or_throw(order_col_);
+    std::stable_sort(out.begin(), out.end(),
+                     [this, c](std::size_t a, std::size_t b) {
+                       const int cmp = compare(table_.at(a, c), table_.at(b, c));
+                       return order_asc_ ? cmp < 0 : cmp > 0;
+                     });
+  }
+  if (has_limit_ && out.size() > limit_) out.resize(limit_);
+  return out;
+}
+
+Table Query::run(const std::string& result_name) const {
+  std::vector<std::size_t> cols;
+  Schema schema;
+  if (projection_.empty()) {
+    schema = table_.schema();
+    cols.resize(schema.size());
+    for (std::size_t i = 0; i < cols.size(); ++i) cols[i] = i;
+  } else {
+    for (const auto& name : projection_) {
+      const std::size_t c = col_or_throw(name);
+      cols.push_back(c);
+      schema.push_back(table_.schema()[c]);
+    }
+  }
+  Table result(result_name, std::move(schema));
+  for (const std::size_t r : matching_rows()) {
+    Table::Row row;
+    row.reserve(cols.size());
+    for (const std::size_t c : cols) row.push_back(table_.at(r, c));
+    result.insert(std::move(row));
+  }
+  return result;
+}
+
+std::size_t Query::count() const { return matching_rows().size(); }
+
+util::Series Query::series(const std::string& time_column,
+                           const std::string& value_column) const {
+  const std::size_t tc = col_or_throw(time_column);
+  const std::size_t vc = col_or_throw(value_column);
+  util::Series out;
+  for (const std::size_t r : matching_rows()) {
+    const auto t = as_int(table_.at(r, tc));
+    const auto v = as_double(table_.at(r, vc));
+    if (t && v) out.push_back({*t, *v});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) { return a.time < b.time; });
+  return out;
+}
+
+Table Query::group_by_bucket(const std::string& time_column,
+                             util::SimTime bucket,
+                             const std::vector<Agg>& aggs) const {
+  if (bucket <= 0) throw std::invalid_argument("group_by_bucket: bucket <= 0");
+  const std::size_t tc = col_or_throw(time_column);
+
+  Schema schema{{"bucket_usec", DataType::kInt}};
+  std::vector<std::size_t> agg_cols;
+  for (const auto& a : aggs) {
+    std::string prefix;
+    switch (a.kind) {
+      case AggKind::kMean: prefix = "mean_"; break;
+      case AggKind::kMax: prefix = "max_"; break;
+      case AggKind::kMin: prefix = "min_"; break;
+      case AggKind::kSum: prefix = "sum_"; break;
+      case AggKind::kCount: prefix = "count"; break;
+    }
+    if (a.kind == AggKind::kCount) {
+      schema.push_back({prefix, DataType::kInt});
+      agg_cols.push_back(0);  // unused
+    } else {
+      schema.push_back({prefix + a.column, DataType::kDouble});
+      agg_cols.push_back(col_or_throw(a.column));
+    }
+  }
+
+  std::map<util::SimTime, std::vector<util::RunningStats>> groups;
+  for (const std::size_t r : matching_rows()) {
+    const auto t = as_int(table_.at(r, tc));
+    if (!t) continue;
+    const util::SimTime key = *t / bucket;
+    auto& stats = groups[key];
+    if (stats.empty()) stats.resize(aggs.size());
+    for (std::size_t i = 0; i < aggs.size(); ++i) {
+      if (aggs[i].kind == AggKind::kCount) {
+        stats[i].add(1.0);
+      } else {
+        const auto v = as_double(table_.at(r, agg_cols[i]));
+        if (v) stats[i].add(*v);
+      }
+    }
+  }
+
+  Table result("bucketed_" + table_.name(), std::move(schema));
+  for (const auto& [key, stats] : groups) {
+    Table::Row row;
+    row.push_back(Value{key * bucket});
+    for (std::size_t i = 0; i < aggs.size(); ++i) {
+      switch (aggs[i].kind) {
+        case AggKind::kMean: row.push_back(Value{stats[i].mean()}); break;
+        case AggKind::kMax: row.push_back(Value{stats[i].max()}); break;
+        case AggKind::kMin: row.push_back(Value{stats[i].min()}); break;
+        case AggKind::kSum: row.push_back(Value{stats[i].sum()}); break;
+        case AggKind::kCount:
+          row.push_back(Value{static_cast<std::int64_t>(stats[i].count())});
+          break;
+      }
+    }
+    result.insert(std::move(row));
+  }
+  return result;
+}
+
+double Query::aggregate(AggKind kind, const std::string& column) const {
+  util::RunningStats stats;
+  const std::size_t c =
+      kind == AggKind::kCount ? 0 : col_or_throw(column);
+  for (const std::size_t r : matching_rows()) {
+    if (kind == AggKind::kCount) {
+      stats.add(1.0);
+    } else {
+      const auto v = as_double(table_.at(r, c));
+      if (v) stats.add(*v);
+    }
+  }
+  switch (kind) {
+    case AggKind::kMean: return stats.mean();
+    case AggKind::kMax: return stats.max();
+    case AggKind::kMin: return stats.min();
+    case AggKind::kSum: return stats.sum();
+    case AggKind::kCount: return static_cast<double>(stats.count());
+  }
+  return 0.0;
+}
+
+Table Query::inner_join(const Table& a, const std::string& a_col,
+                        const Table& b, const std::string& b_col,
+                        const std::string& result_name) {
+  const auto ai = a.column_index(a_col);
+  const auto bi = b.column_index(b_col);
+  if (!ai || !bi)
+    throw std::out_of_range("inner_join: join column missing");
+
+  Schema schema;
+  for (const auto& c : a.schema())
+    schema.push_back({a.name() + "." + c.name, c.type});
+  for (const auto& c : b.schema())
+    schema.push_back({b.name() + "." + c.name, c.type});
+  Table result(result_name, std::move(schema));
+
+  // Hash the smaller side by the string rendering of the key (keys are
+  // request ids / node names; rendering unifies Int/Double forms).
+  std::unordered_multimap<std::string, std::size_t> index;
+  index.reserve(b.row_count());
+  for (std::size_t r = 0; r < b.row_count(); ++r) {
+    const Value& key = b.at(r, *bi);
+    if (is_null(key)) continue;
+    index.emplace(value_to_string(key), r);
+  }
+  for (std::size_t r = 0; r < a.row_count(); ++r) {
+    const Value& key = a.at(r, *ai);
+    if (is_null(key)) continue;
+    const auto [lo, hi] = index.equal_range(value_to_string(key));
+    for (auto it = lo; it != hi; ++it) {
+      Table::Row row;
+      row.reserve(a.column_count() + b.column_count());
+      for (const auto& v : a.row(r)) row.push_back(v);
+      for (const auto& v : b.row(it->second)) row.push_back(v);
+      result.insert(std::move(row));
+    }
+  }
+  return result;
+}
+
+}  // namespace mscope::db

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "util/simtime.h"
+#include "util/stats.h"
+
+namespace mscope::db {
+
+/// Fluent query over one table — the "uniform interface" researchers use to
+/// interrogate mScopeDB (paper Section III-C: e.g. "was there any disk
+/// activity on any node while the Point-In-Time response time fluctuated?").
+///
+/// Evaluation is eager and row-at-a-time; the warehouse holds minutes of
+/// millisecond-granularity monitoring data, so simplicity beats cleverness.
+class Query {
+ public:
+  explicit Query(const Table& table);
+
+  /// Arbitrary predicate on a named column.
+  Query& where(std::string column, std::function<bool(const Value&)> pred);
+
+  /// Equality shorthand.
+  Query& where_eq(std::string column, Value v);
+
+  /// Keep rows whose integer/double `column` lies in [lo, hi).
+  Query& time_range(std::string column, util::SimTime lo, util::SimTime hi);
+
+  /// Project to the given columns (in order). Empty = all.
+  Query& project(std::vector<std::string> columns);
+
+  /// Sort ascending/descending by a column (applied after filtering).
+  Query& order_by(std::string column, bool ascending = true);
+
+  /// Limit the number of result rows.
+  Query& limit(std::size_t n);
+
+  /// Materializes the result.
+  [[nodiscard]] Table run(const std::string& result_name = "result") const;
+
+  /// Number of rows matching the filters (ignores projection).
+  [[nodiscard]] std::size_t count() const;
+
+  /// Extracts a (time, value) series from two numeric columns of the
+  /// filtered rows — the bread-and-butter call of every analysis.
+  [[nodiscard]] util::Series series(const std::string& time_column,
+                                    const std::string& value_column) const;
+
+  // --- aggregation ---------------------------------------------------------
+
+  enum class AggKind { kMean, kMax, kMin, kSum, kCount };
+
+  struct Agg {
+    AggKind kind = AggKind::kMean;
+    std::string column;  ///< ignored for kCount
+  };
+
+  /// Groups filtered rows into time buckets of width `bucket` over
+  /// `time_column` and computes the aggregates; result columns are
+  /// "bucket_usec" followed by one column per aggregate
+  /// ("mean_x", "max_x", ..., "count").
+  [[nodiscard]] Table group_by_bucket(const std::string& time_column,
+                                      util::SimTime bucket,
+                                      const std::vector<Agg>& aggs) const;
+
+  /// Single-value aggregate over the filtered rows.
+  [[nodiscard]] double aggregate(AggKind kind, const std::string& column) const;
+
+  // --- joins ---------------------------------------------------------------
+
+  /// Hash inner-join of two tables on one column each. Result columns are
+  /// "<a_name>.<col>" and "<b_name>.<col>" for every input column.
+  [[nodiscard]] static Table inner_join(const Table& a, const std::string& a_col,
+                                        const Table& b, const std::string& b_col,
+                                        const std::string& result_name = "join");
+
+ private:
+  [[nodiscard]] std::vector<std::size_t> matching_rows() const;
+  [[nodiscard]] std::size_t col_or_throw(const std::string& name) const;
+
+  const Table& table_;
+  struct Filter {
+    std::size_t col;
+    std::function<bool(const Value&)> pred;
+  };
+  std::vector<Filter> filters_;
+  std::vector<std::string> projection_;
+  std::string order_col_;
+  bool order_asc_ = true;
+  bool has_order_ = false;
+  std::size_t limit_ = 0;
+  bool has_limit_ = false;
+};
+
+}  // namespace mscope::db

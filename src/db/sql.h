@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "db/database.h"
+#include "db/table.h"
+
+namespace mscope::db {
+
+/// A small SQL dialect over mScopeDB — the textual face of the "uniform
+/// interface" the paper gives researchers for interrogating the warehouse.
+///
+/// Supported grammar (keywords case-insensitive):
+///
+///   SELECT select_list FROM table
+///     [WHERE predicate [AND predicate]...]
+///     [ORDER BY column [ASC|DESC]]
+///     [LIMIT n]
+///
+///   select_list := '*' | column [, column]...
+///                | aggregate [, aggregate]...
+///   aggregate   := COUNT(*) | COUNT(col) | MIN(col) | MAX(col)
+///                | AVG(col) | SUM(col)
+///   predicate   := column op literal
+///   op          := = | != | <> | < | <= | > | >= | LIKE
+///   literal     := number | 'string' ('' escapes a quote) | NULL
+///
+/// LIKE uses SQL wildcards (% = any run, _ = one char). Comparisons against
+/// NULL match only NULL cells with `=` / `!=`.
+class Sql {
+ public:
+  /// Parses and executes; returns the result table. Throws
+  /// std::invalid_argument with a position-annotated message on syntax
+  /// errors, std::out_of_range for unknown tables/columns.
+  [[nodiscard]] static Table execute(const Database& db,
+                                     std::string_view query);
+
+  /// Renders a result table as aligned text (for CLIs and examples).
+  [[nodiscard]] static std::string format(const Table& table,
+                                          std::size_t max_rows = 50);
+
+  /// True if `text` matches the SQL LIKE `pattern` (exposed for tests).
+  [[nodiscard]] static bool like(std::string_view text,
+                                 std::string_view pattern);
+};
+
+}  // namespace mscope::db

@@ -1,0 +1,60 @@
+#include "db/table.h"
+
+#include <stdexcept>
+
+namespace mscope::db {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  if (schema_.empty())
+    throw std::invalid_argument("Table '" + name_ + "': empty schema");
+  for (std::size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i].name.empty())
+      throw std::invalid_argument("Table '" + name_ + "': unnamed column");
+    for (std::size_t j = i + 1; j < schema_.size(); ++j) {
+      if (schema_[i].name == schema_[j].name)
+        throw std::invalid_argument("Table '" + name_ +
+                                    "': duplicate column " + schema_[i].name);
+    }
+  }
+}
+
+std::optional<std::size_t> Table::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+void Table::insert(Row row) {
+  if (row.size() != schema_.size()) {
+    throw std::invalid_argument("Table '" + name_ + "': arity mismatch (" +
+                                std::to_string(row.size()) + " vs " +
+                                std::to_string(schema_.size()) + ")");
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const DataType cell = type_of(row[i]);
+    if (cell == DataType::kNull) continue;
+    const DataType col = schema_[i].type;
+    if (cell == col) continue;
+    if (cell == DataType::kInt && col == DataType::kDouble) {
+      row[i] = Value{static_cast<double>(std::get<std::int64_t>(row[i]))};
+      continue;
+    }
+    throw std::invalid_argument("Table '" + name_ + "': type mismatch in " +
+                                schema_[i].name + " (cell " +
+                                std::string(to_string(cell)) + ", column " +
+                                std::string(to_string(col)) + ")");
+  }
+  rows_.push_back(std::move(row));
+}
+
+const Value& Table::at(std::size_t row, std::string_view col) const {
+  const auto idx = column_index(col);
+  if (!idx)
+    throw std::out_of_range("Table '" + name_ + "': no column " +
+                            std::string(col));
+  return rows_.at(row).at(*idx);
+}
+
+}  // namespace mscope::db

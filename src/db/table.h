@@ -1,0 +1,66 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/value.h"
+
+namespace mscope::db {
+
+/// A column definition: name + datatype.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kText;
+
+  friend bool operator==(const ColumnDef&, const ColumnDef&) = default;
+};
+
+using Schema = std::vector<ColumnDef>;
+
+/// A relational table in mScopeDB. Row-major storage; schemas are created
+/// dynamically by the Data Importer from inferred CSV schemas, so inserts
+/// validate arity and type (a cell must be NULL or match — or be narrower
+/// than — its column's declared type).
+class Table {
+ public:
+  using Row = std::vector<Value>;
+
+  Table(std::string name, Schema schema);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Schema& schema() const { return schema_; }
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return schema_.size(); }
+
+  /// Index of a column by name.
+  [[nodiscard]] std::optional<std::size_t> column_index(
+      std::string_view name) const;
+
+  /// Inserts a row; throws std::invalid_argument on arity or type mismatch.
+  /// Int cells are silently accepted into Double columns (widening).
+  void insert(Row row);
+
+  [[nodiscard]] const Row& row(std::size_t i) const { return rows_.at(i); }
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+
+  /// Cell accessor (bounds-checked).
+  [[nodiscard]] const Value& at(std::size_t row, std::size_t col) const {
+    return rows_.at(row).at(col);
+  }
+
+  /// Cell accessor by column name; throws if the column does not exist.
+  [[nodiscard]] const Value& at(std::size_t row, std::string_view col) const;
+
+  void clear() { rows_.clear(); }
+
+  void reserve(std::size_t n) { rows_.reserve(n); }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace mscope::db

@@ -1,0 +1,114 @@
+#include "db/value.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace mscope::db {
+
+std::string_view to_string(DataType t) {
+  switch (t) {
+    case DataType::kNull: return "null";
+    case DataType::kInt: return "int";
+    case DataType::kDouble: return "double";
+    case DataType::kText: return "text";
+  }
+  return "?";
+}
+
+DataType type_of(const Value& v) {
+  return static_cast<DataType>(v.index());
+}
+
+bool is_null(const Value& v) { return v.index() == 0; }
+
+std::string value_to_string(const Value& v) {
+  switch (v.index()) {
+    case 0: return "";
+    case 1: return std::to_string(std::get<std::int64_t>(v));
+    case 2: {
+      // Shortest representation that round-trips.
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", std::get<double>(v));
+      double back = 0;
+      std::sscanf(buf, "%lf", &back);
+      for (int prec = 6; prec < 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, std::get<double>(v));
+        std::sscanf(buf, "%lf", &back);
+        if (back == std::get<double>(v)) break;
+      }
+      return buf;
+    }
+    default: return std::get<std::string>(v);
+  }
+}
+
+DataType widen(DataType a, DataType b) {
+  return static_cast<DataType>(
+      std::max(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)));
+}
+
+DataType infer_type(std::string_view s) {
+  s = util::trim(s);
+  if (s.empty()) return DataType::kNull;
+  if (util::parse_int(s)) return DataType::kInt;
+  if (util::parse_double(s)) return DataType::kDouble;
+  return DataType::kText;
+}
+
+std::optional<Value> parse_as(std::string_view s, DataType t) {
+  s = util::trim(s);
+  if (t == DataType::kNull || s.empty()) return Value{std::monostate{}};
+  switch (t) {
+    case DataType::kInt: {
+      const auto v = util::parse_int(s);
+      if (!v) return std::nullopt;
+      return Value{*v};
+    }
+    case DataType::kDouble: {
+      const auto v = util::parse_double(s);
+      if (!v) return std::nullopt;
+      return Value{*v};
+    }
+    case DataType::kText:
+      return Value{std::string(s)};
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<double> as_double(const Value& v) {
+  switch (v.index()) {
+    case 1: return static_cast<double>(std::get<std::int64_t>(v));
+    case 2: return std::get<double>(v);
+    default: return std::nullopt;
+  }
+}
+
+std::optional<std::int64_t> as_int(const Value& v) {
+  switch (v.index()) {
+    case 1: return std::get<std::int64_t>(v);
+    case 2: return static_cast<std::int64_t>(std::llround(std::get<double>(v)));
+    default: return std::nullopt;
+  }
+}
+
+int compare(const Value& a, const Value& b) {
+  const bool na = is_null(a);
+  const bool nb = is_null(b);
+  if (na || nb) return static_cast<int>(nb) - static_cast<int>(na);
+  const auto da = as_double(a);
+  const auto db_ = as_double(b);
+  if (da && db_) {
+    if (*da < *db_) return -1;
+    if (*da > *db_) return 1;
+    return 0;
+  }
+  if (da && !db_) return -1;  // numbers before text
+  if (!da && db_) return 1;
+  const auto& sa = std::get<std::string>(a);
+  const auto& sb = std::get<std::string>(b);
+  return sa.compare(sb) < 0 ? -1 : (sa == sb ? 0 : 1);
+}
+
+}  // namespace mscope::db

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace mscope::db {
+
+/// Column datatypes, ordered from narrowest to widest. mScopeDataTransformer
+/// picks "the narrowest data type that can store all of the values for the
+/// same XML tag" (paper Section III-B.3); `widen` below implements exactly
+/// that lattice: Int < Double < Text, with Null below everything.
+enum class DataType : std::uint8_t { kNull = 0, kInt, kDouble, kText };
+
+[[nodiscard]] std::string_view to_string(DataType t);
+
+/// A single cell. monostate = SQL NULL.
+using Value = std::variant<std::monostate, std::int64_t, double, std::string>;
+
+[[nodiscard]] DataType type_of(const Value& v);
+
+[[nodiscard]] bool is_null(const Value& v);
+
+/// Renders a value for CSV/debug output (NULL -> empty string).
+[[nodiscard]] std::string value_to_string(const Value& v);
+
+/// Least upper bound in the type lattice.
+[[nodiscard]] DataType widen(DataType a, DataType b);
+
+/// Narrowest type that can represent the literal `s` (empty -> Null,
+/// "42" -> Int, "4.2" -> Double, anything else -> Text).
+[[nodiscard]] DataType infer_type(std::string_view s);
+
+/// Parses `s` as the given type; Null type or empty string yields NULL.
+/// Returns nullopt only if `s` cannot be represented as `t` (caller should
+/// have widened first).
+[[nodiscard]] std::optional<Value> parse_as(std::string_view s, DataType t);
+
+/// Numeric view of a value for aggregation (Int/Double only).
+[[nodiscard]] std::optional<double> as_double(const Value& v);
+[[nodiscard]] std::optional<std::int64_t> as_int(const Value& v);
+
+/// Total order used by ORDER BY and joins: NULL < numbers < text; numbers
+/// compare numerically across Int/Double.
+[[nodiscard]] int compare(const Value& a, const Value& b);
+
+}  // namespace mscope::db

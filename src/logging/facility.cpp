@@ -1,0 +1,45 @@
+#include "logging/facility.h"
+
+namespace mscope::logging {
+
+LoggingFacility::LoggingFacility(sim::Simulation& sim, sim::Node& node,
+                                 Config cfg)
+    : sim_(sim), node_(node), cfg_(std::move(cfg)) {}
+
+LogFile& LoggingFacility::open(const std::string& name) {
+  auto it = files_.find(name);
+  if (it != files_.end()) return *it->second;
+  auto file = std::make_unique<LogFile>(cfg_.dir / name);
+  LogFile& ref = *file;
+  files_.emplace(name, std::move(file));
+  return ref;
+}
+
+void LoggingFacility::charge(std::size_t bytes, SimTime cpu_cost) {
+  bytes_ += bytes;
+  ++records_;
+  if (!cfg_.model_costs) return;
+  if (cpu_cost > 0) {
+    node_.cpu().submit(cpu_cost, sim::CpuCategory::kSystem,
+                       sim::CpuPriority::kNormal, nullptr);
+  }
+  node_.page_cache().dirty(static_cast<std::int64_t>(bytes));
+}
+
+void LoggingFacility::write(LogFile& file, std::string_view line,
+                            SimTime cpu_cost) {
+  file.write_line(line);
+  charge(line.size() + 1, cpu_cost);
+}
+
+void LoggingFacility::write_block(LogFile& file, std::string_view text,
+                                  SimTime cpu_cost) {
+  file.write_raw(text);
+  charge(text.size(), cpu_cost);
+}
+
+void LoggingFacility::flush_all() {
+  for (auto& [name, file] : files_) file->flush();
+}
+
+}  // namespace mscope::logging

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "logging/log_file.h"
+#include "sim/node.h"
+#include "sim/simulation.h"
+
+namespace mscope::logging {
+
+using util::SimTime;
+
+/// The component server's native logging infrastructure on one node.
+///
+/// The paper's key overhead trick (Section IV-C) is that event monitors do
+/// NOT open their own I/O paths — they ride the host's existing logging
+/// facility. We model that faithfully: every write through the facility
+///   1. appends the real line to a host file (for the transformer),
+///   2. charges the modeled CPU cost of the logging call (formatting, buffer
+///      copy, syscall) to the node as *system* time,
+///   3. dirties the page cache by the line size — buffered log writes reach
+///      the disk later via background writeback, which is where the IOWait
+///      penalty of Fig. 10 comes from.
+///
+/// `model_costs = false` produces the files with zero simulated cost (used
+/// by tests that only exercise the data pipeline).
+class LoggingFacility {
+ public:
+  struct Config {
+    std::filesystem::path dir;  ///< node-local log directory
+    bool model_costs = true;
+  };
+
+  LoggingFacility(sim::Simulation& sim, sim::Node& node, Config cfg);
+
+  /// Opens (or returns the already-open) log file `name` in this node's
+  /// directory.
+  LogFile& open(const std::string& name);
+
+  /// Writes one record and charges `cpu_cost` to the node.
+  void write(LogFile& file, std::string_view line, SimTime cpu_cost);
+
+  /// Writes a multi-line block (no newline appended) with one cost charge.
+  void write_block(LogFile& file, std::string_view text, SimTime cpu_cost);
+
+  /// Total bytes written through this facility (all files).
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_; }
+  [[nodiscard]] std::uint64_t records() const { return records_; }
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return cfg_.dir; }
+  [[nodiscard]] sim::Node& node() { return node_; }
+
+  /// Flushes all open files to the host filesystem.
+  void flush_all();
+
+ private:
+  void charge(std::size_t bytes, SimTime cpu_cost);
+
+  sim::Simulation& sim_;
+  sim::Node& node_;
+  Config cfg_;
+  std::unordered_map<std::string, std::unique_ptr<LogFile>> files_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace mscope::logging

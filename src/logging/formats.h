@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/simtime.h"
+
+namespace mscope::logging::formats {
+
+using util::SimTime;
+
+// ---------------------------------------------------------------------------
+// Event-monitor log lines (Section IV / Appendix A of the paper).
+// Each tier's server has its own native format; the mScope code
+// specialization appends the four timestamps and the request ID to it.
+// Timestamps are absolute microseconds since the experiment epoch (the raw
+// form shown in the paper's Fig. 5).
+// ---------------------------------------------------------------------------
+
+/// Apache access log, combined format + %D, with the mScope extension
+/// fields. `instrumented == false` reproduces the unmodified server's line
+/// (no request ID in the URL, no ds/dr fields).
+struct ApacheRecord {
+  SimTime ua = 0;  ///< Upstream Arrival
+  SimTime ud = 0;  ///< Upstream Departure
+  SimTime ds = 0;  ///< Downstream Sending (ModJK -> Tomcat)
+  SimTime dr = 0;  ///< Downstream Receiving
+  std::uint64_t id = 0;
+  std::string url;  ///< e.g. "/rubbos/ViewStory"
+  int status = 200;
+  std::uint64_t bytes = 0;
+  bool instrumented = true;
+};
+[[nodiscard]] std::string apache_access(const ApacheRecord& r);
+
+/// Tomcat mScopeMonitor line — written by the monitor's extra thread, one
+/// line per request with a *variable-width* tail: one (dsN, drN) pair per
+/// downstream JDBC call (this variable width is why the paper's Tomcat
+/// monitor costs ~3% instead of ~1%).
+struct TomcatRecord {
+  SimTime ua = 0;
+  SimTime ud = 0;
+  std::uint64_t id = 0;
+  std::string servlet;
+  std::vector<std::pair<SimTime, SimTime>> calls;  ///< (ds, dr) per query
+};
+[[nodiscard]] std::string tomcat_monitor(const TomcatRecord& r);
+/// Unmodified Tomcat access-log line (baseline overhead comparison).
+[[nodiscard]] std::string tomcat_baseline(const TomcatRecord& r);
+
+/// CJDBC controller log line, one per routed query (= one visit).
+struct CjdbcRecord {
+  SimTime ua = 0;
+  SimTime ud = 0;
+  SimTime ds = 0;  ///< send to MySQL backend
+  SimTime dr = 0;
+  std::uint64_t id = 0;
+  int visit = 0;  ///< which query of the request
+  std::string sql;
+  bool instrumented = true;
+};
+[[nodiscard]] std::string cjdbc_log(const CjdbcRecord& r);
+
+/// MySQL general-query-log style line; the request ID arrives as a SQL
+/// comment (paper Appendix A), and the monitor appends the visit's
+/// end timestamp.
+struct MysqlRecord {
+  SimTime ua = 0;
+  SimTime ud = 0;
+  std::uint64_t id = 0;
+  int thread_id = 0;
+  int visit = 0;
+  std::string sql;
+  bool instrumented = true;
+};
+[[nodiscard]] std::string mysql_general(const MysqlRecord& r);
+
+// ---------------------------------------------------------------------------
+// Resource-monitor formats (SAR / IOstat / Collectl, Section III-A).
+// Deliberately heterogeneous — exercising mScopeDataTransformer's multi-stage
+// parsing is part of the reproduction.
+// ---------------------------------------------------------------------------
+
+struct CpuRow {
+  SimTime t = 0;
+  double user = 0, system = 0, iowait = 0, idle = 0;
+};
+
+struct DiskRow {
+  SimTime t = 0;
+  double tps = 0;
+  double read_kbs = 0, write_kbs = 0;
+  double util = 0;  ///< percent
+  int queue = 0;
+};
+
+struct MemRow {
+  SimTime t = 0;
+  std::int64_t dirty_kb = 0;
+  std::int64_t cached_kb = 0;
+};
+
+/// Classic `sar` text: banner + column header + one row per sample.
+[[nodiscard]] std::string sar_text_banner(std::string_view node, int cores);
+[[nodiscard]] std::string sar_text_cpu_header(SimTime t);
+[[nodiscard]] std::string sar_text_cpu_row(const CpuRow& r);
+
+/// `sadf -x`-style XML (the paper's upgraded SAR path that obviated the
+/// custom parser).
+[[nodiscard]] std::string sar_xml_open(std::string_view node, int cores);
+[[nodiscard]] std::string sar_xml_cpu_timestamp(const CpuRow& r);
+[[nodiscard]] std::string sar_xml_close();
+
+/// `iostat -dxk`-style repeating block: timestamp line, device header,
+/// device row, blank line.
+[[nodiscard]] std::string iostat_banner(std::string_view node, int cores);
+[[nodiscard]] std::string iostat_block(std::string_view device,
+                                       const DiskRow& r);
+
+/// Collectl in CSV ("-P") mode; one subsystem mix per file. Header first,
+/// then rows.
+[[nodiscard]] std::string collectl_csv_header();
+[[nodiscard]] std::string collectl_csv_row(const CpuRow& c, const DiskRow& d,
+                                           const MemRow& m);
+
+/// Collectl plain ("brief") mode, for variety: '#' headers + fixed columns.
+[[nodiscard]] std::string collectl_plain_header();
+[[nodiscard]] std::string collectl_plain_row(const CpuRow& c,
+                                             const DiskRow& d);
+
+}  // namespace mscope::logging::formats

@@ -1,0 +1,34 @@
+#include "logging/log_file.h"
+
+#include <stdexcept>
+
+namespace mscope::logging {
+
+LogFile::LogFile(std::filesystem::path path) : path_(std::move(path)) {
+  std::filesystem::create_directories(path_.parent_path());
+  out_.open(path_, std::ios::out | std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("LogFile: cannot open " + path_.string());
+  }
+}
+
+LogFile::~LogFile() { flush(); }
+
+void LogFile::write_line(std::string_view line) {
+  out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  out_.put('\n');
+  bytes_ += line.size() + 1;
+  ++records_;
+}
+
+void LogFile::write_raw(std::string_view text) {
+  out_.write(text.data(), static_cast<std::streamsize>(text.size()));
+  bytes_ += text.size();
+  ++records_;
+}
+
+void LogFile::flush() {
+  if (out_.is_open()) out_.flush();
+}
+
+}  // namespace mscope::logging

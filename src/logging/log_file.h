@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+namespace mscope::logging {
+
+/// An append-only log file on the host filesystem.
+///
+/// This is the *real* artifact the rest of milliScope consumes: the event and
+/// resource monitors write genuinely heterogeneous text/XML/CSV into these
+/// files, and mScopeDataTransformer later parses them back. Host-side I/O is
+/// buffered; the simulated cost of writing is modeled separately by the
+/// LoggingFacility.
+class LogFile {
+ public:
+  explicit LogFile(std::filesystem::path path);
+  ~LogFile();
+
+  LogFile(const LogFile&) = delete;
+  LogFile& operator=(const LogFile&) = delete;
+
+  /// Appends `line` plus a newline.
+  void write_line(std::string_view line);
+
+  /// Appends raw text without adding a newline (multi-line blocks).
+  void write_raw(std::string_view text);
+
+  /// Flushes host buffers (done automatically on destruction).
+  void flush();
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_; }
+  [[nodiscard]] std::uint64_t records() const { return records_; }
+
+ private:
+  std::filesystem::path path_;
+  std::ofstream out_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace mscope::logging

@@ -1,0 +1,128 @@
+#include "monitors/event_monitor.h"
+
+#include <stdexcept>
+
+#include "logging/formats.h"
+
+namespace mscope::monitors {
+
+namespace fmt = logging::formats;
+
+EventMonitor::EventMonitor(logging::LoggingFacility& facility, Config cfg,
+                           InteractionCatalog catalog)
+    : facility_(facility), cfg_(cfg), catalog_(std::move(catalog)) {
+  file_ = &facility_.open(log_name(cfg_.kind));
+}
+
+std::string EventMonitor::log_name(TierKind kind) {
+  switch (kind) {
+    case TierKind::kApache: return "apache_access.log";
+    case TierKind::kTomcat: return "tomcat_mscope.log";
+    case TierKind::kCjdbc: return "cjdbc_controller.log";
+    case TierKind::kMysql: return "mysql_general.log";
+  }
+  throw std::logic_error("EventMonitor::log_name: bad kind");
+}
+
+EventMonitor::Config EventMonitor::default_config(TierKind kind,
+                                                  bool instrumented) {
+  Config c;
+  c.kind = kind;
+  c.instrumented = instrumented;
+  switch (kind) {
+    case TierKind::kApache:
+      c.cpu_per_record = 50;  // ~1% CPU at workload 8000 (paper Fig. 10)
+      c.baseline_cpu_per_record = 12;
+      break;
+    case TierKind::kTomcat:
+      // The extra logging thread and variable-width downstream records make
+      // Tomcat the costly monitor (~3%, paper Section VI-B).
+      c.cpu_per_record = 110;
+      c.baseline_cpu_per_record = 12;
+      break;
+    case TierKind::kCjdbc:
+      c.cpu_per_record = 18;  // ~1%, but charged once per routed query
+      c.baseline_cpu_per_record = 8;
+      break;
+    case TierKind::kMysql:
+      c.cpu_per_record = 16;  // general log line per query
+      c.baseline_cpu_per_record = 0;  // general log off when unmodified
+      break;
+  }
+  return c;
+}
+
+SimTime EventMonitor::on_upstream_departure(const sim::Server& server,
+                                            const sim::Request& req,
+                                            int visit) {
+  const auto& rec =
+      req.records[static_cast<std::size_t>(server.config().tier)];
+  const sim::Visit& v = rec.visits[static_cast<std::size_t>(visit)];
+  const InteractionInfo& info = catalog_(req.interaction);
+  const SimTime cost =
+      cfg_.instrumented ? cfg_.cpu_per_record : cfg_.baseline_cpu_per_record;
+
+  switch (cfg_.kind) {
+    case TierKind::kApache: {
+      fmt::ApacheRecord r;
+      r.ua = v.upstream_arrival;
+      r.ud = v.upstream_departure;
+      if (!v.downstream.empty()) {
+        r.ds = v.downstream.front().first;
+        r.dr = v.downstream.back().second;
+      }
+      r.id = req.id;
+      r.url = info.url;
+      r.bytes = 7000 + (req.id % 1024);
+      r.instrumented = cfg_.instrumented;
+      facility_.write(*file_, fmt::apache_access(r), 0);
+      break;
+    }
+    case TierKind::kTomcat: {
+      fmt::TomcatRecord r;
+      r.ua = v.upstream_arrival;
+      r.ud = v.upstream_departure;
+      r.id = req.id;
+      r.servlet = info.url;
+      r.calls = v.downstream;
+      if (cfg_.instrumented) {
+        facility_.write(*file_, fmt::tomcat_monitor(r), 0);
+      } else {
+        facility_.write(*file_, fmt::tomcat_baseline(r), 0);
+      }
+      break;
+    }
+    case TierKind::kCjdbc: {
+      fmt::CjdbcRecord r;
+      r.ua = v.upstream_arrival;
+      r.ud = v.upstream_departure;
+      if (!v.downstream.empty()) {
+        r.ds = v.downstream.front().first;
+        r.dr = v.downstream.back().second;
+      }
+      r.id = req.id;
+      r.visit = visit;
+      r.sql = info.sql;
+      r.instrumented = cfg_.instrumented;
+      facility_.write(*file_, fmt::cjdbc_log(r), 0);
+      break;
+    }
+    case TierKind::kMysql: {
+      if (!cfg_.instrumented) return 0;  // general log off on unmodified MySQL
+      fmt::MysqlRecord r;
+      r.ua = v.upstream_arrival;
+      r.ud = v.upstream_departure;
+      r.id = req.id;
+      r.thread_id = static_cast<int>(req.id % 997);
+      r.visit = visit;
+      r.sql = info.sql;
+      r.instrumented = true;
+      facility_.write(*file_, fmt::mysql_general(r), 0);
+      break;
+    }
+  }
+  ++records_;
+  return cost;
+}
+
+}  // namespace mscope::monitors

@@ -1,0 +1,93 @@
+#include "sim/cpu.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/node.h"
+
+namespace mscope::sim {
+
+Cpu::Cpu(Simulation& sim, Node& node, int cores)
+    : sim_(sim), node_(node), cores_(cores) {
+  if (cores < 1) throw std::invalid_argument("Cpu: cores < 1");
+}
+
+void Cpu::accrue() {
+  const SimTime now = sim_.now();
+  const SimTime dt = now - last_accrue_;
+  if (dt > 0) {
+    busy_user_ += dt * running_user_;
+    busy_system_ += dt * running_system_;
+  }
+  last_accrue_ = now;
+}
+
+SimTime Cpu::in_progress(CpuCategory cat) const {
+  const SimTime dt = sim_.now() - last_accrue_;
+  if (dt <= 0) return 0;
+  return dt * (cat == CpuCategory::kUser ? running_user_ : running_system_);
+}
+
+void Cpu::submit(SimTime demand, CpuCategory cat, CpuPriority prio,
+                 Callback done) {
+  if (demand < 0) throw std::invalid_argument("Cpu::submit: demand < 0");
+  Job job{demand, cat, std::move(done)};
+  if (busy_ < cores_) {
+    start(std::move(job));
+    return;
+  }
+  if (prio == CpuPriority::kKernel) {
+    kernel_q_.push_back(std::move(job));
+  } else {
+    normal_q_.push_back(std::move(job));
+  }
+}
+
+void Cpu::start(Job job) {
+  accrue();
+  ++busy_;
+  if (job.cat == CpuCategory::kUser) {
+    ++running_user_;
+  } else {
+    ++running_system_;
+  }
+  node_.on_cpu_busy_changed(busy_);
+  const SimTime demand = job.demand;
+  // Move the job into the completion closure; the core frees when it fires.
+  sim_.schedule(demand, [this, job = std::move(job)]() mutable {
+    finish(job);
+  });
+}
+
+void Cpu::finish(Job& job) {
+  accrue();
+  --busy_;
+  if (job.cat == CpuCategory::kUser) {
+    --running_user_;
+  } else {
+    --running_system_;
+  }
+  node_.on_cpu_busy_changed(busy_);
+  // Run the completion before pulling the next job so the completing request
+  // can immediately enqueue follow-on work at the queue tail.
+  if (job.done) job.done();
+  pump();
+}
+
+void Cpu::pump() {
+  while (busy_ < cores_) {
+    if (!kernel_q_.empty()) {
+      Job j = std::move(kernel_q_.front());
+      kernel_q_.pop_front();
+      start(std::move(j));
+    } else if (!normal_q_.empty()) {
+      Job j = std::move(normal_q_.front());
+      normal_q_.pop_front();
+      start(std::move(j));
+    } else {
+      break;
+    }
+  }
+}
+
+}  // namespace mscope::sim

@@ -1,0 +1,64 @@
+#include "sim/disk.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/node.h"
+
+namespace mscope::sim {
+
+Disk::Disk(Simulation& sim, Node& node, Config cfg)
+    : sim_(sim), node_(node), cfg_(cfg) {
+  if (cfg.bandwidth_mbps <= 0)
+    throw std::invalid_argument("Disk: bandwidth <= 0");
+  if (cfg.per_op < 0) throw std::invalid_argument("Disk: per_op < 0");
+}
+
+SimTime Disk::service_time(std::uint64_t bytes) const {
+  const double usec_per_byte = 1.0 / (cfg_.bandwidth_mbps * 1e6 / 1e6);
+  // bandwidth_mbps MB/s == bandwidth_mbps bytes/usec.
+  const double transfer = static_cast<double>(bytes) / cfg_.bandwidth_mbps;
+  (void)usec_per_byte;
+  return cfg_.per_op + static_cast<SimTime>(std::llround(transfer));
+}
+
+void Disk::submit(std::uint64_t bytes, bool is_write, Callback done) {
+  Op op{bytes, is_write, std::move(done)};
+  if (!busy_) {
+    start(std::move(op));
+  } else {
+    queue_.push_back(std::move(op));
+  }
+}
+
+void Disk::start(Op op) {
+  busy_ = true;
+  node_.on_disk_busy_changed(true);
+  const SimTime st = service_time(op.bytes);
+  sim_.schedule(st, [this, st, op = std::move(op)]() mutable {
+    busy_time_ += st;
+    ++ops_;
+    if (op.is_write) {
+      bytes_written_ += op.bytes;
+    } else {
+      bytes_read_ += op.bytes;
+    }
+    if (queue_.empty()) {
+      busy_ = false;
+      node_.on_disk_busy_changed(false);
+    }
+    // Completion runs before the next op starts so a dependent submit lands
+    // behind everything already queued — FIFO is preserved.
+    if (op.done) op.done();
+    if (busy_ && !queue_.empty()) {
+      Op next = std::move(queue_.front());
+      queue_.pop_front();
+      // start() toggles busy/notifications idempotently.
+      busy_ = false;
+      start(std::move(next));
+    }
+  });
+}
+
+}  // namespace mscope::sim

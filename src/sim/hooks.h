@@ -1,0 +1,42 @@
+#pragma once
+
+#include "util/simtime.h"
+
+namespace mscope::sim {
+
+class Server;
+struct Request;
+
+/// Instrumentation points a component server exposes — the code-modification
+/// sites of the paper's event mScopeMonitors (Section IV). The simulator
+/// invokes these at the exact moments the four timestamps are defined;
+/// whether anything happens (logging, CPU cost) is up to the attached
+/// monitor. A null hooks pointer models an unmodified server.
+class EventHooks {
+ public:
+  virtual ~EventHooks() = default;
+
+  /// Request arrived from the upstream tier (visit already appended to the
+  /// request's ground-truth record).
+  virtual void on_upstream_arrival(const Server& server, const Request& req,
+                                   int visit) = 0;
+
+  /// Response returned to the upstream tier. Returns the CPU cost of the
+  /// logging call performed on the request thread: the worker is not
+  /// released until that much (system-time) CPU work completes, exactly as a
+  /// real server's worker writes its access-log record after sending the
+  /// response. Return 0 for free instrumentation.
+  virtual util::SimTime on_upstream_departure(const Server& server,
+                                              const Request& req,
+                                              int visit) = 0;
+
+  /// Request forwarded to the downstream tier (call `call` of this visit).
+  virtual void on_downstream_send(const Server& server, const Request& req,
+                                  int visit, int call) = 0;
+
+  /// Response received back from the downstream tier.
+  virtual void on_downstream_receive(const Server& server, const Request& req,
+                                     int visit, int call) = 0;
+};
+
+}  // namespace mscope::sim

@@ -1,0 +1,23 @@
+#include "sim/network.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/node.h"
+
+namespace mscope::sim {
+
+void Network::send(std::uint16_t src, std::uint16_t dst, std::uint64_t conn,
+                   std::uint64_t req_id, Message::Kind kind,
+                   std::uint32_t bytes, Deliver deliver) {
+  if (src >= nodes_.size() || dst >= nodes_.size())
+    throw std::out_of_range("Network::send: unregistered node");
+  nodes_[src]->add_net_tx(bytes);
+  nodes_[dst]->add_net_rx(bytes);
+  if (tap_ != nullptr) {
+    tap_->record(Message{sim_.now(), src, dst, conn, req_id, kind, bytes});
+  }
+  sim_.schedule(cfg_.latency, std::move(deliver));
+}
+
+}  // namespace mscope::sim

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace mscope::sim {
+
+class Node;
+
+/// One message observed "on the wire" between two nodes.
+///
+/// The MessageTap below records these — it is the software analogue of the
+/// port-mirroring switch Fujitsu SysViz attaches to. `req_id` is ground
+/// truth carried for *evaluating* reconstruction accuracy; the SysViz
+/// stand-in's reconstruction itself never reads it.
+struct Message {
+  SimTime time = 0;  ///< capture time at the tap (== send time)
+  std::uint16_t src_node = 0;
+  std::uint16_t dst_node = 0;
+  std::uint64_t conn_id = 0;  ///< TCP connection (persistent, per worker)
+  std::uint64_t req_id = 0;
+  enum class Kind : std::uint8_t { kRequest, kResponse } kind = Kind::kRequest;
+  std::uint32_t bytes = 0;
+};
+
+/// Passive capture of all inter-tier messages, in capture order.
+class MessageTap {
+ public:
+  void record(const Message& m) { messages_.push_back(m); }
+  [[nodiscard]] const std::vector<Message>& messages() const {
+    return messages_;
+  }
+  void clear() { messages_.clear(); }
+
+ private:
+  std::vector<Message> messages_;
+};
+
+/// The datacenter network: fixed per-hop latency, byte counters on both NICs,
+/// and optional passive capture. Latency is deliberately small and constant —
+/// the paper's bottlenecks live in the servers, not the wire.
+class Network {
+ public:
+  using Deliver = std::function<void()>;
+
+  struct Config {
+    SimTime latency = 100;  ///< one-way usec per hop
+  };
+
+  Network(Simulation& sim, Config cfg) : sim_(sim), cfg_(cfg) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Attaches a passive tap (may be null to disable capture).
+  void set_tap(MessageTap* tap) { tap_ = tap; }
+
+  /// Registers a node and returns its wire id.
+  std::uint16_t register_node(Node* node) {
+    nodes_.push_back(node);
+    return static_cast<std::uint16_t>(nodes_.size() - 1);
+  }
+
+  /// Reserves `count` connection ids and returns the first.
+  std::uint64_t alloc_connections(std::uint64_t count) {
+    const std::uint64_t base = next_conn_;
+    next_conn_ += count;
+    return base;
+  }
+
+  /// Sends a message; `deliver` fires at the destination after the hop
+  /// latency. Also updates both nodes' NIC counters and the tap.
+  void send(std::uint16_t src, std::uint16_t dst, std::uint64_t conn,
+            std::uint64_t req_id, Message::Kind kind, std::uint32_t bytes,
+            Deliver deliver);
+
+  [[nodiscard]] SimTime latency() const { return cfg_.latency; }
+
+ private:
+  Simulation& sim_;
+  Config cfg_;
+  MessageTap* tap_ = nullptr;
+  std::vector<Node*> nodes_;
+  std::uint64_t next_conn_ = 1;
+};
+
+}  // namespace mscope::sim

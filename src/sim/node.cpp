@@ -1,0 +1,73 @@
+#include "sim/node.h"
+
+#include <algorithm>
+
+namespace mscope::sim {
+
+Node::Node(Simulation& sim, Config cfg) : sim_(sim), cfg_(std::move(cfg)) {
+  cpu_ = std::make_unique<Cpu>(sim_, *this, cfg_.cores);
+  disk_ = std::make_unique<Disk>(sim_, *this, cfg_.disk);
+  page_cache_ = std::make_unique<PageCache>(sim_, *this, cfg_.page_cache);
+  last_change_ = sim_.now();
+}
+
+void Node::accrue() {
+  const SimTime now = sim_.now();
+  const SimTime dt = now - last_change_;
+  if (dt > 0 && disk_busy_now_) {
+    const int idle_cores = cfg_.cores - busy_cores_now_;
+    if (idle_cores > 0) iowait_ += dt * idle_cores;
+  }
+  last_change_ = now;
+}
+
+void Node::on_cpu_busy_changed(int busy_cores) {
+  accrue();
+  busy_cores_now_ = busy_cores;
+}
+
+void Node::on_disk_busy_changed(bool busy) {
+  accrue();
+  disk_busy_now_ = busy;
+}
+
+Node::Counters Node::counters() const {
+  // Bring the iowait accumulator up to date without mutating state:
+  SimTime iow = iowait_;
+  const SimTime dt = sim_.now() - last_change_;
+  if (dt > 0 && disk_busy_now_) {
+    const int idle_cores = cfg_.cores - busy_cores_now_;
+    if (idle_cores > 0) iow += dt * idle_cores;
+  }
+  Counters c;
+  c.cpu_user = cpu_->busy_user();
+  c.cpu_system = cpu_->busy_system();
+  c.iowait = iow;
+  c.elapsed = sim_.now();
+  c.disk_busy = disk_->busy_time();
+  c.disk_read_bytes = disk_->bytes_read();
+  c.disk_write_bytes = disk_->bytes_written();
+  c.disk_ops = disk_->ops_completed();
+  c.dirty_bytes = page_cache_->dirty_bytes();
+  c.net_rx = net_rx_;
+  c.net_tx = net_tx_;
+  return c;
+}
+
+Node::CpuUtil Node::cpu_util(const Counters& before, const Counters& after,
+                             int cores) {
+  CpuUtil u;
+  const SimTime window = (after.elapsed - before.elapsed) * cores;
+  if (window <= 0) return u;
+  const auto frac = [window](SimTime v) {
+    return std::clamp(static_cast<double>(v) / static_cast<double>(window),
+                      0.0, 1.0);
+  };
+  u.user = frac(after.cpu_user - before.cpu_user);
+  u.system = frac(after.cpu_system - before.cpu_system);
+  u.iowait = frac(after.iowait - before.iowait);
+  u.idle = std::max(0.0, 1.0 - u.user - u.system - u.iowait);
+  return u;
+}
+
+}  // namespace mscope::sim

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/cpu.h"
+#include "sim/disk.h"
+#include "sim/page_cache.h"
+#include "sim/simulation.h"
+
+namespace mscope::sim {
+
+/// A physical machine in the testbed: CPU, one disk, page cache, NIC
+/// counters, plus exact accounting of user/system/iowait/idle time.
+///
+/// iowait follows the /proc/stat definition: time during which at least one
+/// core is idle while the disk has an outstanding request. We track it
+/// exactly by accruing on every CPU-busy-count or disk-busy state change.
+class Node {
+ public:
+  struct Config {
+    std::string name = "node";
+    int cores = 4;
+    Disk::Config disk;
+    PageCache::Config page_cache;
+  };
+
+  Node(Simulation& sim, Config cfg);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return cfg_.name; }
+  [[nodiscard]] int cores() const { return cfg_.cores; }
+
+  [[nodiscard]] Cpu& cpu() { return *cpu_; }
+  [[nodiscard]] Disk& disk() { return *disk_; }
+  [[nodiscard]] PageCache& page_cache() { return *page_cache_; }
+  [[nodiscard]] const Cpu& cpu() const { return *cpu_; }
+  [[nodiscard]] const Disk& disk() const { return *disk_; }
+  [[nodiscard]] const PageCache& page_cache() const { return *page_cache_; }
+
+  /// NIC byte counters (updated by the Network).
+  void add_net_rx(std::uint64_t bytes) { net_rx_ += bytes; }
+  void add_net_tx(std::uint64_t bytes) { net_tx_ += bytes; }
+
+  /// Cumulative resource counters; resource monitors sample these and take
+  /// deltas, exactly like real tools reading /proc.
+  struct Counters {
+    SimTime cpu_user = 0;    ///< core-usec in user mode
+    SimTime cpu_system = 0;  ///< core-usec in system mode
+    SimTime iowait = 0;      ///< core-usec idle-while-disk-busy
+    SimTime elapsed = 0;     ///< wall usec since node creation
+    SimTime disk_busy = 0;
+    std::uint64_t disk_read_bytes = 0;
+    std::uint64_t disk_write_bytes = 0;
+    std::uint64_t disk_ops = 0;
+    std::int64_t dirty_bytes = 0;  ///< instantaneous, not cumulative
+    std::uint64_t net_rx = 0;
+    std::uint64_t net_tx = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+
+  /// Utilization fractions over a window, computed from two counter
+  /// snapshots; this is exactly what SAR prints.
+  struct CpuUtil {
+    double user = 0, system = 0, iowait = 0, idle = 0;
+  };
+  [[nodiscard]] static CpuUtil cpu_util(const Counters& before,
+                                        const Counters& after, int cores);
+
+  // --- state-change notifications (called by Cpu and Disk) ---
+  void on_cpu_busy_changed(int busy_cores);
+  void on_disk_busy_changed(bool busy);
+
+ private:
+  void accrue();
+
+  Simulation& sim_;
+  Config cfg_;
+  std::unique_ptr<Cpu> cpu_;
+  std::unique_ptr<Disk> disk_;
+  std::unique_ptr<PageCache> page_cache_;
+
+  // iowait accounting state
+  SimTime last_change_ = 0;
+  int busy_cores_now_ = 0;
+  bool disk_busy_now_ = false;
+  SimTime iowait_ = 0;
+  std::uint64_t net_rx_ = 0;
+  std::uint64_t net_tx_ = 0;
+};
+
+}  // namespace mscope::sim

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulation.h"
+
+namespace mscope::sim {
+
+class Node;
+
+/// OS page-cache / dirty-page model.
+///
+/// Buffered writes accumulate dirty pages. A gentle background writeback
+/// drains them below `background_ratio`; once the dirty total crosses
+/// `recycle_threshold_bytes`, the kernel flusher enters *recycling*: it burns
+/// CPU at kernel priority on every core and pushes large writeback chunks to
+/// disk until the total drops to `low_watermark_bytes`. That CPU storm is the
+/// very short bottleneck of the paper's scenario B (Fig. 8): request
+/// processing starves, the tier's queue grows, and the dirty-page count
+/// drops abruptly — exactly the signature Fig. 8d shows.
+class PageCache {
+ public:
+  struct Config {
+    std::int64_t recycle_threshold_bytes = 400LL << 20;  ///< start recycling
+    std::int64_t low_watermark_bytes = 40LL << 20;       ///< stop recycling
+    std::int64_t writeback_chunk_bytes = 4LL << 20;      ///< per slice
+    SimTime slice = 5 * util::kMsec;                     ///< flusher slice
+    /// Fraction of each slice the flusher burns on every core while
+    /// recycling (page scanning + throttled writers spinning in the kernel).
+    double flusher_cpu_fraction = 0.95;
+    /// Background writeback: drains this many bytes every interval when not
+    /// recycling (cheap, no CPU storm).
+    std::int64_t background_chunk_bytes = 1LL << 20;
+    SimTime background_interval = 500 * util::kMsec;
+  };
+
+  PageCache(Simulation& sim, Node& node, Config cfg);
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// Buffered write: adds dirty pages (may trigger recycling).
+  void dirty(std::int64_t bytes);
+
+  [[nodiscard]] std::int64_t dirty_bytes() const { return dirty_; }
+  [[nodiscard]] bool recycling() const { return recycling_; }
+
+  /// Cumulative number of recycling episodes (for tests/diagnosis).
+  [[nodiscard]] int recycle_episodes() const { return episodes_; }
+
+ private:
+  void maybe_start_recycling();
+  void recycle_slice();
+  void background_tick();
+
+  Simulation& sim_;
+  Node& node_;
+  Config cfg_;
+  std::int64_t dirty_ = 0;
+  bool recycling_ = false;
+  int episodes_ = 0;
+  /// Writeback bytes currently queued on the disk (so we do not flood the
+  /// device with more chunks than it can absorb).
+  int inflight_chunks_ = 0;
+};
+
+}  // namespace mscope::sim

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/simtime.h"
+
+namespace mscope::sim {
+
+using util::SimTime;
+
+/// Service demand of one request at one tier, per visit.
+///
+/// Tiers above the leaf forward work downstream (`downstream_calls` times,
+/// sequentially, as a synchronous thread-per-request server does); the leaf
+/// tier (database) may touch the disk.
+struct TierDemand {
+  SimTime cpu_pre = 0;    ///< CPU before the first downstream call
+  SimTime cpu_post = 0;   ///< CPU after the last downstream call
+  int downstream_calls = 0;
+  SimTime cpu_per_call = 0;  ///< CPU between downstream calls
+  /// Leaf-tier IO: a buffer-pool miss reads this many bytes from disk.
+  std::uint64_t disk_read_bytes = 0;
+  /// Leaf-tier synchronous commit: redo-log write of this many bytes.
+  std::uint64_t commit_write_bytes = 0;
+  /// Buffered writes on this tier (session files, app logs): dirties the
+  /// page cache — the fuel for scenario B's dirty-page recycling.
+  std::int64_t dirty_bytes = 0;
+};
+
+/// One visit of a request to a tier: the paper's four event-monitor
+/// timestamps (Section IV-B). `downstream` holds one (Downstream Sending,
+/// Downstream Receiving) pair per downstream call.
+struct Visit {
+  SimTime upstream_arrival = -1;
+  SimTime upstream_departure = -1;
+  std::vector<std::pair<SimTime, SimTime>> downstream;
+};
+
+/// Ground-truth record of a request's activity at one tier. Upper tiers see
+/// one visit per request; lower tiers are visited once per upstream query
+/// (e.g. MySQL is visited once per SQL statement Tomcat issues).
+struct TierRecord {
+  std::vector<Visit> visits;
+};
+
+/// A client request traversing the n-tier pipeline.
+///
+/// `records` is ground truth maintained by the simulator itself, independent
+/// of any monitor — it is what the accuracy evaluation (paper Fig. 9)
+/// compares reconstructed traces against.
+///
+/// `demands[tier]` holds one TierDemand per *visit* to that tier: upper
+/// tiers are visited once, but e.g. MySQL is visited once per SQL statement,
+/// and each statement has its own CPU/IO profile. A server visited more
+/// often than demands were generated reuses the last entry.
+struct Request {
+  std::uint64_t id = 0;
+  int interaction = 0;  ///< index into the workload's interaction table
+  int session = 0;      ///< owning client session
+  SimTime client_send = -1;
+  SimTime client_recv = -1;
+  std::vector<std::vector<TierDemand>> demands;  ///< per tier, per visit
+  std::vector<TierRecord> records;               ///< per tier
+
+  [[nodiscard]] SimTime response_time() const {
+    return (client_recv >= 0 && client_send >= 0) ? client_recv - client_send
+                                                  : -1;
+  }
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+}  // namespace mscope::sim

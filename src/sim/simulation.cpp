@@ -1,0 +1,38 @@
+#include "sim/simulation.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mscope::sim {
+
+void Simulation::schedule(SimTime delay, Callback cb) {
+  if (delay < 0) throw std::invalid_argument("Simulation::schedule: delay < 0");
+  schedule_at(now_ + delay, std::move(cb));
+}
+
+void Simulation::schedule_at(SimTime t, Callback cb) {
+  if (t < now_)
+    throw std::invalid_argument("Simulation::schedule_at: time in the past");
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() returns const&; move out via const_cast is UB-free
+  // here because we pop immediately and Event's members are not const.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+void Simulation::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace mscope::sim

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/simtime.h"
+
+namespace mscope::sim {
+
+using util::SimTime;
+
+/// Discrete-event simulation kernel: a virtual clock plus a time-ordered
+/// event queue. Events at the same timestamp fire in scheduling order
+/// (stable), which keeps runs bit-for-bit reproducible.
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` microseconds from now (delay >= 0).
+  void schedule(SimTime delay, Callback cb);
+
+  /// Schedules `cb` at absolute time `t` (>= now()).
+  void schedule_at(SimTime t, Callback cb);
+
+  /// Runs events until the queue empties or virtual time would pass `until`.
+  /// The clock is left at `until` (or at the last event if earlier and the
+  /// queue drained).
+  void run_until(SimTime until);
+
+  /// Executes the single next event; returns false if the queue is empty.
+  bool step();
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Total events executed so far (for perf reporting).
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace mscope::sim

@@ -1,0 +1,126 @@
+#include "sysviz/reconstructor.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace mscope::sysviz {
+
+Reconstructor::Result Reconstructor::reconstruct(
+    const std::vector<sim::Message>& messages, int tiers) const {
+  Result result;
+  result.queue_deltas.resize(static_cast<std::size_t>(tiers));
+
+  const auto tier_of = [this](std::uint16_t wire) {
+    const auto it = node_tier_.find(wire);
+    return it == node_tier_.end() ? -1 : it->second;
+  };
+  const auto quantize = [this](SimTime t) {
+    return (t / cfg_.quantum) * cfg_.quantum;
+  };
+
+  // Open request spans per connection (FIFO: connections are serial, but a
+  // deque keeps us robust if a pipelined message ever appears).
+  std::unordered_map<std::uint64_t, std::deque<std::size_t>> open_on_conn;
+  // Spans currently open per node (by wire id) — the parent candidates.
+  std::unordered_map<std::uint16_t, std::vector<std::size_t>> open_on_node;
+  // Where each open span physically runs, for the close bookkeeping.
+  std::vector<std::uint16_t> span_node;
+  // Whether each span is still open (fast membership test for affinity).
+  std::vector<char> open_flag;
+  // Connection affinity: inter-tier connections are persistent and bound to
+  // one worker (ModJK / JDBC pools), and a worker serves one request at a
+  // time. So if the previous request on this connection was attributed to a
+  // span that is *still open*, the new request belongs to the same span —
+  // this nails a server's 2nd..Nth serial queries. Only when that span has
+  // closed (the worker moved on) do we fall back to a guess among the open
+  // spans.
+  std::unordered_map<std::uint64_t, std::size_t> conn_affinity;
+
+  std::size_t scored = 0;
+  std::size_t correct = 0;
+
+  for (const auto& m : messages) {
+    if (m.kind == sim::Message::Kind::kRequest) {
+      const int tier = tier_of(m.dst_node);
+      Span s;
+      s.tier = tier;
+      s.start = quantize(m.time);
+      s.end = -1;
+      s.conn = m.conn_id;
+      s.true_req_id = m.req_id;
+
+      // Parent: a span open on the sending node right now. Passive tracing
+      // cannot see which worker sent the message, so pick the
+      // most-recently-started open span (ties to the LRU behaviour of a
+      // worker that just received its own request or downstream response).
+      const int src_tier = tier_of(m.src_node);
+      if (src_tier >= 0) {
+        const auto aff = conn_affinity.find(m.conn_id);
+        if (aff != conn_affinity.end() && open_flag[aff->second]) {
+          s.parent = static_cast<int>(aff->second);
+        } else {
+          const auto it = open_on_node.find(m.src_node);
+          if (it != open_on_node.end() && !it->second.empty()) {
+            // Most-recently-started open span: a request usually issues its
+            // first downstream call shortly after arriving. This guess is
+            // excellent at low concurrency and degrades when many requests
+            // are in flight — which is precisely the passive-tracing
+            // limitation that motivates milliScope's ID propagation.
+            std::size_t best = it->second.front();
+            for (const std::size_t cand : it->second) {
+              if (result.spans[cand].start >= result.spans[best].start)
+                best = cand;
+            }
+            s.parent = static_cast<int>(best);
+          }
+        }
+        if (s.parent >= 0) {
+          conn_affinity[m.conn_id] = static_cast<std::size_t>(s.parent);
+          ++scored;
+          if (result.spans[static_cast<std::size_t>(s.parent)].true_req_id ==
+              s.true_req_id) {
+            ++correct;
+          }
+        }
+      }
+
+      const std::size_t idx = result.spans.size();
+      result.spans.push_back(s);
+      span_node.push_back(m.dst_node);
+      open_flag.push_back(1);
+      open_on_conn[m.conn_id].push_back(idx);
+      open_on_node[m.dst_node].push_back(idx);
+      if (tier >= 0) {
+        result.queue_deltas[static_cast<std::size_t>(tier)].push_back(
+            {s.start, +1.0});
+      }
+    } else {  // response
+      auto conn_it = open_on_conn.find(m.conn_id);
+      if (conn_it == open_on_conn.end() || conn_it->second.empty()) {
+        continue;  // response with no matching request (trace started late)
+      }
+      const std::size_t idx = conn_it->second.front();
+      conn_it->second.pop_front();
+      Span& s = result.spans[idx];
+      s.end = quantize(m.time);
+      open_flag[idx] = 0;
+      auto& open_list = open_on_node[span_node[idx]];
+      open_list.erase(std::find(open_list.begin(), open_list.end(), idx));
+      if (s.tier >= 0) {
+        result.queue_deltas[static_cast<std::size_t>(s.tier)].push_back(
+            {s.end, -1.0});
+      }
+    }
+  }
+
+  for (const auto& [conn, open] : open_on_conn) {
+    result.unmatched_requests += open.size();
+  }
+  result.assembly_accuracy =
+      scored == 0 ? 1.0
+                  : static_cast<double>(correct) / static_cast<double>(scored);
+  return result;
+}
+
+}  // namespace mscope::sysviz

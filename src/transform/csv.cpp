@@ -1,0 +1,85 @@
+#include "transform/csv.h"
+
+namespace mscope::transform {
+
+std::string Csv::write_row(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out += ',';
+    const std::string& f = fields[i];
+    const bool needs_quote =
+        f.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote) {
+      out += f;
+      continue;
+    }
+    out += '"';
+    for (char c : f) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+  }
+  return out;
+}
+
+std::vector<std::string> Csv::parse_row(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      cur += c;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+      ++i;
+      continue;
+    }
+    cur += c;
+    ++i;
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::vector<std::string> Csv::split_records(std::string_view text) {
+  std::vector<std::string> records;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '"') in_quotes = !in_quotes;
+    if (!in_quotes && (c == '\n' || c == '\r')) {
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      records.push_back(std::move(cur));
+      cur.clear();
+      continue;
+    }
+    cur += c;
+  }
+  if (!cur.empty()) records.push_back(std::move(cur));
+  return records;
+}
+
+}  // namespace mscope::transform

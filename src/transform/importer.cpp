@@ -1,0 +1,64 @@
+#include "transform/importer.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mscope::transform {
+
+DataImporter::Result DataImporter::import(db::Database& db,
+                                          const std::string& table_name,
+                                          const Conversion& c) {
+  db::Table& table = db.create_table(table_name, c.schema);
+  table.reserve(c.rows.size());
+
+  // Pick the column that anchors the load-catalog time range: prefer
+  // "ts_usec", then "ua_usec", then any *_usec column.
+  std::size_t time_col = c.schema.size();
+  for (std::size_t i = 0; i < c.schema.size(); ++i) {
+    if (c.schema[i].name == "ts_usec") { time_col = i; break; }
+  }
+  if (time_col == c.schema.size()) {
+    for (std::size_t i = 0; i < c.schema.size(); ++i) {
+      if (c.schema[i].name == "ua_usec") { time_col = i; break; }
+    }
+  }
+  if (time_col == c.schema.size()) {
+    for (std::size_t i = 0; i < c.schema.size(); ++i) {
+      if (util::ends_with(c.schema[i].name, "_usec")) { time_col = i; break; }
+    }
+  }
+
+  std::int64_t t_min = std::numeric_limits<std::int64_t>::max();
+  std::int64_t t_max = std::numeric_limits<std::int64_t>::min();
+
+  for (const auto& srow : c.rows) {
+    db::Table::Row row;
+    row.reserve(srow.size());
+    for (std::size_t i = 0; i < srow.size(); ++i) {
+      auto v = db::parse_as(srow[i], c.schema[i].type);
+      if (!v) {
+        throw std::invalid_argument("DataImporter: cell '" + srow[i] +
+                                    "' does not fit column " +
+                                    c.schema[i].name + " of " + table_name);
+      }
+      row.push_back(std::move(*v));
+    }
+    if (time_col < row.size()) {
+      if (const auto t = db::as_int(row[time_col])) {
+        t_min = std::min(t_min, *t);
+        t_max = std::max(t_max, *t);
+      }
+    }
+    table.insert(std::move(row));
+  }
+
+  if (t_min > t_max) t_min = t_max = 0;
+  db.record_load(c.node + "/" + c.file, table_name,
+                 static_cast<std::int64_t>(table.row_count()), t_min, t_max);
+  return {table_name, table.row_count()};
+}
+
+}  // namespace mscope::transform

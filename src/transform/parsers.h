@@ -1,0 +1,59 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "transform/declaration.h"
+#include "transform/xml.h"
+
+namespace mscope::transform {
+
+/// Context handed to an mScopeParser run.
+struct ParseContext {
+  std::string node;  ///< node the log came from (directory name)
+  std::string file;  ///< file name
+  const Declaration* decl = nullptr;
+};
+
+/// An mScopeParser: raw log content -> annotated XML (stage 2 of the
+/// transformer, paper Section III-B.2). The output tree has the shape
+///   <logfile source=".." node=".." file="..">
+///     <log n="1"> <field name=".." value=".."/> ... </log>
+///   </logfile>
+/// i.e. each native line wrapped in a <log> tag with semantics injected as
+/// <field> children — exactly the paper's description of the Apache parser.
+using ParserFn =
+    std::function<std::unique_ptr<XmlNode>(std::string_view, const ParseContext&)>;
+
+/// Registry of parser implementations keyed by Declaration::parser_id.
+///
+/// Built-ins:
+///  - "token_lines"    generic regex-instruction parser (Apache/CJDBC/MySQL)
+///  - "tomcat"         token head + variable-width (dsN, drN) tail
+///  - "sar_text"       customized two-pass SAR parser
+///  - "sar_xml"        adapter for SAR's native XML output
+///  - "iostat"         block parser (timestamp line + device table)
+///  - "collectl_csv"   header-driven CSV parser
+///  - "collectl_plain" fixed-column brief-mode parser
+class ParserRegistry {
+ public:
+  /// Looks up a parser; throws std::out_of_range for unknown ids.
+  [[nodiscard]] static ParserFn get(const std::string& parser_id);
+
+  /// True if the id is known.
+  [[nodiscard]] static bool knows(const std::string& parser_id);
+};
+
+/// Normalizes a raw header token into a column name:
+/// "%user" -> "user_pct", "[CPU]User%" -> "cpu_user_pct", "kB_read/s" ->
+/// "kb_read_s".
+[[nodiscard]] std::string sanitize_column(std::string_view raw);
+
+/// Converts a raw timestamp string per encoding into relative microseconds;
+/// returns false if unparseable.
+[[nodiscard]] bool convert_time(std::string_view raw, TimeEncoding enc,
+                                std::int64_t& out_usec);
+
+}  // namespace mscope::transform

@@ -1,0 +1,108 @@
+#include "transform/warehouse_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "transform/csv.h"
+#include "transform/xml_to_csv.h"
+
+namespace mscope::transform {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw std::runtime_error("WarehouseIO: cannot read " + p.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool is_static_table(const std::string& name) {
+  return name == db::Database::kExperimentTable ||
+         name == db::Database::kNodeTable ||
+         name == db::Database::kDeploymentTable ||
+         name == db::Database::kLoadCatalogTable;
+}
+
+}  // namespace
+
+void WarehouseIO::save(const db::Database& db, const fs::path& dir) {
+  fs::create_directories(dir);
+  for (const auto& name : db.table_names()) {
+    const db::Table& table = db.get(name);
+    std::ofstream csv(dir / (name + ".csv"), std::ios::trunc);
+    std::ofstream schema(dir / (name + ".schema"), std::ios::trunc);
+    if (!csv || !schema)
+      throw std::runtime_error("WarehouseIO: cannot write under " +
+                               dir.string());
+    std::vector<std::string> header;
+    for (const auto& col : table.schema()) {
+      header.push_back(col.name);
+      schema << col.name << ':' << to_string(col.type) << '\n';
+    }
+    csv << Csv::write_row(header) << '\n';
+    std::vector<std::string> cells(table.column_count());
+    for (std::size_t r = 0; r < table.row_count(); ++r) {
+      for (std::size_t c = 0; c < table.column_count(); ++c) {
+        cells[c] = db::value_to_string(table.at(r, c));
+      }
+      csv << Csv::write_row(cells) << '\n';
+    }
+  }
+}
+
+std::vector<std::string> WarehouseIO::load(db::Database& db,
+                                           const fs::path& dir) {
+  if (!fs::exists(dir))
+    throw std::invalid_argument("WarehouseIO: no such directory: " +
+                                dir.string());
+  std::vector<fs::path> csvs;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.is_regular_file() && e.path().extension() == ".csv") {
+      csvs.push_back(e.path());
+    }
+  }
+  std::sort(csvs.begin(), csvs.end());
+
+  std::vector<std::string> loaded;
+  for (const auto& csv_path : csvs) {
+    const std::string name = csv_path.stem().string();
+    fs::path schema_path = csv_path;
+    schema_path.replace_extension(".schema");
+    if (!fs::exists(schema_path))
+      throw std::runtime_error("WarehouseIO: missing sidecar for " +
+                               csv_path.string());
+    const Conversion conv = XmlToCsvConverter::from_csv(
+        read_file(csv_path), read_file(schema_path));
+
+    db::Table* table = nullptr;
+    if (is_static_table(name)) {
+      table = &db.get(name);
+      if (table->schema() != conv.schema)
+        throw std::runtime_error("WarehouseIO: static schema mismatch for " +
+                                 name);
+    } else {
+      table = &db.create_table(name, conv.schema);
+    }
+    for (const auto& srow : conv.rows) {
+      db::Table::Row row;
+      row.reserve(srow.size());
+      for (std::size_t i = 0; i < srow.size(); ++i) {
+        auto v = db::parse_as(srow[i], conv.schema[i].type);
+        if (!v)
+          throw std::runtime_error("WarehouseIO: bad cell in " + name);
+        row.push_back(std::move(*v));
+      }
+      table->insert(std::move(row));
+    }
+    loaded.push_back(name);
+  }
+  return loaded;
+}
+
+}  // namespace mscope::transform

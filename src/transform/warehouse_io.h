@@ -1,0 +1,29 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+
+namespace mscope::transform {
+
+/// Persists mScopeDB to a directory and restores it — one CSV + schema
+/// sidecar per table, the same on-disk format the XMLtoCSV converter emits.
+/// This is what lets a collected-and-transformed run be archived and
+/// re-analyzed later without re-running the parsers.
+class WarehouseIO {
+ public:
+  /// Writes every table (static and dynamic) under `dir`
+  /// (<table>.csv + <table>.schema). The directory is created; existing
+  /// files for the same tables are overwritten.
+  static void save(const db::Database& db, const std::filesystem::path& dir);
+
+  /// Loads every <name>.csv/<name>.schema pair in `dir` into `db`.
+  /// Static metadata tables are *merged* (rows appended); dynamic tables
+  /// must not already exist. Returns the names of the tables loaded.
+  static std::vector<std::string> load(db::Database& db,
+                                       const std::filesystem::path& dir);
+};
+
+}  // namespace mscope::transform

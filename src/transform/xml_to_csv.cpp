@@ -1,0 +1,126 @@
+#include "transform/xml_to_csv.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "transform/csv.h"
+#include "util/strings.h"
+
+namespace mscope::transform {
+
+Conversion XmlToCsvConverter::convert(const XmlNode& root) {
+  Conversion c;
+  if (const std::string* s = root.attribute("source")) c.source = *s;
+  if (const std::string* s = root.attribute("node")) c.node = *s;
+  if (const std::string* s = root.attribute("file")) c.file = *s;
+
+  // Union of field names in first-appearance order, with narrowest-type
+  // accumulation.
+  std::vector<std::string> order;
+  std::map<std::string, db::DataType> types;
+  std::map<std::string, std::size_t> index;
+
+  const auto entries = root.children_named("log");
+  for (const XmlNode* entry : entries) {
+    for (const XmlNode* f : entry->children_named("field")) {
+      const std::string* name = f->attribute("name");
+      const std::string* value = f->attribute("value");
+      if (name == nullptr || value == nullptr) continue;
+      auto it = types.find(*name);
+      if (it == types.end()) {
+        index[*name] = order.size();
+        order.push_back(*name);
+        types[*name] = db::infer_type(*value);
+      } else {
+        it->second = db::widen(it->second, db::infer_type(*value));
+      }
+    }
+  }
+  for (const auto& name : order) {
+    db::DataType t = types[name];
+    if (t == db::DataType::kNull) t = db::DataType::kText;  // all-empty column
+    c.schema.push_back({name, t});
+  }
+
+  c.rows.reserve(entries.size());
+  for (const XmlNode* entry : entries) {
+    std::vector<std::string> row(order.size());
+    for (const XmlNode* f : entry->children_named("field")) {
+      const std::string* name = f->attribute("name");
+      const std::string* value = f->attribute("value");
+      if (name == nullptr || value == nullptr) continue;
+      row[index[*name]] = *value;
+    }
+    c.rows.push_back(std::move(row));
+  }
+  return c;
+}
+
+std::string XmlToCsvConverter::to_csv(const Conversion& c) {
+  std::string out;
+  std::vector<std::string> header;
+  header.reserve(c.schema.size());
+  for (const auto& col : c.schema) header.push_back(col.name);
+  out += Csv::write_row(header);
+  out += '\n';
+  for (const auto& row : c.rows) {
+    out += Csv::write_row(row);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string XmlToCsvConverter::schema_sidecar(const Conversion& c) {
+  std::string out;
+  for (const auto& col : c.schema) {
+    out += col.name;
+    out += ':';
+    out += to_string(col.type);
+    out += '\n';
+  }
+  return out;
+}
+
+Conversion XmlToCsvConverter::from_csv(std::string_view csv,
+                                       std::string_view sidecar) {
+  Conversion c;
+  for (const auto line : util::split(sidecar, '\n')) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    const auto colon = trimmed.rfind(':');
+    if (colon == std::string_view::npos)
+      throw std::runtime_error("from_csv: bad sidecar line");
+    const std::string name(trimmed.substr(0, colon));
+    const std::string_view type_s = trimmed.substr(colon + 1);
+    db::DataType t;
+    if (type_s == "int") t = db::DataType::kInt;
+    else if (type_s == "double") t = db::DataType::kDouble;
+    else if (type_s == "text") t = db::DataType::kText;
+    else if (type_s == "null") t = db::DataType::kText;
+    else throw std::runtime_error("from_csv: unknown type in sidecar");
+    c.schema.push_back({name, t});
+  }
+
+  const auto records = Csv::split_records(csv);
+  bool first = true;
+  for (const auto& rec : records) {
+    if (util::trim(rec).empty()) continue;
+    auto fields = Csv::parse_row(rec);
+    if (first) {
+      first = false;
+      if (fields.size() != c.schema.size())
+        throw std::runtime_error("from_csv: header/sidecar width mismatch");
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (fields[i] != c.schema[i].name)
+          throw std::runtime_error("from_csv: header/sidecar name mismatch");
+      }
+      continue;
+    }
+    if (fields.size() != c.schema.size())
+      throw std::runtime_error("from_csv: row width mismatch");
+    c.rows.push_back(std::move(fields));
+  }
+  return c;
+}
+
+}  // namespace mscope::transform

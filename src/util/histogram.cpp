@@ -1,0 +1,102 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mscope::util {
+
+LatencyHistogram::LatencyHistogram(std::int64_t max_value, double precision)
+    : growth_(1.0 + precision),
+      log_growth_(std::log(1.0 + precision)),
+      max_value_(max_value) {
+  if (max_value < 1) throw std::invalid_argument("LatencyHistogram: max < 1");
+  if (precision <= 0.0 || precision >= 1.0)
+    throw std::invalid_argument("LatencyHistogram: precision out of (0,1)");
+  // bucket 0 = underflow (v < 1); last bucket = overflow (v > max_value).
+  const auto top = static_cast<std::size_t>(
+                       std::ceil(std::log(static_cast<double>(max_value)) /
+                                 log_growth_)) +
+                   1;
+  buckets_.assign(top + 2, 0);
+}
+
+std::size_t LatencyHistogram::bucket_for(std::int64_t v) const {
+  if (v < 1) return 0;
+  if (v > max_value_) return buckets_.size() - 1;
+  const auto idx = static_cast<std::size_t>(
+      std::floor(std::log(static_cast<double>(v)) / log_growth_));
+  return std::min(idx + 1, buckets_.size() - 2);
+}
+
+std::int64_t LatencyHistogram::representative(std::size_t bucket) const {
+  if (bucket == 0) return 0;
+  if (bucket == buckets_.size() - 1) return max_value_;
+  // Geometric midpoint of the bucket's range.
+  const double lo = std::pow(growth_, static_cast<double>(bucket - 1));
+  const double hi = lo * growth_;
+  return static_cast<std::int64_t>(std::llround(std::sqrt(lo * hi)));
+}
+
+void LatencyHistogram::record(std::int64_t value) {
+  ++buckets_[bucket_for(value)];
+  if (count_ == 0) {
+    min_seen_ = max_seen_ = value;
+  } else {
+    min_seen_ = std::min(min_seen_, value);
+    max_seen_ = std::max(max_seen_, value);
+  }
+  ++count_;
+  sum_ += static_cast<double>(value);
+}
+
+double LatencyHistogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::int64_t LatencyHistogram::min() const { return count_ ? min_seen_ : 0; }
+std::int64_t LatencyHistogram::max() const { return count_ ? max_seen_ : 0; }
+
+std::int64_t LatencyHistogram::percentile(double q) const {
+  if (q < 0.0 || q > 100.0)
+    throw std::invalid_argument("LatencyHistogram::percentile: bad q");
+  if (count_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q / 100.0 * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      // Clamp the representative into the actually-observed range so that
+      // p0/p100 equal min/max exactly.
+      return std::clamp(representative(i), min_seen_, max_seen_);
+    }
+  }
+  return max_seen_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (buckets_.size() != other.buckets_.size() || growth_ != other.growth_)
+    throw std::invalid_argument("LatencyHistogram::merge: geometry mismatch");
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_seen_ = other.min_seen_;
+    max_seen_ = other.max_seen_;
+  } else {
+    min_seen_ = std::min(min_seen_, other.min_seen_);
+    max_seen_ = std::max(max_seen_, other.max_seen_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_seen_ = max_seen_ = 0;
+}
+
+}  // namespace mscope::util

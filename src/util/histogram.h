@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mscope::util {
+
+/// Log-bucketed latency histogram (HdrHistogram-lite).
+///
+/// Buckets grow geometrically so that the relative error of any recorded
+/// value is bounded by `precision`; covers [1, max_value] plus an underflow
+/// and an overflow bucket. Used for response-time distributions where exact
+/// per-request storage would be wasteful.
+class LatencyHistogram {
+ public:
+  /// `max_value` is the largest representable value; `precision` is the
+  /// maximum relative bucket width (e.g. 0.01 = 1%).
+  explicit LatencyHistogram(std::int64_t max_value = 3'600'000'000LL,
+                            double precision = 0.01);
+
+  void record(std::int64_t value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] std::int64_t min() const;
+  [[nodiscard]] std::int64_t max() const;
+
+  /// Approximate quantile (q in [0,100]); returns a bucket-representative
+  /// value whose relative error is bounded by the configured precision.
+  [[nodiscard]] std::int64_t percentile(double q) const;
+
+  /// Merge another compatible histogram (same geometry) into this one.
+  void merge(const LatencyHistogram& other);
+
+  void clear();
+
+ private:
+  [[nodiscard]] std::size_t bucket_for(std::int64_t v) const;
+  [[nodiscard]] std::int64_t representative(std::size_t bucket) const;
+
+  double growth_;
+  double log_growth_;
+  std::int64_t max_value_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  std::int64_t min_seen_ = 0;
+  std::int64_t max_seen_ = 0;
+};
+
+}  // namespace mscope::util

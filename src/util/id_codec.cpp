@@ -1,0 +1,69 @@
+#include "util/id_codec.h"
+
+#include <cctype>
+
+namespace mscope::util {
+
+namespace {
+
+constexpr char kHex[] = "0123456789ABCDEF";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string IdCodec::encode(std::uint64_t id) {
+  std::string out(kWidth, '0');
+  for (int i = kWidth - 1; i >= 0 && id != 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[id & 0xF];
+    id >>= 4;
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> IdCodec::decode(std::string_view s) {
+  if (s.size() != kWidth) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    const int d = hex_value(c);
+    if (d < 0) return std::nullopt;
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  return v;
+}
+
+std::string IdCodec::tag_url(std::string_view url, std::uint64_t id) {
+  std::string out(url);
+  out += (url.find('?') == std::string_view::npos) ? '?' : '&';
+  out += "ID=";
+  out += encode(id);
+  return out;
+}
+
+std::string IdCodec::tag_sql(std::string_view sql, std::uint64_t id) {
+  std::string out(sql);
+  out += " /*ID=";
+  out += encode(id);
+  out += "*/";
+  return out;
+}
+
+std::optional<std::uint64_t> IdCodec::extract(std::string_view text) {
+  std::size_t pos = 0;
+  while ((pos = text.find("ID=", pos)) != std::string_view::npos) {
+    const std::size_t start = pos + 3;
+    if (start + kWidth <= text.size()) {
+      const auto id = decode(text.substr(start, kWidth));
+      if (id) return id;
+    }
+    pos = start;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mscope::util

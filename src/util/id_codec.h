@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mscope::util {
+
+/// Fixed-width request-ID codec.
+///
+/// The paper's Apache mScopeMonitor inserts "a static, fixed-width request ID
+/// into the URL" that then propagates downstream as a URL parameter and as a
+/// SQL comment. Fixed width matters: it keeps per-record log size constant so
+/// the logging cost model (and the real system's log parsing) is predictable.
+///
+/// Encoding: 12 uppercase-hex characters ("ID=000000001A2B").
+class IdCodec {
+ public:
+  static constexpr int kWidth = 12;
+
+  /// Encodes an id as a fixed-width uppercase hex string.
+  [[nodiscard]] static std::string encode(std::uint64_t id);
+
+  /// Decodes a fixed-width hex string; nullopt on wrong width or bad digits.
+  [[nodiscard]] static std::optional<std::uint64_t> decode(std::string_view s);
+
+  /// Appends "?ID=<id>" or "&ID=<id>" to a URL, as the Apache monitor does.
+  [[nodiscard]] static std::string tag_url(std::string_view url,
+                                           std::uint64_t id);
+
+  /// Appends " /*ID=<id>*/" to a SQL statement, as the Tomcat monitor does.
+  [[nodiscard]] static std::string tag_sql(std::string_view sql,
+                                           std::uint64_t id);
+
+  /// Extracts an id from any string containing "ID=<12 hex chars>".
+  [[nodiscard]] static std::optional<std::uint64_t> extract(
+      std::string_view text);
+};
+
+}  // namespace mscope::util

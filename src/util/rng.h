@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace mscope::util {
+
+/// Deterministic, stream-splittable pseudo-random generator (xoshiro256**).
+///
+/// Every stochastic component of the simulator owns its own Rng stream, seeded
+/// from an experiment seed plus a component tag, so adding a monitor or a tier
+/// never perturbs the random sequence seen by unrelated components. This is
+/// what makes the enabled-vs-disabled overhead comparisons (paper Figs 10/11)
+/// apples-to-apples.
+class Rng {
+ public:
+  /// Seeds the stream from `seed` and a caller-chosen `stream` tag via
+  /// SplitMix64, which guarantees well-mixed distinct states.
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0) {
+    std::uint64_t x = seed ^ (0x9E3779B97F4A7C15ULL * (stream + 1));
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::next_below: n == 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) {
+    if (mean <= 0) throw std::invalid_argument("Rng::exponential: mean <= 0");
+    double u;
+    do {
+      u = next_double();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Normally distributed value (Box-Muller).
+  double normal(double mean, double stddev) {
+    if (!have_spare_) {
+      double u1;
+      do {
+        u1 = next_double();
+      } while (u1 <= 0.0);
+      const double u2 = next_double();
+      const double r = std::sqrt(-2.0 * std::log(u1));
+      spare_ = r * std::sin(2.0 * M_PI * u2);
+      have_spare_ = true;
+      return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+    }
+    have_spare_ = false;
+    return mean + stddev * spare_;
+  }
+
+  /// Log-normal value parameterized by the mean/cv of the *resulting*
+  /// distribution — convenient for service demands with long tails.
+  double lognormal_mean_cv(double mean, double cv) {
+    if (mean <= 0) return 0.0;
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = std::log(mean) - sigma2 / 2.0;
+    return std::exp(normal(mu, std::sqrt(sigma2)));
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Samples an index from an (unnormalized) discrete weight vector.
+  std::size_t discrete(std::span<const double> weights) {
+    const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    if (total <= 0) throw std::invalid_argument("Rng::discrete: empty weights");
+    double x = next_double() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace mscope::util

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mscope::util {
+
+/// Simulated time. The whole framework measures time in integer microseconds
+/// from the start of the experiment; wall-clock time never enters the model.
+/// milliScope's claim is *millisecond*-granularity monitoring, so the
+/// simulation kernel keeps one extra order of magnitude of resolution.
+using SimTime = std::int64_t;
+
+/// One microsecond (the base unit).
+inline constexpr SimTime kUsec = 1;
+/// One millisecond in SimTime units.
+inline constexpr SimTime kMsec = 1000;
+/// One second in SimTime units.
+inline constexpr SimTime kSec = 1000 * 1000;
+
+/// Construct a SimTime from microseconds.
+constexpr SimTime usec(std::int64_t v) { return v; }
+/// Construct a SimTime from milliseconds.
+constexpr SimTime msec(std::int64_t v) { return v * kMsec; }
+/// Construct a SimTime from seconds.
+constexpr SimTime sec(std::int64_t v) { return v * kSec; }
+/// Construct a SimTime from fractional seconds (rounds toward zero).
+constexpr SimTime secf(double v) { return static_cast<SimTime>(v * 1e6); }
+/// Construct a SimTime from fractional milliseconds (rounds toward zero).
+constexpr SimTime msecf(double v) { return static_cast<SimTime>(v * 1e3); }
+
+/// Convert to fractional seconds (for reporting only).
+constexpr double to_sec(SimTime t) { return static_cast<double>(t) / 1e6; }
+/// Convert to fractional milliseconds (for reporting only).
+constexpr double to_msec(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+}  // namespace mscope::util

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mscope::util {
+
+/// Splits `s` on the single character `sep`. Empty fields are preserved
+/// ("a,,b" -> {"a","","b"}); an empty input yields one empty field.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Splits on runs of whitespace; empty fields are never produced.
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Removes leading and trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Joins parts with the given separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Strict full-string integer parse; nullopt on any trailing garbage.
+[[nodiscard]] std::optional<std::int64_t> parse_int(std::string_view s);
+
+/// Strict full-string floating-point parse.
+[[nodiscard]] std::optional<double> parse_double(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Replaces every occurrence of `from` with `to`.
+[[nodiscard]] std::string replace_all(std::string_view s, std::string_view from,
+                                      std::string_view to);
+
+/// Formats a double with `decimals` digits after the point (reporting only).
+[[nodiscard]] std::string fmt_double(double v, int decimals);
+
+/// Escapes the five XML special characters.
+[[nodiscard]] std::string xml_escape(std::string_view s);
+
+/// Reverses xml_escape (handles the five named entities).
+[[nodiscard]] std::string xml_unescape(std::string_view s);
+
+/// Uppercases / lowercases ASCII.
+[[nodiscard]] std::string to_lower(std::string_view s);
+[[nodiscard]] std::string to_upper(std::string_view s);
+
+}  // namespace mscope::util

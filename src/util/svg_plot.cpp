@@ -1,0 +1,229 @@
+#include "util/svg_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace mscope::util {
+
+namespace {
+
+constexpr const char* kPalette[] = {"#1f6feb", "#d1242f", "#1a7f37",
+                                    "#9a6700", "#8250df", "#bf3989"};
+
+constexpr int kMarginLeft = 64;
+constexpr int kMarginRight = 16;
+constexpr int kMarginTop = 34;
+constexpr int kMarginBottom = 46;
+
+std::string fmt(double v) {
+  // Short numeric labels: 1200 -> "1200", 0.5 -> "0.5", 1e6 -> "1000000".
+  char buf[32];
+  if (std::fabs(v - std::llround(v)) < 1e-9 && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(std::llround(v)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  }
+  return buf;
+}
+
+/// A "nice" tick step covering range/n.
+double nice_step(double range, int ticks) {
+  if (range <= 0) return 1.0;
+  const double raw = range / std::max(1, ticks);
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  const double frac = raw / mag;
+  double step = 10;
+  if (frac <= 1) step = 1;
+  else if (frac <= 2) step = 2;
+  else if (frac <= 5) step = 5;
+  return step * mag;
+}
+
+}  // namespace
+
+SvgPlot::SvgPlot(Config cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.width < 200 || cfg_.height < 120)
+    throw std::invalid_argument("SvgPlot: too small");
+}
+
+void SvgPlot::add_line(const Series& series, std::string label,
+                       std::string color) {
+  if (color.empty()) color = kPalette[lines_.size() % std::size(kPalette)];
+  lines_.push_back({series, std::move(label), std::move(color), false});
+}
+
+void SvgPlot::add_steps(const Series& series, std::string label,
+                        std::string color) {
+  if (color.empty()) color = kPalette[lines_.size() % std::size(kPalette)];
+  lines_.push_back({series, std::move(label), std::move(color), true});
+}
+
+void SvgPlot::add_vspan(SimTime from, SimTime to, std::string color) {
+  spans_.push_back({from, to, std::move(color)});
+}
+
+std::string SvgPlot::render() const {
+  // Data ranges.
+  double x_min = std::numeric_limits<double>::max(), x_max = -x_min;
+  double y_min = 0.0, y_max = cfg_.y_max;
+  for (const auto& l : lines_) {
+    for (const auto& p : l.series) {
+      x_min = std::min(x_min, to_sec(p.time));
+      x_max = std::max(x_max, to_sec(p.time));
+      if (cfg_.y_max <= 0) y_max = std::max(y_max, p.value);
+    }
+  }
+  if (x_min > x_max) {
+    x_min = 0;
+    x_max = 1;
+  }
+  if (y_max <= y_min) y_max = y_min + 1;
+  y_max *= 1.05;
+
+  const double plot_w = cfg_.width - kMarginLeft - kMarginRight;
+  const double plot_h = cfg_.height - kMarginTop - kMarginBottom;
+  const auto sx = [&](double x) {
+    return kMarginLeft + (x - x_min) / (x_max - x_min) * plot_w;
+  };
+  const auto sy = [&](double y) {
+    return kMarginTop + plot_h - (y - y_min) / (y_max - y_min) * plot_h;
+  };
+
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" "
+                "height=\"%d\" viewBox=\"0 0 %d %d\" "
+                "font-family=\"sans-serif\" font-size=\"11\">\n",
+                cfg_.width, cfg_.height, cfg_.width, cfg_.height);
+  out += buf;
+  out += "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  // Highlight bands first (under everything).
+  for (const auto& s : spans_) {
+    const double a = std::clamp(sx(to_sec(s.from)),
+                                static_cast<double>(kMarginLeft),
+                                kMarginLeft + plot_w);
+    const double b = std::clamp(sx(to_sec(s.to)),
+                                static_cast<double>(kMarginLeft),
+                                kMarginLeft + plot_w);
+    std::snprintf(buf, sizeof(buf),
+                  "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%.1f\" "
+                  "fill=\"%s\" opacity=\"0.7\"/>\n",
+                  a, kMarginTop, std::max(1.0, b - a), plot_h,
+                  s.color.c_str());
+    out += buf;
+  }
+
+  // Grid + ticks.
+  const double ystep = nice_step(y_max - y_min, 5);
+  for (double y = y_min; y <= y_max + 1e-12; y += ystep) {
+    std::snprintf(buf, sizeof(buf),
+                  "<line x1=\"%d\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+                  "stroke=\"#dddddd\"/>\n"
+                  "<text x=\"%d\" y=\"%.1f\" text-anchor=\"end\" "
+                  "dominant-baseline=\"middle\">%s</text>\n",
+                  kMarginLeft, sy(y), kMarginLeft + plot_w, sy(y),
+                  kMarginLeft - 6, sy(y), fmt(y).c_str());
+    out += buf;
+  }
+  const double xstep = nice_step(x_max - x_min, 8);
+  for (double x = std::ceil(x_min / xstep) * xstep; x <= x_max + 1e-12;
+       x += xstep) {
+    std::snprintf(buf, sizeof(buf),
+                  "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%.1f\" "
+                  "stroke=\"#eeeeee\"/>\n"
+                  "<text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\">%s"
+                  "</text>\n",
+                  sx(x), kMarginTop, sx(x), kMarginTop + plot_h, sx(x),
+                  kMarginTop + plot_h + 14, fmt(x).c_str());
+    out += buf;
+  }
+
+  // Axes.
+  std::snprintf(buf, sizeof(buf),
+                "<rect x=\"%d\" y=\"%d\" width=\"%.1f\" height=\"%.1f\" "
+                "fill=\"none\" stroke=\"#333333\"/>\n",
+                kMarginLeft, kMarginTop, plot_w, plot_h);
+  out += buf;
+
+  // Series.
+  for (const auto& l : lines_) {
+    if (l.series.empty()) continue;
+    std::string points;
+    char pt[64];
+    double prev_y = 0;
+    bool first = true;
+    for (const auto& p : l.series) {
+      const double x = sx(to_sec(p.time));
+      const double y = sy(std::min(p.value, y_max));
+      if (l.steps && !first) {
+        std::snprintf(pt, sizeof(pt), "%.1f,%.1f ", x, prev_y);
+        points += pt;
+      }
+      std::snprintf(pt, sizeof(pt), "%.1f,%.1f ", x, y);
+      points += pt;
+      prev_y = y;
+      first = false;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "<polyline fill=\"none\" stroke=\"%s\" "
+                  "stroke-width=\"1.4\" points=\"",
+                  l.color.c_str());
+    out += buf;
+    out += points;
+    out += "\"/>\n";
+  }
+
+  // Title, axis labels, legend.
+  std::snprintf(buf, sizeof(buf),
+                "<text x=\"%d\" y=\"18\" font-size=\"13\" "
+                "font-weight=\"bold\">%s</text>\n",
+                kMarginLeft, xml_escape(cfg_.title).c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "<text x=\"%.1f\" y=\"%d\" text-anchor=\"middle\">%s"
+                "</text>\n",
+                kMarginLeft + plot_w / 2, cfg_.height - 8,
+                xml_escape(cfg_.x_label).c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "<text x=\"14\" y=\"%.1f\" text-anchor=\"middle\" "
+                "transform=\"rotate(-90 14 %.1f)\">%s</text>\n",
+                kMarginTop + plot_h / 2, kMarginTop + plot_h / 2,
+                xml_escape(cfg_.y_label).c_str());
+  out += buf;
+  double lx = kMarginLeft + 10;
+  for (const auto& l : lines_) {
+    std::snprintf(buf, sizeof(buf),
+                  "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\" "
+                  "stroke=\"%s\" stroke-width=\"2\"/>\n"
+                  "<text x=\"%.1f\" y=\"%d\">%s</text>\n",
+                  lx, kMarginTop + 12, lx + 18, kMarginTop + 12,
+                  l.color.c_str(), lx + 22, kMarginTop + 15,
+                  xml_escape(l.label).c_str());
+    out += buf;
+    lx += 30 + 7.0 * static_cast<double>(l.label.size());
+  }
+
+  out += "</svg>\n";
+  return out;
+}
+
+void SvgPlot::save(const std::filesystem::path& path) const {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("SvgPlot: cannot write " + path.string());
+  out << render();
+}
+
+}  // namespace mscope::util

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/simtime.h"
+#include "util/stats.h"
+
+namespace mscope::util {
+
+/// Minimal time-series chart renderer producing standalone SVG — enough to
+/// regenerate the paper's figures (response-time curves, queue lengths,
+/// utilization traces) without any plotting dependency. X is SimTime
+/// (rendered in seconds), Y is the sample value.
+class SvgPlot {
+ public:
+  struct Config {
+    int width = 860;
+    int height = 320;
+    std::string title;
+    std::string x_label = "time (s)";
+    std::string y_label;
+    /// Fixed y-max (0 = auto-scale to the data).
+    double y_max = 0.0;
+  };
+
+  explicit SvgPlot(Config cfg);
+
+  /// Adds one line series. Empty color picks from the built-in palette.
+  void add_line(const Series& series, std::string label,
+                std::string color = "");
+
+  /// Adds a step-style line (horizontal segments — queue lengths).
+  void add_steps(const Series& series, std::string label,
+                 std::string color = "");
+
+  /// Highlights a time window (e.g. a detected VSB) with a translucent band.
+  void add_vspan(SimTime from, SimTime to, std::string color = "#fbd5d5");
+
+  /// Renders the complete SVG document.
+  [[nodiscard]] std::string render() const;
+
+  /// Writes the SVG to a file (creating parent directories).
+  void save(const std::filesystem::path& path) const;
+
+  [[nodiscard]] std::size_t series_count() const { return lines_.size(); }
+
+ private:
+  struct Line {
+    Series series;
+    std::string label;
+    std::string color;
+    bool steps = false;
+  };
+  struct Span {
+    SimTime from, to;
+    std::string color;
+  };
+
+  Config cfg_;
+  std::vector<Line> lines_;
+  std::vector<Span> spans_;
+};
+
+}  // namespace mscope::util

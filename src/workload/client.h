@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/server.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+#include "workload/rubbos.h"
+
+namespace mscope::workload {
+
+/// Closed-loop RUBBoS client emulator.
+///
+/// `users` concurrent sessions, each cycling: think (exponential) -> pick the
+/// next interaction (Markov) -> send -> wait for the response. The workload
+/// value in all paper figures *is* this user count. Session starts are
+/// staggered over a ramp so the system does not see a synchronized burst.
+class ClientPool {
+ public:
+  struct Config {
+    int users = 1000;
+    SimTime mean_think = 7 * util::kSec;  ///< RUBBoS default think time
+    SimTime ramp = 2 * util::kSec;
+    std::uint64_t seed = 42;
+    /// Stop issuing new requests after this time (in-flight ones finish).
+    SimTime stop_at = 0;  ///< 0 = never stop
+    /// Scales per-query buffer-miss probabilities (cold buffer pool).
+    double buffer_miss_multiplier = 1.0;
+  };
+
+  ClientPool(sim::Simulation& sim, sim::Network& net, sim::Node& client_node,
+             sim::Server& entry, Config cfg);
+
+  /// Multiple front-tier replicas: sessions are pinned round-robin (sticky
+  /// sessions, as an L4 balancer would).
+  ClientPool(sim::Simulation& sim, sim::Network& net, sim::Node& client_node,
+             std::vector<sim::Server*> entries, Config cfg);
+
+  ClientPool(const ClientPool&) = delete;
+  ClientPool& operator=(const ClientPool&) = delete;
+
+  /// Schedules all session starts; call once before Simulation::run_until.
+  void start();
+
+  /// Every completed request, with full ground-truth tier records.
+  [[nodiscard]] const std::vector<sim::RequestPtr>& completed() const {
+    return completed_;
+  }
+
+  [[nodiscard]] std::uint64_t issued() const { return issued_; }
+
+  /// Optional notification on every completion (used by live detectors).
+  void set_on_complete(std::function<void(const sim::RequestPtr&)> cb) {
+    on_complete_ = std::move(cb);
+  }
+
+ private:
+  struct Session {
+    util::Rng rng;
+    int current_interaction = -1;
+    Session(std::uint64_t seed, std::uint64_t stream) : rng(seed, stream) {}
+  };
+
+  void think_then_send(int s);
+  void send(int s);
+
+  [[nodiscard]] sim::Server& entry_of(int session) const {
+    return *entries_[static_cast<std::size_t>(session) % entries_.size()];
+  }
+
+  sim::Simulation& sim_;
+  sim::Network& net_;
+  sim::Node& client_node_;
+  std::vector<sim::Server*> entries_;
+  Config cfg_;
+  std::uint16_t wire_id_;
+  std::uint64_t conn_base_;
+  std::vector<Session> sessions_;
+  std::vector<sim::RequestPtr> completed_;
+  std::function<void(const sim::RequestPtr&)> on_complete_;
+  std::uint64_t next_req_id_ = 1;
+  std::uint64_t issued_ = 0;
+};
+
+}  // namespace mscope::workload

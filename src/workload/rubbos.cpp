@@ -1,0 +1,211 @@
+#include "workload/rubbos.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mscope::workload {
+
+namespace {
+
+std::vector<Interaction> build_table() {
+  // Name, URL, SQL, weight, queries, write?, apache/tomcat/cjdbc/mysql cpu,
+  // buffer-miss probability. Mix is browse-heavy (~90% read-only), matching
+  // RUBBoS's default "read/write mix" property file.
+  std::vector<Interaction> t;
+  const auto add = [&t](std::string name, std::string sql, double weight,
+                        int queries, bool write, double tomcat_cpu,
+                        double mysql_cpu, double miss) {
+    Interaction ix;
+    ix.url = "/rubbos/" + name;
+    ix.name = std::move(name);
+    ix.sql_template = std::move(sql);
+    ix.weight = weight;
+    ix.queries = queries;
+    ix.is_write = write;
+    ix.tomcat_cpu = tomcat_cpu;
+    ix.mysql_cpu = mysql_cpu;
+    ix.buffer_miss = miss;
+    t.push_back(std::move(ix));
+  };
+
+  add("StoriesOfTheDay",
+      "SELECT id,title FROM stories ORDER BY date DESC LIMIT 10",
+      10.0, 2, false, 900, 650, 0.06);
+  add("ViewStory",
+      "SELECT * FROM stories WHERE id=?",
+      14.0, 3, false, 1000, 550, 0.10);
+  add("ViewComment",
+      "SELECT * FROM comments WHERE story_id=?",
+      12.0, 2, false, 850, 500, 0.10);
+  add("BrowseCategories",
+      "SELECT id,name FROM categories",
+      6.0, 1, false, 600, 350, 0.02);
+  add("BrowseStoriesByCategory",
+      "SELECT id,title FROM stories WHERE category=?",
+      8.0, 2, false, 900, 600, 0.08);
+  add("OlderStories",
+      "SELECT id,title FROM old_stories WHERE date<?",
+      5.0, 2, false, 850, 700, 0.14);
+  add("Search",
+      "SELECT 1",
+      3.0, 1, false, 450, 250, 0.01);
+  add("SearchInStories",
+      "SELECT id,title FROM stories WHERE title LIKE ?",
+      3.5, 2, false, 1000, 900, 0.16);
+  add("SearchInComments",
+      "SELECT id FROM comments WHERE comment LIKE ?",
+      2.0, 2, false, 1000, 950, 0.16);
+  add("SearchInUsers",
+      "SELECT id,nickname FROM users WHERE nickname LIKE ?",
+      1.5, 1, false, 800, 700, 0.10);
+  add("ViewUserInfo",
+      "SELECT * FROM users WHERE id=?",
+      3.0, 2, false, 750, 450, 0.06);
+  add("AuthorLogin",
+      "SELECT id,password FROM users WHERE nickname=?",
+      1.2, 1, false, 650, 400, 0.04);
+  add("Register",
+      "SELECT 1",
+      1.0, 1, false, 500, 250, 0.01);
+  add("RegisterUser",
+      "INSERT INTO users VALUES (?,?,?,?)",
+      0.8, 2, true, 900, 600, 0.05);
+  add("PostComment",
+      "SELECT id,title FROM stories WHERE id=?",
+      2.5, 1, false, 650, 400, 0.05);
+  add("StoreComment",
+      "INSERT INTO comments VALUES (?,?,?,?,?)",
+      2.2, 3, true, 1100, 700, 0.08);
+  add("SubmitStory",
+      "SELECT 1",
+      1.2, 1, false, 550, 300, 0.02);
+  add("StoreStory",
+      "INSERT INTO submissions VALUES (?,?,?,?)",
+      1.0, 3, true, 1150, 750, 0.08);
+  add("ReviewStories",
+      "SELECT * FROM submissions ORDER BY date",
+      0.8, 2, false, 900, 800, 0.12);
+  add("AcceptStory",
+      "UPDATE submissions SET accepted=1 WHERE id=?",
+      0.5, 2, true, 900, 650, 0.06);
+  add("RejectStory",
+      "DELETE FROM submissions WHERE id=?",
+      0.4, 1, true, 750, 550, 0.05);
+  add("ModerateComment",
+      "SELECT * FROM comments WHERE id=?",
+      0.6, 1, false, 700, 450, 0.05);
+  add("StoreModerateLog",
+      "INSERT INTO moderator_log VALUES (?,?,?)",
+      0.5, 2, true, 850, 600, 0.06);
+  add("Logout",
+      "SELECT 1",
+      1.3, 1, false, 400, 200, 0.01);
+  return t;
+}
+
+}  // namespace
+
+const std::vector<Interaction>& Rubbos::interactions() {
+  static const std::vector<Interaction> table = build_table();
+  return table;
+}
+
+const std::vector<std::string>& Rubbos::tier_names() {
+  static const std::vector<std::string> names{"apache", "tomcat", "cjdbc",
+                                              "mysql"};
+  return names;
+}
+
+int Rubbos::next_interaction(int current, util::Rng& rng) {
+  const auto& table = interactions();
+  // Follow-up affinity: pairs a browsing user actually produces.
+  // (index lookups below must match build_table() order)
+  struct Edge { int from, to; double prob; };
+  static constexpr Edge kEdges[] = {
+      {0, 1, 0.45},   // StoriesOfTheDay -> ViewStory
+      {1, 2, 0.50},   // ViewStory -> ViewComment
+      {2, 2, 0.25},   // ViewComment -> ViewComment (thread reading)
+      {3, 4, 0.60},   // BrowseCategories -> BrowseStoriesByCategory
+      {4, 1, 0.40},   // BrowseStoriesByCategory -> ViewStory
+      {6, 7, 0.55},   // Search -> SearchInStories
+      {14, 15, 0.70}, // PostComment -> StoreComment
+      {16, 17, 0.70}, // SubmitStory -> StoreStory
+      {12, 13, 0.75}, // Register -> RegisterUser
+      {18, 19, 0.45}, // ReviewStories -> AcceptStory
+  };
+  if (current >= 0) {
+    for (const Edge& e : kEdges) {
+      if (e.from == current && rng.chance(e.prob)) return e.to;
+    }
+  }
+  std::vector<double> weights;
+  weights.reserve(table.size());
+  for (const auto& ix : table) weights.push_back(ix.weight);
+  return static_cast<int>(rng.discrete(weights));
+}
+
+std::vector<std::vector<sim::TierDemand>> Rubbos::make_demands(
+    const Interaction& ix, util::Rng& rng, double buffer_miss_multiplier) {
+  constexpr double kCv = 0.3;
+  const auto jitter = [&rng](double mean) {
+    return static_cast<SimTime>(rng.lognormal_mean_cv(mean, kCv));
+  };
+
+  std::vector<std::vector<sim::TierDemand>> demands(kTiers);
+
+  // Apache: thin HTTP front end, one visit.
+  {
+    sim::TierDemand d;
+    d.cpu_pre = jitter(ix.apache_cpu * 0.6);
+    d.cpu_post = jitter(ix.apache_cpu * 0.4);
+    d.downstream_calls = 1;  // one ModJK forward to Tomcat
+    d.dirty_bytes = kApacheDirtyBytes;
+    demands[kApache].push_back(d);
+  }
+  // Tomcat: servlet logic, `queries` JDBC calls.
+  {
+    sim::TierDemand d;
+    d.cpu_pre = jitter(ix.tomcat_cpu * 0.5);
+    d.cpu_per_call = jitter(ix.tomcat_cpu * 0.2);
+    d.cpu_post = jitter(ix.tomcat_cpu * 0.3);
+    d.downstream_calls = ix.queries;
+    d.dirty_bytes = kTomcatDirtyBytes;
+    demands[kTomcat].push_back(d);
+  }
+  // CJDBC: routing middleware, one visit per query.
+  for (int q = 0; q < ix.queries; ++q) {
+    sim::TierDemand d;
+    d.cpu_pre = jitter(ix.cjdbc_cpu * 0.6);
+    d.cpu_post = jitter(ix.cjdbc_cpu * 0.4);
+    d.downstream_calls = 1;
+    demands[kCjdbc].push_back(d);
+  }
+  // MySQL: one visit per query; per-query buffer-miss draw; synchronous
+  // commit on the last statement of a write interaction.
+  for (int q = 0; q < ix.queries; ++q) {
+    sim::TierDemand d;
+    d.cpu_pre = jitter(ix.mysql_cpu * 0.7);
+    d.cpu_post = jitter(ix.mysql_cpu * 0.3);
+    if (rng.chance(std::min(1.0, ix.buffer_miss * buffer_miss_multiplier))) {
+      d.disk_read_bytes = 16384 + 16384 * rng.next_below(3);  // 16-48 KB
+    }
+    if (ix.is_write && q == ix.queries - 1) {
+      d.commit_write_bytes = 8192;
+    }
+    demands[kMysql].push_back(d);
+  }
+  return demands;
+}
+
+Rubbos::WireSizes Rubbos::wire_sizes(int tier) {
+  switch (tier) {
+    case kApache: return {700, 8000};   // browser <-> Apache (HTML page)
+    case kTomcat: return {650, 7000};   // ModJK
+    case kCjdbc: return {400, 2500};    // JDBC
+    case kMysql: return {380, 2200};    // MySQL wire protocol
+    default:
+      throw std::out_of_range("Rubbos::wire_sizes: bad tier");
+  }
+}
+
+}  // namespace mscope::workload

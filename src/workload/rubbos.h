@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/request.h"
+#include "util/rng.h"
+#include "util/simtime.h"
+
+namespace mscope::workload {
+
+using util::SimTime;
+
+/// One of RUBBoS's 24 interaction types ("view story", "store comment", …).
+///
+/// RUBBoS models a bulletin-board site like Slashdot; the workload value is
+/// the number of concurrent users, each cycling through interactions with
+/// think time (paper Section VI-A). Demand means below are per-visit CPU
+/// microseconds; they are calibrated so a four-node testbed runs at moderate
+/// utilization at workload 8000 with an average end-to-end response time in
+/// the 10–20 ms range, matching the paper's setting.
+struct Interaction {
+  std::string name;
+  std::string url;            ///< servlet path, e.g. "/rubbos/ViewStory"
+  std::string sql_template;   ///< representative SQL for DB-tier logs
+  double weight = 1.0;        ///< stationary mix weight
+  int queries = 1;            ///< SQL statements Tomcat issues
+  bool is_write = false;      ///< last statement commits synchronously
+  double apache_cpu = 150;    ///< usec, mean
+  double tomcat_cpu = 900;    ///< usec, mean (split pre/per-call/post)
+  double cjdbc_cpu = 120;     ///< usec, mean per query
+  double mysql_cpu = 550;     ///< usec, mean per query
+  double buffer_miss = 0.08;  ///< P(buffer-pool miss -> disk read) per query
+};
+
+/// The RUBBoS interaction table and demand generator.
+class Rubbos {
+ public:
+  /// All 24 interaction types.
+  [[nodiscard]] static const std::vector<Interaction>& interactions();
+
+  /// Number of tiers in the standard deployment
+  /// (Apache -> Tomcat -> CJDBC -> MySQL).
+  static constexpr int kTiers = 4;
+  static constexpr int kApache = 0;
+  static constexpr int kTomcat = 1;
+  static constexpr int kCjdbc = 2;
+  static constexpr int kMysql = 3;
+
+  /// Tier service names in pipeline order.
+  [[nodiscard]] static const std::vector<std::string>& tier_names();
+
+  /// Samples the next interaction index for a session currently at
+  /// `current` (-1 = session start). Implements a simplified browsing
+  /// Markov chain: mostly weight-driven with follow-up affinity (a user who
+  /// viewed a story tends to view its comments next).
+  [[nodiscard]] static int next_interaction(int current, util::Rng& rng);
+
+  /// Builds a full per-tier, per-visit demand set for one request of the
+  /// given interaction. Randomness: log-normal demand jitter (cv 0.3),
+  /// per-query buffer-miss draws, commit on the last query of writes.
+  /// `buffer_miss_multiplier` scales every interaction's miss probability —
+  /// > 1 models a database whose working set exceeds the buffer pool.
+  [[nodiscard]] static std::vector<std::vector<sim::TierDemand>> make_demands(
+      const Interaction& ix, util::Rng& rng,
+      double buffer_miss_multiplier = 1.0);
+
+  /// Bytes a request/response occupies on the wire at each tier boundary
+  /// (client->Apache, Apache->Tomcat, ...), for NIC accounting and the
+  /// passive tap.
+  struct WireSizes {
+    std::uint32_t request = 600;
+    std::uint32_t response = 6000;
+  };
+  [[nodiscard]] static WireSizes wire_sizes(int tier);
+
+  /// Per-request buffered bytes dirtied at the web/app tiers beyond logging
+  /// (session state scraps). Kept tiny so that — as on the real nodes — log
+  /// writes dominate the web/app tiers' disk traffic and the Fig. 10
+  /// "aggregate disk write size" comparison measures logging, not noise.
+  /// Scenario B's dirty-page pressure is injected by its scenario driver.
+  static constexpr std::int64_t kApacheDirtyBytes = 64;
+  static constexpr std::int64_t kTomcatDirtyBytes = 128;
+};
+
+}  // namespace mscope::workload

@@ -1,0 +1,106 @@
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "util/id_codec.h"
+
+namespace mscope::core {
+namespace {
+
+using util::msec;
+
+/// Builds a two-tier warehouse holding one request's records.
+class TraceFixture : public ::testing::Test {
+ protected:
+  TraceFixture() {
+    auto& apache = db_.create_table(
+        "ev_apache_web1", {{"req_id", db::DataType::kText},
+                           {"ua_usec", db::DataType::kInt},
+                           {"ud_usec", db::DataType::kInt},
+                           {"ds_usec", db::DataType::kInt},
+                           {"dr_usec", db::DataType::kInt}});
+    apache.insert({db::Value{util::IdCodec::encode(7)},
+                   db::Value{msec(0)}, db::Value{msec(10)},
+                   db::Value{msec(1)}, db::Value{msec(9)}});
+    auto& tomcat = db_.create_table(
+        "ev_tomcat_app1", {{"req_id", db::DataType::kText},
+                           {"ua_usec", db::DataType::kInt},
+                           {"ud_usec", db::DataType::kInt},
+                           {"ds0_usec", db::DataType::kInt},
+                           {"dr0_usec", db::DataType::kInt},
+                           {"ds1_usec", db::DataType::kInt},
+                           {"dr1_usec", db::DataType::kInt}});
+    tomcat.insert({db::Value{util::IdCodec::encode(7)},
+                   db::Value{msec(1)}, db::Value{msec(9)},
+                   db::Value{msec(2)}, db::Value{msec(4)},
+                   db::Value{msec(5)}, db::Value{msec(8)}});
+  }
+
+  db::Database db_;
+  TraceReconstructor tr_{db_,
+                         {"ev_apache_web1", "ev_tomcat_app1"},
+                         {"apache", "tomcat"}};
+};
+
+TEST_F(TraceFixture, ReconstructJoinsTiersOnId) {
+  const auto trace = tr_.reconstruct(7);
+  ASSERT_TRUE(trace.has_value());
+  ASSERT_EQ(trace->spans.size(), 2u);
+  EXPECT_EQ(trace->spans[0].service, "apache");
+  EXPECT_EQ(trace->spans[0].ua, msec(0));
+  EXPECT_EQ(trace->spans[0].ud, msec(10));
+  ASSERT_EQ(trace->spans[0].calls.size(), 1u);
+  EXPECT_EQ(trace->spans[1].service, "tomcat");
+  ASSERT_EQ(trace->spans[1].calls.size(), 2u);
+  EXPECT_EQ(trace->spans[1].calls[1].second, msec(8));
+  EXPECT_EQ(trace->response_time(), msec(10));
+}
+
+TEST_F(TraceFixture, ExclusiveTimeSubtractsCalls) {
+  const auto trace = tr_.reconstruct(7);
+  // apache: 10 - (9-1) = 2 ms; tomcat: 8 - (2 + 3) = 3 ms.
+  EXPECT_EQ(trace->spans[0].exclusive_time(), msec(2));
+  EXPECT_EQ(trace->spans[1].exclusive_time(), msec(3));
+}
+
+TEST_F(TraceFixture, UnknownIdGivesNullopt) {
+  EXPECT_FALSE(tr_.reconstruct(999).has_value());
+}
+
+TEST_F(TraceFixture, RequestIdsListsFrontTier) {
+  const auto ids = tr_.request_ids();
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], 7u);
+}
+
+TEST_F(TraceFixture, RenderMentionsEveryTier) {
+  const auto trace = tr_.reconstruct(7);
+  const std::string text = TraceReconstructor::render(*trace);
+  EXPECT_NE(text.find("apache"), std::string::npos);
+  EXPECT_NE(text.find("tomcat"), std::string::npos);
+  EXPECT_NE(text.find("ID=000000000007"), std::string::npos);
+}
+
+TEST_F(TraceFixture, CompareWithTruthCountsMismatches) {
+  const auto trace = tr_.reconstruct(7);
+  sim::Request truth;
+  truth.id = 7;
+  truth.records.resize(2);
+  truth.records[0].visits.push_back(
+      {msec(0), msec(10), {{msec(1), msec(9)}}});
+  truth.records[1].visits.push_back(
+      {msec(1), msec(9), {{msec(2), msec(4)}, {msec(5), msec(8)}}});
+  EXPECT_EQ(TraceReconstructor::compare_with_truth(*trace, truth), 0);
+
+  // Perturb one timestamp.
+  truth.records[1].visits[0].downstream[1].second = msec(7);
+  EXPECT_EQ(TraceReconstructor::compare_with_truth(*trace, truth), 1);
+
+  // Remove a visit entirely.
+  truth.records[1].visits.clear();
+  EXPECT_GT(TraceReconstructor::compare_with_truth(*trace, truth), 0);
+}
+
+}  // namespace
+}  // namespace mscope::core

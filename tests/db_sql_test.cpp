@@ -1,0 +1,159 @@
+#include "db/sql.h"
+
+#include <gtest/gtest.h>
+
+namespace mscope::db {
+namespace {
+
+class SqlFixture : public ::testing::Test {
+ protected:
+  SqlFixture() {
+    auto& t = db_.create_table("ev", {{"req_id", DataType::kText},
+                                      {"ua_usec", DataType::kInt},
+                                      {"rt", DataType::kDouble},
+                                      {"url", DataType::kText}});
+    const char* urls[] = {"/rubbos/ViewStory", "/rubbos/StoriesOfTheDay",
+                          "/rubbos/StoreComment"};
+    for (int i = 0; i < 30; ++i) {
+      t.insert({Value{std::string("ID") + std::to_string(i)},
+                Value{std::int64_t{i * 100}},
+                Value{1.0 + i},
+                Value{std::string(urls[i % 3])}});
+    }
+    t.insert({Value{}, Value{std::int64_t{9999}}, Value{}, Value{}});
+  }
+  db::Database db_;
+};
+
+TEST_F(SqlFixture, SelectStar) {
+  const Table r = Sql::execute(db_, "SELECT * FROM ev");
+  EXPECT_EQ(r.row_count(), 31u);
+  EXPECT_EQ(r.column_count(), 4u);
+}
+
+TEST_F(SqlFixture, ProjectionAndWhere) {
+  const Table r = Sql::execute(
+      db_, "SELECT req_id, rt FROM ev WHERE ua_usec >= 1000 AND rt < 15");
+  EXPECT_EQ(r.column_count(), 2u);
+  EXPECT_EQ(r.row_count(), 4u);  // i in [10,13]
+}
+
+TEST_F(SqlFixture, KeywordsAreCaseInsensitive) {
+  const Table r =
+      Sql::execute(db_, "select req_id from ev where ua_usec = 0 limit 5");
+  EXPECT_EQ(r.row_count(), 1u);
+}
+
+TEST_F(SqlFixture, StringLiteralAndEquality) {
+  const Table r =
+      Sql::execute(db_, "SELECT * FROM ev WHERE req_id = 'ID7'");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(r.at(0, "ua_usec")), 700);
+}
+
+TEST_F(SqlFixture, QuoteEscaping) {
+  auto& t = db_.create_table("q", {{"s", DataType::kText}});
+  t.insert({Value{std::string("it's")}});
+  const Table r = Sql::execute(db_, "SELECT * FROM q WHERE s = 'it''s'");
+  EXPECT_EQ(r.row_count(), 1u);
+}
+
+TEST_F(SqlFixture, LikePatterns) {
+  EXPECT_EQ(Sql::execute(db_, "SELECT * FROM ev WHERE url LIKE '%Store%'")
+                .row_count(),
+            10u);
+  EXPECT_EQ(Sql::execute(db_, "SELECT * FROM ev WHERE req_id LIKE 'ID_'")
+                .row_count(),
+            10u);  // ID0..ID9
+}
+
+TEST_F(SqlFixture, NullComparisons) {
+  EXPECT_EQ(Sql::execute(db_, "SELECT * FROM ev WHERE rt = NULL").row_count(),
+            1u);
+  EXPECT_EQ(Sql::execute(db_, "SELECT * FROM ev WHERE rt != NULL").row_count(),
+            30u);
+  // Ordered comparison against NULL matches nothing.
+  EXPECT_EQ(Sql::execute(db_, "SELECT * FROM ev WHERE rt > NULL").row_count(),
+            0u);
+}
+
+TEST_F(SqlFixture, OrderByAndLimit) {
+  const Table r = Sql::execute(
+      db_, "SELECT req_id FROM ev WHERE rt != NULL ORDER BY rt DESC LIMIT 3");
+  ASSERT_EQ(r.row_count(), 3u);
+  EXPECT_EQ(std::get<std::string>(r.at(0, "req_id")), "ID29");
+  EXPECT_EQ(std::get<std::string>(r.at(2, "req_id")), "ID27");
+}
+
+TEST_F(SqlFixture, Aggregates) {
+  const Table r = Sql::execute(
+      db_, "SELECT COUNT(*), MIN(rt), MAX(rt), AVG(rt), SUM(ua_usec) "
+           "FROM ev WHERE rt != NULL");
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(r.at(0, "count")), 30);
+  EXPECT_DOUBLE_EQ(std::get<double>(r.at(0, "min_rt")), 1.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(r.at(0, "max_rt")), 30.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(r.at(0, "avg_rt")), 15.5);
+}
+
+TEST_F(SqlFixture, NumericLiterals) {
+  EXPECT_EQ(Sql::execute(db_, "SELECT * FROM ev WHERE rt <= 3.5").row_count(),
+            3u);
+  EXPECT_EQ(Sql::execute(db_, "SELECT * FROM ev WHERE ua_usec = 9999")
+                .row_count(),
+            1u);
+}
+
+TEST_F(SqlFixture, SyntaxErrors) {
+  EXPECT_THROW((void)Sql::execute(db_, "SELEKT * FROM ev"),
+               std::invalid_argument);
+  EXPECT_THROW((void)Sql::execute(db_, "SELECT * FROM"),
+               std::invalid_argument);
+  EXPECT_THROW((void)Sql::execute(db_, "SELECT * FROM ev WHERE"),
+               std::invalid_argument);
+  EXPECT_THROW((void)Sql::execute(db_, "SELECT * FROM ev LIMIT -1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)Sql::execute(db_, "SELECT * FROM ev garbage"),
+               std::invalid_argument);
+  EXPECT_THROW((void)Sql::execute(db_, "SELECT MIN(*) FROM ev"),
+               std::invalid_argument);
+  EXPECT_THROW((void)Sql::execute(db_, "SELECT req_id, COUNT(*) FROM ev"),
+               std::invalid_argument);
+  EXPECT_THROW((void)Sql::execute(db_, "SELECT * FROM ev WHERE url LIKE 5"),
+               std::invalid_argument);
+}
+
+TEST_F(SqlFixture, UnknownTableOrColumn) {
+  EXPECT_THROW((void)Sql::execute(db_, "SELECT * FROM nope"),
+               std::out_of_range);
+  EXPECT_THROW((void)Sql::execute(db_, "SELECT nope FROM ev"),
+               std::out_of_range);
+}
+
+TEST(SqlLike, WildcardSemantics) {
+  EXPECT_TRUE(Sql::like("hello", "hello"));
+  EXPECT_TRUE(Sql::like("hello", "h%"));
+  EXPECT_TRUE(Sql::like("hello", "%llo"));
+  EXPECT_TRUE(Sql::like("hello", "%ell%"));
+  EXPECT_TRUE(Sql::like("hello", "h_llo"));
+  EXPECT_TRUE(Sql::like("", "%"));
+  EXPECT_TRUE(Sql::like("abc", "%%%"));
+  EXPECT_FALSE(Sql::like("hello", "h_llo_"));
+  EXPECT_FALSE(Sql::like("hello", "world"));
+  EXPECT_FALSE(Sql::like("hello", ""));
+  EXPECT_TRUE(Sql::like("aXbXc", "a%b%c"));
+  EXPECT_FALSE(Sql::like("ab", "a_b"));
+}
+
+TEST_F(SqlFixture, FormatAlignsColumns) {
+  const Table r = Sql::execute(db_, "SELECT req_id, rt FROM ev LIMIT 2");
+  const std::string text = Sql::format(r);
+  EXPECT_NE(text.find("req_id"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  const std::string truncated = Sql::format(
+      Sql::execute(db_, "SELECT * FROM ev"), 5);
+  EXPECT_NE(truncated.find("more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mscope::db

@@ -1,0 +1,300 @@
+// End-to-end tests: run the full simulated RUBBoS testbed with monitors,
+// transform the real log files, load mScopeDB, and verify that milliScope
+// reaches the paper's conclusions (scenario A -> database disk IO; scenario
+// B -> dirty-page recycling at the web/app tiers), that reconstructed traces
+// match simulator ground truth exactly, and that the SysViz stand-in agrees
+// with the event monitors (Fig. 9).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/milliscope.h"
+#include "util/id_codec.h"
+
+namespace mscope::core {
+namespace {
+
+namespace fs = std::filesystem;
+using util::msec;
+using util::sec;
+
+fs::path temp_dir(const std::string& tag) {
+  return fs::temp_directory_path() / ("mscope_integration_" + tag);
+}
+
+class ScenarioAFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TestbedConfig cfg;
+    cfg.workload = 1500;
+    cfg.duration = sec(14);
+    cfg.log_dir = temp_dir("a");
+    cfg.scenario_a = ScenarioA{};
+    exp_ = new Experiment(cfg);
+    exp_->run();
+    db_ = new db::Database();
+    report_ = exp_->load_warehouse(*db_);
+  }
+  static void TearDownTestSuite() {
+    delete exp_;
+    delete db_;
+    fs::remove_all(temp_dir("a"));
+  }
+
+  static Experiment* exp_;
+  static db::Database* db_;
+  static transform::DataTransformer::Report report_;
+};
+
+Experiment* ScenarioAFixture::exp_ = nullptr;
+db::Database* ScenarioAFixture::db_ = nullptr;
+transform::DataTransformer::Report ScenarioAFixture::report_;
+
+TEST_F(ScenarioAFixture, AllLogFilesTransformed) {
+  EXPECT_EQ(report_.skipped(), 0u);
+  // 4 event tables + 4 collectl CSVs + sar text + 2 sar xml + 2 iostat +
+  // 1 collectl plain.
+  EXPECT_EQ(report_.tables_created, 14u);
+  EXPECT_GT(report_.rows_loaded, 1000u);
+}
+
+TEST_F(ScenarioAFixture, WarehouseMetadataPopulated) {
+  EXPECT_EQ(db_->get(db::Database::kNodeTable).row_count(), 4u);
+  EXPECT_EQ(db_->get(db::Database::kExperimentTable).row_count(), 1u);
+  EXPECT_EQ(db_->get(db::Database::kLoadCatalogTable).row_count(), 14u);
+}
+
+TEST_F(ScenarioAFixture, PitPeakExceedsTwentyTimesAverage) {
+  // Paper Fig. 2: max Point-In-Time response time > 20x the average.
+  const auto pit = pit_response_time_db(*db_, exp_->event_tables().front(),
+                                        msec(50));
+  EXPECT_GT(pit.overall_avg_ms, 1.0);
+  EXPECT_LT(pit.overall_avg_ms, 50.0);
+  EXPECT_GT(pit.peak_to_average(), 20.0);
+}
+
+TEST_F(ScenarioAFixture, DiagnosisFindsDatabaseDiskIo) {
+  const auto diagnoses = exp_->diagnoser(*db_).diagnose(sec(14));
+  ASSERT_FALSE(diagnoses.empty());
+  for (const auto& d : diagnoses) {
+    EXPECT_EQ(d.bottleneck_node, "db1");
+    EXPECT_EQ(d.root_cause, "disk-io");
+    EXPECT_TRUE(d.pushback.cross_tier);
+  }
+}
+
+TEST_F(ScenarioAFixture, DbDiskSaturatedOnlyInsideWindow) {
+  // Paper Fig. 4: the DB disk hits 100% during the VSB; other tiers stay low.
+  const auto disk = resource_series(*db_, "res_collectl_db1", "dsk_pctutil");
+  double peak = 0;
+  for (const auto& s : disk) peak = std::max(peak, s.value);
+  EXPECT_GE(peak, 99.0);
+  const auto web_disk =
+      resource_series(*db_, "res_collectl_web1", "dsk_pctutil");
+  for (const auto& s : web_disk) EXPECT_LT(s.value, 50.0);
+}
+
+TEST_F(ScenarioAFixture, DiskUtilCorrelatesWithFrontQueue) {
+  // Paper Fig. 7: DB disk utilization vs Apache queue length.
+  const auto disk = resource_series(*db_, "res_collectl_db1", "dsk_pctutil");
+  const auto queue = queue_length_db(*db_, exp_->event_tables().front(),
+                                     msec(50), 0, sec(14));
+  // Correlate on coarse buckets around the episode only (fine buckets shift
+  // by the stall drain); positive and substantial is the paper's claim.
+  EXPECT_GT(util::correlate_series(disk, queue, msec(200)), 0.3);
+}
+
+TEST_F(ScenarioAFixture, TracesMatchGroundTruthExactly) {
+  auto tr = exp_->traces(*db_);
+  const auto& completed = exp_->testbed().clients().completed();
+  ASSERT_FALSE(completed.empty());
+  int checked = 0;
+  for (std::size_t i = 0; i < completed.size(); i += 97) {
+    const auto& req = completed[i];
+    const auto trace = tr.reconstruct(req->id);
+    ASSERT_TRUE(trace.has_value()) << "req " << req->id;
+    EXPECT_EQ(TraceReconstructor::compare_with_truth(*trace, *req), 0);
+    EXPECT_EQ(trace->response_time(),
+              req->records[0].visits[0].upstream_departure -
+                  req->records[0].visits[0].upstream_arrival);
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST_F(ScenarioAFixture, SysVizQueueLengthsMatchEventMonitors) {
+  // Paper Fig. 9: per-tier queue lengths from the passive reconstruction
+  // track the event monitors'.
+  const auto result = exp_->sysviz_reconstruct();
+  EXPECT_GT(result.assembly_accuracy, 0.9);
+  for (int tier = 0; tier < 4; ++tier) {
+    const auto sysviz_q = util::integrate_deltas(
+        result.queue_deltas[static_cast<std::size_t>(tier)], msec(50), 0,
+        sec(14));
+    const auto monitor_q =
+        queue_length_db(*db_, exp_->event_tables()[static_cast<std::size_t>(tier)],
+                        msec(50), 0, sec(14));
+    const double corr = util::correlate_series(sysviz_q, monitor_q, msec(50));
+    EXPECT_GT(corr, 0.93) << "tier " << tier;
+  }
+}
+
+TEST_F(ScenarioAFixture, VlrtRequestsExistAndClusterInWindows) {
+  const auto& completed = exp_->testbed().clients().completed();
+  const auto vlrt = find_vlrt(completed, 10.0);
+  EXPECT_FALSE(vlrt.empty());
+  // All VLRTs should complete within ~1s of a flush (8 s cadence).
+  for (const auto& v : vlrt) {
+    const double phase =
+        std::fmod(util::to_sec(v.completed_at) - 8.0, 10.0);
+    EXPECT_TRUE(phase >= -0.1 && phase < 1.5)
+        << "VLRT at " << util::to_sec(v.completed_at) << "s";
+  }
+}
+
+class ScenarioBFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TestbedConfig cfg;
+    cfg.workload = 1500;
+    cfg.duration = sec(6);
+    cfg.log_dir = temp_dir("b");
+    cfg.scenario_b = ScenarioB::figure8();
+    exp_ = new Experiment(cfg);
+    exp_->run();
+    db_ = new db::Database();
+    exp_->load_warehouse(*db_);
+  }
+  static void TearDownTestSuite() {
+    delete exp_;
+    delete db_;
+    fs::remove_all(temp_dir("b"));
+  }
+
+  static Experiment* exp_;
+  static db::Database* db_;
+};
+
+Experiment* ScenarioBFixture::exp_ = nullptr;
+db::Database* ScenarioBFixture::db_ = nullptr;
+
+TEST_F(ScenarioBFixture, TwoPeaksWithDistinctBottlenecks) {
+  // Paper Fig. 8: two look-alike peaks, different tiers.
+  const auto diagnoses = exp_->diagnoser(*db_).diagnose(sec(6));
+  ASSERT_GE(diagnoses.size(), 2u);
+  const auto& first = diagnoses.front();
+  const auto& second = diagnoses.back();
+  EXPECT_EQ(first.bottleneck_node, "web1");
+  EXPECT_EQ(first.root_cause, "memory-dirty-page");
+  EXPECT_FALSE(first.pushback.cross_tier);  // only Apache's queue grows
+  EXPECT_EQ(second.bottleneck_node, "app1");
+  EXPECT_EQ(second.root_cause, "memory-dirty-page");
+  EXPECT_TRUE(second.pushback.cross_tier);  // Apache + Tomcat grow
+}
+
+TEST_F(ScenarioBFixture, CpuSaturatesAtRespectivePeaks) {
+  // Paper Fig. 8c.
+  for (const auto& node : {std::string("web1"), std::string("app1")}) {
+    const auto user = resource_series(*db_, "res_collectl_" + node,
+                                      "cpu_user_pct");
+    const auto sys = resource_series(*db_, "res_collectl_" + node,
+                                     "cpu_sys_pct");
+    double peak = 0;
+    for (std::size_t i = 0; i < user.size() && i < sys.size(); ++i) {
+      peak = std::max(peak, user[i].value + sys[i].value);
+    }
+    EXPECT_GT(peak, 95.0) << node;
+  }
+}
+
+TEST_F(ScenarioBFixture, DirtyPagesDropAbruptly) {
+  // Paper Fig. 8d: the dirty-page count collapses during each peak.
+  for (const auto& node : {std::string("web1"), std::string("app1")}) {
+    const auto dirty = resource_series(*db_, "res_collectl_" + node,
+                                       "mem_dirtykb");
+    double peak = 0, low_after_peak = 1e18;
+    bool seen_peak = false;
+    for (const auto& s : dirty) {
+      if (s.value > 300.0 * 1024) {
+        peak = std::max(peak, s.value);
+        seen_peak = true;
+      } else if (seen_peak) {
+        low_after_peak = std::min(low_after_peak, s.value);
+      }
+    }
+    ASSERT_TRUE(seen_peak) << node;
+    EXPECT_LT(low_after_peak, peak / 4) << node;
+  }
+}
+
+TEST_F(ScenarioBFixture, DatabaseDiskIsInnocentThisTime) {
+  // The paper stresses the two scenarios look alike in RT but differ in
+  // cause: the database disk — scenario A's culprit — stays calm here.
+  // (The web/app disks do absorb the recycling writeback, but their nodes'
+  // distinguishing signature is the CPU storm + dirty-page collapse, which
+  // is exactly how the diagnoser separates the cases.)
+  for (const auto& node : {std::string("mid1"), std::string("db1")}) {
+    const auto disk = resource_series(*db_, "res_collectl_" + node,
+                                      "dsk_pctutil");
+    double p = 0;
+    for (const auto& s : disk) p = std::max(p, s.value);
+    EXPECT_LT(p, 60.0) << node;
+  }
+}
+
+TEST(OverheadIntegration, MonitorsCostOneToThreePercentCpu) {
+  // Paper Fig. 10, shrunk: same workload, monitors on vs off; per-node CPU
+  // overhead must land in the low single digits and disk writes roughly
+  // double on the nodes whose writes are log-dominated.
+  auto run = [](bool instrumented) {
+    TestbedConfig cfg;
+    cfg.workload = 1500;
+    cfg.duration = sec(8);
+    cfg.event_monitors = instrumented;
+    cfg.resource_monitors = false;  // isolate the event monitors' cost
+    cfg.capture_messages = false;
+    cfg.log_dir = temp_dir(instrumented ? "on" : "off");
+    Experiment exp(cfg);
+    exp.run();
+    struct Out {
+      std::vector<Testbed::NodeStats> stats;
+      double mean_rt;
+      std::size_t completed;
+    };
+    Out out{exp.testbed().node_stats(),
+            mean_response_ms(exp.testbed().clients().completed()),
+            exp.testbed().clients().completed().size()};
+    fs::remove_all(cfg.log_dir);
+    return out;
+  };
+  const auto on = run(true);
+  const auto off = run(false);
+
+  for (std::size_t tier = 0; tier < 4; ++tier) {
+    const auto& a = on.stats[tier].counters;
+    const auto& b = off.stats[tier].counters;
+    const double window =
+        static_cast<double>(a.elapsed) * 4;  // core-usec available
+    const double busy_on =
+        static_cast<double>(a.cpu_user + a.cpu_system + a.iowait);
+    const double busy_off =
+        static_cast<double>(b.cpu_user + b.cpu_system + b.iowait);
+    const double overhead_pct = (busy_on - busy_off) / window * 100.0;
+    EXPECT_GT(overhead_pct, 0.05) << on.stats[tier].name;
+    EXPECT_LT(overhead_pct, 4.0) << on.stats[tier].name;
+    // Log bytes written at least ~1.5x on every tier (paper: up to 2x).
+    EXPECT_GT(static_cast<double>(on.stats[tier].log_bytes),
+              1.4 * static_cast<double>(off.stats[tier].log_bytes))
+        << on.stats[tier].name;
+  }
+  // Throughput is essentially unchanged (paper Fig. 11).
+  EXPECT_NEAR(static_cast<double>(on.completed) /
+                  static_cast<double>(off.completed),
+              1.0, 0.05);
+  // Response time penalty is at most a few ms.
+  EXPECT_LT(on.mean_rt - off.mean_rt, 3.0);
+}
+
+}  // namespace
+}  // namespace mscope::core

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/node.h"
+#include "sim/simulation.h"
+#include "util/stats.h"
+
+namespace mscope::sim {
+namespace {
+
+using util::msec;
+using util::sec;
+using util::usec;
+
+TEST(Simulation, FiresInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 100);
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(Simulation, SameTimeIsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(1, [&] {
+    ++fired;
+    sim.schedule(1, [&] { ++fired; });
+  });
+  sim.run_until(10);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  bool late = false;
+  sim.schedule(100, [&] { late = true; });
+  sim.run_until(99);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(100);
+  EXPECT_TRUE(late);
+}
+
+TEST(Simulation, RejectsPastAndNegative) {
+  Simulation sim;
+  sim.schedule(10, [] {});
+  sim.run_until(10);
+  EXPECT_THROW(sim.schedule(-1, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_at(5, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.step());
+}
+
+Node::Config small_node() {
+  Node::Config c;
+  c.name = "n";
+  c.cores = 2;
+  c.disk.bandwidth_mbps = 100.0;  // 100 bytes/usec
+  c.disk.per_op = 10;
+  return c;
+}
+
+TEST(Cpu, RunsJobsAndAccounts) {
+  Simulation sim;
+  Node node(sim, small_node());
+  int done = 0;
+  node.cpu().submit(100, [&] { ++done; });
+  node.cpu().submit(50, CpuCategory::kSystem, CpuPriority::kNormal,
+                    [&] { ++done; });
+  sim.run_until(sec(1));
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(node.cpu().busy_user(), 100);
+  EXPECT_EQ(node.cpu().busy_system(), 50);
+  EXPECT_EQ(node.cpu().busy_cores(), 0);
+}
+
+TEST(Cpu, QueuesBeyondCores) {
+  Simulation sim;
+  Node node(sim, small_node());  // 2 cores
+  std::vector<SimTime> completion;
+  for (int i = 0; i < 4; ++i) {
+    node.cpu().submit(100, [&] { completion.push_back(sim.now()); });
+  }
+  EXPECT_EQ(node.cpu().busy_cores(), 2);
+  EXPECT_EQ(node.cpu().queue_length(), 2);
+  sim.run_until(sec(1));
+  ASSERT_EQ(completion.size(), 4u);
+  EXPECT_EQ(completion[0], 100);
+  EXPECT_EQ(completion[1], 100);
+  EXPECT_EQ(completion[2], 200);
+  EXPECT_EQ(completion[3], 200);
+}
+
+TEST(Cpu, KernelPriorityPreemptsQueue) {
+  Simulation sim;
+  Node node(sim, small_node());
+  std::vector<char> order;
+  // Fill both cores.
+  node.cpu().submit(100, [&] { order.push_back('a'); });
+  node.cpu().submit(100, [&] { order.push_back('b'); });
+  // Normal queued first, then a kernel job: kernel must run first.
+  node.cpu().submit(10, CpuCategory::kUser, CpuPriority::kNormal,
+                    [&] { order.push_back('n'); });
+  node.cpu().submit(10, CpuCategory::kSystem, CpuPriority::kKernel,
+                    [&] { order.push_back('k'); });
+  sim.run_until(sec(1));
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[2], 'k');
+  EXPECT_EQ(order[3], 'n');
+}
+
+TEST(Cpu, ZeroDemandCompletes) {
+  Simulation sim;
+  Node node(sim, small_node());
+  bool done = false;
+  node.cpu().submit(0, [&] { done = true; });
+  sim.run_until(1);
+  EXPECT_TRUE(done);
+  EXPECT_THROW(node.cpu().submit(-1, nullptr), std::invalid_argument);
+}
+
+TEST(Disk, FifoServiceAndCounters) {
+  Simulation sim;
+  Node node(sim, small_node());
+  std::vector<SimTime> times;
+  // 100 MB/s == 100 bytes/usec; per_op 10us.
+  node.disk().submit(1000, true, [&] { times.push_back(sim.now()); });
+  node.disk().submit(500, false, [&] { times.push_back(sim.now()); });
+  EXPECT_TRUE(node.disk().busy());
+  EXPECT_EQ(node.disk().queue_length(), 2);
+  sim.run_until(sec(1));
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 20);       // 10 + 1000/100
+  EXPECT_EQ(times[1], 20 + 15);  // 10 + 500/100
+  EXPECT_EQ(node.disk().bytes_written(), 1000u);
+  EXPECT_EQ(node.disk().bytes_read(), 500u);
+  EXPECT_EQ(node.disk().ops_completed(), 2u);
+  EXPECT_EQ(node.disk().busy_time(), 35);
+  EXPECT_FALSE(node.disk().busy());
+}
+
+TEST(Disk, LargeWriteBlocksSmallOne) {
+  // The scenario-A mechanism in miniature: a small commit submitted after a
+  // huge flush waits for the whole flush.
+  Simulation sim;
+  Node node(sim, small_node());
+  SimTime commit_done = -1;
+  node.disk().submit(10'000'000, true, nullptr);       // 100 ms transfer
+  node.disk().submit(100, true, [&] { commit_done = sim.now(); });
+  sim.run_until(sec(1));
+  EXPECT_GT(commit_done, msec(100));
+}
+
+TEST(PageCache, RecyclesAboveThresholdAndStopsAtWatermark) {
+  Simulation sim;
+  Node::Config c = small_node();
+  c.page_cache.recycle_threshold_bytes = 1 << 20;
+  c.page_cache.low_watermark_bytes = 1 << 18;
+  c.page_cache.writeback_chunk_bytes = 1 << 18;
+  c.page_cache.slice = msec(5);
+  Node node(sim, c);
+  node.page_cache().dirty(2 << 20);
+  EXPECT_TRUE(node.page_cache().recycling());
+  EXPECT_EQ(node.page_cache().recycle_episodes(), 1);
+  sim.run_until(sec(2));
+  EXPECT_FALSE(node.page_cache().recycling());
+  EXPECT_LE(node.page_cache().dirty_bytes(), 1 << 18);
+  // CPU burned at kernel priority (system time) during recycling.
+  EXPECT_GT(node.cpu().busy_system(), 0);
+  // Dirty bytes were written back to disk.
+  EXPECT_GT(node.disk().bytes_written(), 0u);
+}
+
+TEST(PageCache, BackgroundWritebackDrainsWithoutCpuStorm) {
+  Simulation sim;
+  Node::Config c = small_node();
+  c.page_cache.background_chunk_bytes = 1 << 20;
+  c.page_cache.background_interval = msec(100);
+  Node node(sim, c);
+  node.page_cache().dirty(3 << 20);
+  EXPECT_FALSE(node.page_cache().recycling());
+  sim.run_until(sec(2));
+  EXPECT_EQ(node.page_cache().dirty_bytes(), 0);
+  EXPECT_EQ(node.cpu().busy_system(), 0);
+}
+
+TEST(PageCache, ValidatesConfig) {
+  Simulation sim;
+  Node::Config c = small_node();
+  c.page_cache.low_watermark_bytes = c.page_cache.recycle_threshold_bytes;
+  EXPECT_THROW(Node node(sim, c), std::invalid_argument);
+}
+
+TEST(Node, IowaitAccruesOnlyWhenIdleAndDiskBusy) {
+  Simulation sim;
+  Node node(sim, small_node());  // 2 cores
+  // Disk busy for 10 + 100000/100 = 1010 usec; CPU fully idle.
+  node.disk().submit(100000, false, nullptr);
+  sim.run_until(msec(10));
+  const auto c1 = node.counters();
+  EXPECT_EQ(c1.iowait, 1010 * 2);  // both cores idle while disk busy
+
+  // Now occupy both cores for the whole next disk op: no further iowait.
+  node.cpu().submit(msec(5), nullptr);
+  node.cpu().submit(msec(5), nullptr);
+  node.disk().submit(100000, false, nullptr);
+  sim.run_until(msec(20));
+  const auto c2 = node.counters();
+  EXPECT_EQ(c2.iowait, c1.iowait);
+}
+
+TEST(Node, CpuUtilFractionsSumToOne) {
+  Simulation sim;
+  Node node(sim, small_node());
+  const auto before = node.counters();
+  node.cpu().submit(msec(100), nullptr);                      // user
+  node.cpu().submit(msec(50), CpuCategory::kSystem,
+                    CpuPriority::kNormal, nullptr);           // system
+  sim.run_until(msec(100));
+  const auto after = node.counters();
+  const auto u = Node::cpu_util(before, after, node.cores());
+  EXPECT_NEAR(u.user, 0.5, 1e-9);    // 100ms of 200 core-ms
+  EXPECT_NEAR(u.system, 0.25, 1e-9);
+  EXPECT_NEAR(u.user + u.system + u.iowait + u.idle, 1.0, 1e-9);
+}
+
+TEST(Node, CountersMonotonic) {
+  Simulation sim;
+  Node node(sim, small_node());
+  node.add_net_rx(100);
+  node.add_net_tx(200);
+  const auto c = node.counters();
+  EXPECT_EQ(c.net_rx, 100u);
+  EXPECT_EQ(c.net_tx, 200u);
+}
+
+}  // namespace
+}  // namespace mscope::sim

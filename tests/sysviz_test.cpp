@@ -1,0 +1,161 @@
+#include "sysviz/reconstructor.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace mscope::sysviz {
+namespace {
+
+using sim::Message;
+using util::msec;
+
+Message msg(SimTime t, std::uint16_t src, std::uint16_t dst,
+            std::uint64_t conn, std::uint64_t req,
+            Message::Kind kind) {
+  Message m;
+  m.time = t;
+  m.src_node = src;
+  m.dst_node = dst;
+  m.conn_id = conn;
+  m.req_id = req;
+  m.kind = kind;
+  m.bytes = 100;
+  return m;
+}
+
+/// Client = node 9 (undeclared); tier 0 = node 0; tier 1 = node 1.
+Reconstructor make_recon(SimTime quantum = 1) {
+  Reconstructor::Config cfg;
+  cfg.quantum = quantum;
+  Reconstructor r(cfg);
+  r.set_node_tier(0, 0);
+  r.set_node_tier(1, 1);
+  return r;
+}
+
+TEST(Reconstructor, PairsRequestResponseOnConnection) {
+  const std::vector<Message> ms{
+      msg(1000, 9, 0, 5, 1, Message::Kind::kRequest),
+      msg(9000, 0, 9, 5, 1, Message::Kind::kResponse),
+  };
+  const auto result = make_recon().reconstruct(ms, 2);
+  ASSERT_EQ(result.spans.size(), 1u);
+  EXPECT_EQ(result.spans[0].tier, 0);
+  EXPECT_EQ(result.spans[0].start, 1000);
+  EXPECT_EQ(result.spans[0].end, 9000);
+  EXPECT_EQ(result.spans[0].parent, -1);  // root: sent by the client
+  EXPECT_EQ(result.unmatched_requests, 0u);
+}
+
+TEST(Reconstructor, NestsChildUnderOpenParent) {
+  const std::vector<Message> ms{
+      msg(1000, 9, 0, 5, 1, Message::Kind::kRequest),
+      msg(2000, 0, 1, 6, 1, Message::Kind::kRequest),   // tier0 -> tier1
+      msg(3000, 1, 0, 6, 1, Message::Kind::kResponse),
+      msg(4000, 0, 9, 5, 1, Message::Kind::kResponse),
+  };
+  const auto result = make_recon().reconstruct(ms, 2);
+  ASSERT_EQ(result.spans.size(), 2u);
+  EXPECT_EQ(result.spans[1].tier, 1);
+  EXPECT_EQ(result.spans[1].parent, 0);
+  EXPECT_DOUBLE_EQ(result.assembly_accuracy, 1.0);
+}
+
+TEST(Reconstructor, MostRecentlyStartedHeuristic) {
+  // Two requests open at tier 0; the downstream call belongs to the second
+  // (ground truth req 2) which is also the most recently started.
+  const std::vector<Message> ms{
+      msg(1000, 9, 0, 5, 1, Message::Kind::kRequest),
+      msg(1500, 9, 0, 7, 2, Message::Kind::kRequest),
+      msg(2000, 0, 1, 6, 2, Message::Kind::kRequest),
+      msg(2500, 1, 0, 6, 2, Message::Kind::kResponse),
+      msg(3000, 0, 9, 7, 2, Message::Kind::kResponse),
+      msg(4000, 0, 9, 5, 1, Message::Kind::kResponse),
+  };
+  const auto result = make_recon().reconstruct(ms, 2);
+  EXPECT_DOUBLE_EQ(result.assembly_accuracy, 1.0);
+}
+
+TEST(Reconstructor, MisattributionLowersAccuracy) {
+  // The downstream call truly belongs to request 1 (older), but request 2
+  // started more recently -> the LRU heuristic guesses wrong.
+  const std::vector<Message> ms{
+      msg(1000, 9, 0, 5, 1, Message::Kind::kRequest),
+      msg(1500, 9, 0, 7, 2, Message::Kind::kRequest),
+      msg(2000, 0, 1, 6, 1, Message::Kind::kRequest),  // belongs to req 1
+      msg(2500, 1, 0, 6, 1, Message::Kind::kResponse),
+      msg(3000, 0, 9, 5, 1, Message::Kind::kResponse),
+      msg(4000, 0, 9, 7, 2, Message::Kind::kResponse),
+  };
+  const auto result = make_recon().reconstruct(ms, 2);
+  EXPECT_DOUBLE_EQ(result.assembly_accuracy, 0.0);
+}
+
+TEST(Reconstructor, QuantizesTimestamps) {
+  const std::vector<Message> ms{
+      msg(1234, 9, 0, 5, 1, Message::Kind::kRequest),
+      msg(5678, 0, 9, 5, 1, Message::Kind::kResponse),
+  };
+  const auto result = make_recon(msec(1)).reconstruct(ms, 2);
+  EXPECT_EQ(result.spans[0].start, 1000);
+  EXPECT_EQ(result.spans[0].end, 5000);
+}
+
+TEST(Reconstructor, QueueDeltasBalance) {
+  std::vector<Message> ms;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ms.push_back(msg(1000 + static_cast<SimTime>(i), 9, 0, 5 + i, i,
+                     Message::Kind::kRequest));
+  }
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ms.push_back(msg(5000 + static_cast<SimTime>(i), 0, 9, 5 + i, i,
+                     Message::Kind::kResponse));
+  }
+  const auto result = make_recon().reconstruct(ms, 2);
+  double sum = 0;
+  for (const auto& d : result.queue_deltas[0]) sum += d.value;
+  EXPECT_DOUBLE_EQ(sum, 0.0);
+  // Integrated queue peaks at 10.
+  const auto series =
+      util::integrate_deltas(result.queue_deltas[0], msec(1), 0, msec(10));
+  double peak = 0;
+  for (const auto& s : series) peak = std::max(peak, s.value);
+  EXPECT_DOUBLE_EQ(peak, 10.0);
+}
+
+TEST(Reconstructor, DanglingRequestCounted) {
+  const std::vector<Message> ms{
+      msg(1000, 9, 0, 5, 1, Message::Kind::kRequest),
+      msg(2000, 0, 9, 99, 1, Message::Kind::kResponse),  // unknown conn
+  };
+  const auto result = make_recon().reconstruct(ms, 2);
+  EXPECT_EQ(result.unmatched_requests, 1u);
+  EXPECT_EQ(result.spans[0].end, -1);
+}
+
+TEST(IntegrateDeltas, LevelPersistsAcrossEmptyBuckets) {
+  util::Series deltas{{0, +1.0}, {msec(10), -1.0}};
+  const auto s = util::integrate_deltas(deltas, msec(1), 0, msec(12));
+  ASSERT_EQ(s.size(), 12u);
+  EXPECT_DOUBLE_EQ(s[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(s[5].value, 1.0);  // empty bucket carries the level
+  EXPECT_DOUBLE_EQ(s[11].value, 0.0);
+}
+
+TEST(IntegrateDeltas, ReportsMaxWithinBucket) {
+  util::Series deltas{{10, +1.0}, {20, +1.0}, {30, -2.0}};
+  const auto s = util::integrate_deltas(deltas, msec(1), 0, msec(1));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0].value, 2.0);
+}
+
+TEST(IntegrateDeltas, EventsBeforeWindowSetInitialLevel) {
+  util::Series deltas{{-100, +1.0}, {-50, +1.0}, {msec(5), -1.0}};
+  const auto s = util::integrate_deltas(deltas, msec(1), 0, msec(10));
+  EXPECT_DOUBLE_EQ(s[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(s[9].value, 1.0);
+}
+
+}  // namespace
+}  // namespace mscope::sysviz

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "db/query.h"
+#include "transform/importer.h"
+#include "transform/pipeline.h"
+#include "transform/xml.h"
+#include "transform/xml_to_csv.h"
+
+namespace mscope::transform {
+namespace {
+
+namespace fs = std::filesystem;
+
+XmlNode make_logfile(std::vector<std::vector<std::pair<std::string, std::string>>>
+                         entries) {
+  XmlNode root;
+  root.name = "logfile";
+  root.set_attribute("source", "test");
+  root.set_attribute("node", "web1");
+  root.set_attribute("file", "t.log");
+  std::size_t n = 0;
+  for (const auto& fields : entries) {
+    XmlNode& e = root.add_child("log");
+    e.set_attribute("n", std::to_string(++n));
+    for (const auto& [k, v] : fields) {
+      XmlNode& f = e.add_child("field");
+      f.set_attribute("name", k);
+      f.set_attribute("value", v);
+    }
+  }
+  return root;
+}
+
+TEST(XmlToCsv, SchemaIsUnionInFirstAppearanceOrder) {
+  const XmlNode root = make_logfile({
+      {{"a", "1"}, {"b", "x"}},
+      {{"c", "2.5"}, {"a", "2"}},
+  });
+  const Conversion c = XmlToCsvConverter::convert(root);
+  ASSERT_EQ(c.schema.size(), 3u);
+  EXPECT_EQ(c.schema[0].name, "a");
+  EXPECT_EQ(c.schema[1].name, "b");
+  EXPECT_EQ(c.schema[2].name, "c");
+  ASSERT_EQ(c.rows.size(), 2u);
+  EXPECT_EQ(c.rows[0][2], "");  // missing -> NULL
+  EXPECT_EQ(c.rows[1][1], "");
+}
+
+TEST(XmlToCsv, NarrowestTypeBestMatch) {
+  const XmlNode root = make_logfile({
+      {{"i", "1"}, {"d", "1"}, {"t", "1"}},
+      {{"i", "2"}, {"d", "2.5"}, {"t", "x"}},
+  });
+  const Conversion c = XmlToCsvConverter::convert(root);
+  EXPECT_EQ(c.schema[0].type, db::DataType::kInt);
+  EXPECT_EQ(c.schema[1].type, db::DataType::kDouble);
+  EXPECT_EQ(c.schema[2].type, db::DataType::kText);
+}
+
+TEST(XmlToCsv, AllEmptyColumnBecomesText) {
+  const XmlNode root = make_logfile({{{"e", ""}}});
+  const Conversion c = XmlToCsvConverter::convert(root);
+  EXPECT_EQ(c.schema[0].type, db::DataType::kText);
+}
+
+TEST(XmlToCsv, CsvAndSidecarRoundTrip) {
+  const XmlNode root = make_logfile({
+      {{"a", "1"}, {"s", "hello, \"world\""}},
+      {{"a", "2"}, {"s", "line\nbreak"}},
+  });
+  const Conversion c = XmlToCsvConverter::convert(root);
+  const Conversion back = XmlToCsvConverter::from_csv(
+      XmlToCsvConverter::to_csv(c), XmlToCsvConverter::schema_sidecar(c));
+  EXPECT_EQ(back.schema, c.schema);
+  EXPECT_EQ(back.rows, c.rows);
+}
+
+TEST(XmlToCsv, FromCsvValidates) {
+  EXPECT_THROW((void)XmlToCsvConverter::from_csv("a,b\n1,2\n", "a:int\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)XmlToCsvConverter::from_csv("a\n1\n", "a:badtype\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)XmlToCsvConverter::from_csv("b\n1\n", "a:int\n"),
+               std::runtime_error);
+}
+
+TEST(DataImporter, CreatesTableAndRecordsCatalog) {
+  const XmlNode root = make_logfile({
+      {{"ts_usec", "100"}, {"v", "1.5"}},
+      {{"ts_usec", "300"}, {"v", "2.5"}},
+  });
+  const Conversion c = XmlToCsvConverter::convert(root);
+  db::Database db;
+  const auto result = DataImporter::import(db, "res_test_web1", c);
+  EXPECT_EQ(result.rows, 2u);
+  const db::Table& t = db.get("res_test_web1");
+  EXPECT_EQ(t.row_count(), 2u);
+  const db::Table& catalog = db.get(db::Database::kLoadCatalogTable);
+  ASSERT_EQ(catalog.row_count(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(catalog.at(0, "t_min_usec")), 100);
+  EXPECT_EQ(std::get<std::int64_t>(catalog.at(0, "t_max_usec")), 300);
+  // Re-import under the same name is an error (table exists).
+  EXPECT_THROW((void)DataImporter::import(db, "res_test_web1", c),
+               std::invalid_argument);
+}
+
+class PipelineFixture : public ::testing::Test {
+ protected:
+  PipelineFixture()
+      : run_dir_(fs::temp_directory_path() / "mscope_pipeline_test") {
+    fs::remove_all(run_dir_);
+    fs::create_directories(run_dir_ / "web1");
+    fs::create_directories(run_dir_ / "db1");
+  }
+  ~PipelineFixture() override { fs::remove_all(run_dir_); }
+
+  void write(const std::string& node, const std::string& file,
+             const std::string& content) {
+    std::ofstream out(run_dir_ / node / file);
+    out << content;
+  }
+
+  fs::path run_dir_;
+};
+
+TEST_F(PipelineFixture, EndToEndTwoNodes) {
+  write("web1", "apache_access.log",
+        "10.0.0.2 - - [01/Jan/2017:00:00:01.000 +0000] "
+        "\"GET /rubbos/ViewStory?ID=000000000001 HTTP/1.1\" 200 7000 5000 "
+        "ua=1483228801000000 ud=1483228801005000 ds=1483228801001000 "
+        "dr=1483228801004000\n");
+  write("db1", "iostat.log",
+        "Linux 3.10.0-mscope (db1)\t01/01/2017\t_x86_64_\t(4 CPU)\n\n"
+        "00:00:01.000\n"
+        "Device:            tps    kB_read/s    kB_wrtn/s   avgqu-sz    %util\n"
+        "sda              12.00       320.00       128.00          3    43.00\n\n");
+  write("web1", "unknown.dat", "binary stuff\n");
+
+  db::Database db;
+  DataTransformer transformer;
+  const auto report = transformer.run(run_dir_, db);
+
+  EXPECT_EQ(report.tables_created, 2u);
+  EXPECT_EQ(report.rows_loaded, 2u);
+  EXPECT_EQ(report.skipped(), 1u);
+  ASSERT_TRUE(db.exists("ev_apache_web1"));
+  ASSERT_TRUE(db.exists("res_iostat_db1"));
+  EXPECT_EQ(std::get<std::int64_t>(
+                db.get("ev_apache_web1").at(0, "ua_usec")),
+            util::sec(1));
+  EXPECT_DOUBLE_EQ(
+      std::get<double>(db.get("res_iostat_db1").at(0, "util_pct")), 43.0);
+  // Intermediate artifacts were materialized.
+  EXPECT_TRUE(fs::exists(run_dir_ / "transformed" / "web1" /
+                         "apache_access.log.xml"));
+  EXPECT_TRUE(fs::exists(run_dir_ / "transformed" / "web1" /
+                         "apache_access.log.csv"));
+  // Deployment metadata recorded.
+  EXPECT_EQ(db.get(db::Database::kDeploymentTable).row_count(), 2u);
+}
+
+TEST_F(PipelineFixture, ImportFromFilesPathMatchesInMemory) {
+  write("web1", "apache_access.log",
+        "10.0.0.2 - - [01/Jan/2017:00:00:01.000 +0000] "
+        "\"GET /rubbos/Search HTTP/1.1\" 200 5000 2500\n");
+  db::Database mem_db, file_db;
+  DataTransformer mem_t({/*write_intermediates=*/false, false});
+  DataTransformer file_t({/*write_intermediates=*/true, true});
+  mem_t.run(run_dir_, mem_db);
+  file_t.run(run_dir_, file_db);
+  const auto& a = mem_db.get("ev_apache_web1");
+  const auto& b = file_db.get("ev_apache_web1");
+  ASSERT_EQ(a.row_count(), b.row_count());
+  for (std::size_t r = 0; r < a.row_count(); ++r) {
+    for (std::size_t c = 0; c < a.column_count(); ++c) {
+      EXPECT_EQ(db::compare(a.at(r, c), b.at(r, c)), 0);
+    }
+  }
+}
+
+TEST_F(PipelineFixture, ParallelRunMatchesSerial) {
+  // Several files across two nodes; a 4-worker run must produce a warehouse
+  // identical to the serial one (imports are serialized in file order).
+  for (int i = 0; i < 3; ++i) {
+    const std::string ts = "00:00:0" + std::to_string(i) + ".000";
+    write("web1", "cjdbc_controller.log",
+          "[" + ts + "] ID=00000000000" + std::to_string(i) +
+              " vq=0 ua=1483228800000000 ud=1483228800001000 "
+              "ds=1483228800000100 dr=1483228800000900 sql=\"SELECT 1\"\n");
+  }
+  write("web1", "apache_access.log",
+        "10.0.0.2 - - [01/Jan/2017:00:00:01.000 +0000] "
+        "\"GET /rubbos/Search HTTP/1.1\" 200 5000 2500\n");
+  write("db1", "collectl.csv",
+        "#Date,Time,[CPU]User%,[CPU]Sys%,[CPU]Wait%,[CPU]Idle%,[MEM]DirtyKB,"
+        "[MEM]CachedKB,[DSK]ReadKBTot,[DSK]WriteKBTot,[DSK]PctUtil,"
+        "[DSK]QueLen\n"
+        "20170101,00:00:00.050,1.0,2.0,0.5,96.5,100,2048,10,20,3.0,0\n");
+
+  db::Database serial_db, parallel_db;
+  DataTransformer serial({.write_intermediates = false,
+                          .import_from_files = false,
+                          .parallelism = 1});
+  DataTransformer parallel({.write_intermediates = false,
+                            .import_from_files = false,
+                            .parallelism = 4});
+  const auto sr = serial.run(run_dir_, serial_db);
+  const auto pr = parallel.run(run_dir_, parallel_db);
+  EXPECT_EQ(sr.tables_created, pr.tables_created);
+  EXPECT_EQ(sr.rows_loaded, pr.rows_loaded);
+  ASSERT_EQ(sr.files.size(), pr.files.size());
+  for (std::size_t i = 0; i < sr.files.size(); ++i) {
+    EXPECT_EQ(sr.files[i].file, pr.files[i].file);
+    EXPECT_EQ(sr.files[i].entries, pr.files[i].entries);
+  }
+  for (const auto& name : serial_db.table_names()) {
+    const db::Table& a = serial_db.get(name);
+    const db::Table* b = parallel_db.find(name);
+    ASSERT_NE(b, nullptr) << name;
+    ASSERT_EQ(a.row_count(), b->row_count()) << name;
+    for (std::size_t r = 0; r < a.row_count(); ++r) {
+      for (std::size_t c = 0; c < a.column_count(); ++c) {
+        EXPECT_EQ(db::compare(a.at(r, c), b->at(r, c)), 0);
+      }
+    }
+  }
+}
+
+TEST_F(PipelineFixture, MissingDirectoryThrows) {
+  db::Database db;
+  DataTransformer transformer;
+  EXPECT_THROW((void)transformer.run(run_dir_ / "nope", db),
+               std::invalid_argument);
+}
+
+TEST_F(PipelineFixture, CustomDeclarationExtendsRegistry) {
+  write("web1", "custom.log", "7 hello\n8 world\n");
+  db::Database db;
+  DataTransformer transformer;
+  Declaration d;
+  d.parser_id = "token_lines";
+  d.file_name = "custom.log";
+  d.source = "custom";
+  d.table_prefix = "res_custom";
+  d.monitor_name = "Custom";
+  d.tokens.push_back({R"((\d+) (\w+))", {"n", "word"}});
+  transformer.declarations().add(d);
+  transformer.run(run_dir_, db);
+  ASSERT_TRUE(db.exists("res_custom_web1"));
+  EXPECT_EQ(db.get("res_custom_web1").row_count(), 2u);
+  EXPECT_EQ(db.get("res_custom_web1").schema()[0].type, db::DataType::kInt);
+}
+
+}  // namespace
+}  // namespace mscope::transform

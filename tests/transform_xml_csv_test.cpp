@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "transform/csv.h"
+#include "transform/xml.h"
+#include "util/rng.h"
+
+namespace mscope::transform {
+namespace {
+
+TEST(Xml, SerializeParseRoundTrip) {
+  XmlNode root;
+  root.name = "logfile";
+  root.set_attribute("source", "apache");
+  root.set_attribute("nasty", R"(a<b>&"c'd)");
+  XmlNode& entry = root.add_child("log");
+  entry.set_attribute("n", "1");
+  XmlNode& f = entry.add_child("field");
+  f.set_attribute("name", "url");
+  f.set_attribute("value", "/rubbos/ViewStory?ID=1&x=<y>");
+
+  const std::string text = xml_serialize(root);
+  const auto parsed = xml_parse(text);
+  EXPECT_EQ(parsed->name, "logfile");
+  EXPECT_EQ(*parsed->attribute("source"), "apache");
+  EXPECT_EQ(*parsed->attribute("nasty"), R"(a<b>&"c'd)");
+  const XmlNode* log = parsed->child("log");
+  ASSERT_NE(log, nullptr);
+  const XmlNode* field = log->child("field");
+  ASSERT_NE(field, nullptr);
+  EXPECT_EQ(*field->attribute("value"), "/rubbos/ViewStory?ID=1&x=<y>");
+}
+
+TEST(Xml, ParsesSelfClosingDeclarationsAndComments) {
+  const auto doc = xml_parse(
+      "<?xml version=\"1.0\"?>\n<!-- banner -->\n"
+      "<a x='1'><!-- inner --><b/><c>text</c></a>");
+  EXPECT_EQ(doc->name, "a");
+  EXPECT_EQ(*doc->attribute("x"), "1");
+  EXPECT_NE(doc->child("b"), nullptr);
+  EXPECT_EQ(doc->child("c")->text, "text");
+}
+
+TEST(Xml, TextEntitiesUnescaped) {
+  const auto doc = xml_parse("<a>&lt;hello&gt; &amp; bye</a>");
+  EXPECT_EQ(doc->text, "<hello> & bye");
+}
+
+TEST(Xml, MalformedInputsThrow) {
+  EXPECT_THROW((void)xml_parse("<a><b></a>"), std::runtime_error);
+  EXPECT_THROW((void)xml_parse("<a>"), std::runtime_error);
+  EXPECT_THROW((void)xml_parse("<a/>junk"), std::runtime_error);
+  EXPECT_THROW((void)xml_parse("<a x=1/>"), std::runtime_error);
+  EXPECT_THROW((void)xml_parse("<!-- only a comment -->"),
+               std::runtime_error);
+}
+
+TEST(Xml, ChildrenNamedReturnsAllInOrder) {
+  const auto doc = xml_parse("<r><e i='0'/><x/><e i='1'/><e i='2'/></r>");
+  const auto es = doc->children_named("e");
+  ASSERT_EQ(es.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(*es[static_cast<std::size_t>(i)]->attribute("i"),
+              std::to_string(i));
+  }
+}
+
+TEST(Csv, QuotingRoundTrip) {
+  const std::vector<std::string> fields{
+      "plain", "with,comma", "with\"quote", "with\nnewline", "", "end"};
+  const auto row = Csv::write_row(fields);
+  EXPECT_EQ(Csv::parse_row(row), fields);
+}
+
+TEST(Csv, SplitRecordsHonorsQuotedNewlines) {
+  const std::string doc = "a,b\n\"x\ny\",c\nlast,row\n";
+  const auto records = Csv::split_records(doc);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(Csv::parse_row(records[1])[0], "x\ny");
+}
+
+TEST(Csv, CrLfHandled) {
+  const auto records = Csv::split_records("a,b\r\nc,d\r\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(Csv::parse_row(records[1])[1], "d");
+}
+
+TEST(Csv, EmptyFieldAtEnd) {
+  const auto fields = Csv::parse_row("a,,");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "");
+}
+
+/// Property: random field content always round-trips through one CSV row.
+class CsvFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsvFuzz, RandomRowsRoundTrip) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  static const char kAlphabet[] = "ab,\"\n\r'x;| ";
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<std::string> fields;
+    const auto nfields = 1 + rng.next_below(6);
+    for (std::uint64_t f = 0; f < nfields; ++f) {
+      std::string s;
+      const auto len = rng.next_below(12);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        s += kAlphabet[rng.next_below(sizeof(kAlphabet) - 1)];
+      }
+      fields.push_back(std::move(s));
+    }
+    EXPECT_EQ(Csv::parse_row(Csv::write_row(fields)), fields);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzz, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace mscope::transform

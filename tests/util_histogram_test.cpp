@@ -1,0 +1,105 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mscope::util {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(LatencyHistogram, SingleValue) {
+  LatencyHistogram h;
+  h.record(1234);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1234);
+  EXPECT_EQ(h.max(), 1234);
+  EXPECT_EQ(h.percentile(0), 1234);
+  EXPECT_EQ(h.percentile(100), 1234);
+  EXPECT_DOUBLE_EQ(h.mean(), 1234.0);
+}
+
+TEST(LatencyHistogram, UnderflowAndOverflowBuckets) {
+  LatencyHistogram h(/*max_value=*/1000);
+  h.record(0);
+  h.record(-5);
+  h.record(99999);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), -5);
+  EXPECT_EQ(h.max(), 99999);
+}
+
+TEST(LatencyHistogram, BadConfigThrows) {
+  EXPECT_THROW(LatencyHistogram(0), std::invalid_argument);
+  EXPECT_THROW(LatencyHistogram(100, 0.0), std::invalid_argument);
+  EXPECT_THROW(LatencyHistogram(100, 1.0), std::invalid_argument);
+}
+
+TEST(LatencyHistogram, MergeGeometryMismatchThrows) {
+  LatencyHistogram a(1000, 0.01);
+  LatencyHistogram b(1000, 0.05);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombined) {
+  LatencyHistogram a, b, all;
+  Rng r(11);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = static_cast<std::int64_t>(r.exponential(5000.0)) + 1;
+    ((i % 2) ? a : b).record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_EQ(a.percentile(99), all.percentile(99));
+}
+
+TEST(LatencyHistogram, ClearResets) {
+  LatencyHistogram h;
+  h.record(10);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0);
+}
+
+/// Property: histogram percentiles track exact percentiles within the
+/// configured relative precision, across distributions.
+class HistogramPrecision : public ::testing::TestWithParam<double> {};
+
+TEST_P(HistogramPrecision, PercentileWithinRelativeError) {
+  const double q = GetParam();
+  LatencyHistogram h(3'600'000'000LL, 0.01);
+  Rng r(17);
+  std::vector<double> exact;
+  for (int i = 0; i < 50000; ++i) {
+    const auto v = static_cast<std::int64_t>(r.lognormal_mean_cv(20000, 1.5)) + 1;
+    h.record(v);
+    exact.push_back(static_cast<double>(v));
+  }
+  const double want = percentile(exact, q);
+  const double got = static_cast<double>(h.percentile(q));
+  // Bucket quantization plus order-statistic interpolation; the extreme
+  // tail is additionally sparse at this sample count.
+  const double tolerance = q >= 99.5 ? 0.04 : 0.025;
+  EXPECT_NEAR(got / want, 1.0, tolerance) << "q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, HistogramPrecision,
+                         ::testing::Values(1.0, 10.0, 25.0, 50.0, 75.0, 90.0,
+                                           99.0, 99.9));
+
+}  // namespace
+}  // namespace mscope::util

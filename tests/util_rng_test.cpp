@@ -1,0 +1,112 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mscope::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeedAndStream) {
+  Rng a(42, 7);
+  Rng b(42, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, StreamsDiffer) {
+  Rng a(42, 0);
+  Rng b(42, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowBoundsAndErrors) {
+  Rng r(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(7), 7u);
+  }
+  EXPECT_THROW(r.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(r.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng r(4);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.1);
+  EXPECT_THROW(r.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng r(5);
+  double sum = 0, sq = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = r.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(Rng, LognormalMeanCv) {
+  Rng r(6);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += r.lognormal_mean_cv(100.0, 0.3);
+  EXPECT_NEAR(sum / kN, 100.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.lognormal_mean_cv(0.0, 0.3), 0.0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, DiscreteRespectsWeights) {
+  Rng r(8);
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[r.discrete(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+  EXPECT_THROW(r.discrete(std::vector<double>{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mscope::util

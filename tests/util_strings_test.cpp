@@ -1,0 +1,98 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace mscope::util {
+namespace {
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, EmptyInputYieldsOneField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Split, TrailingSeparator) {
+  const auto parts = split("x,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitWs, CollapsesRuns) {
+  const auto parts = split_ws("  a \t b\n  c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitWs, AllWhitespace) {
+  EXPECT_TRUE(split_ws(" \t\n ").empty());
+}
+
+TEST(Trim, BothEnds) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(ParseInt, StrictAndTolerantOfSpace) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" -7 "), -7);
+  EXPECT_FALSE(parse_int("42x"));
+  EXPECT_FALSE(parse_int(""));
+  EXPECT_FALSE(parse_int("4.2"));
+}
+
+TEST(ParseDouble, StrictFullString) {
+  EXPECT_DOUBLE_EQ(*parse_double("4.25"), 4.25);
+  EXPECT_DOUBLE_EQ(*parse_double("-1e3"), -1000.0);
+  EXPECT_FALSE(parse_double("1.2.3"));
+  EXPECT_FALSE(parse_double("abc"));
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("apache_access.log", "apache"));
+  EXPECT_FALSE(starts_with("a", "ab"));
+  EXPECT_TRUE(ends_with("collectl.csv", ".csv"));
+  EXPECT_FALSE(ends_with("x", "xx"));
+}
+
+TEST(ReplaceAll, MultipleAndOverlapSafe) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("x", "", "y"), "x");
+}
+
+TEST(XmlEscape, RoundTripsSpecials) {
+  const std::string nasty = R"(a<b>&"quote"'tick')";
+  EXPECT_EQ(xml_unescape(xml_escape(nasty)), nasty);
+  EXPECT_EQ(xml_escape("<"), "&lt;");
+  EXPECT_EQ(xml_unescape("&amp;lt;"), "&lt;");
+}
+
+TEST(FmtDouble, Decimals) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+TEST(CaseConversion, Ascii) {
+  EXPECT_EQ(to_lower("AbC1"), "abc1");
+  EXPECT_EQ(to_upper("AbC1"), "ABC1");
+}
+
+}  // namespace
+}  // namespace mscope::util

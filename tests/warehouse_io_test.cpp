@@ -1,0 +1,89 @@
+#include "transform/warehouse_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace mscope::transform {
+namespace {
+
+namespace fs = std::filesystem;
+
+class WarehouseIoFixture : public ::testing::Test {
+ protected:
+  WarehouseIoFixture()
+      : dir_(fs::temp_directory_path() / "mscope_warehouse_io_test") {
+    fs::remove_all(dir_);
+  }
+  ~WarehouseIoFixture() override { fs::remove_all(dir_); }
+
+  static db::Database make_db() { return {}; }
+
+  fs::path dir_;
+};
+
+TEST_F(WarehouseIoFixture, SaveLoadRoundTrip) {
+  db::Database db;
+  auto& t = db.create_table("res_x_web1", {{"ts_usec", db::DataType::kInt},
+                                           {"v", db::DataType::kDouble},
+                                           {"tag", db::DataType::kText}});
+  t.insert({db::Value{std::int64_t{100}}, db::Value{1.25},
+            db::Value{std::string("a,\"b\"\nc")}});
+  t.insert({db::Value{}, db::Value{}, db::Value{}});
+  db.record_node("web1", "apache", 4);
+
+  WarehouseIO::save(db, dir_);
+  EXPECT_TRUE(fs::exists(dir_ / "res_x_web1.csv"));
+  EXPECT_TRUE(fs::exists(dir_ / "res_x_web1.schema"));
+
+  db::Database restored;
+  const auto loaded = WarehouseIO::load(restored, dir_);
+  EXPECT_EQ(loaded.size(), 5u);  // 4 static + 1 dynamic
+  const db::Table& rt = restored.get("res_x_web1");
+  ASSERT_EQ(rt.row_count(), 2u);
+  EXPECT_EQ(std::get<std::int64_t>(rt.at(0, "ts_usec")), 100);
+  EXPECT_DOUBLE_EQ(std::get<double>(rt.at(0, "v")), 1.25);
+  EXPECT_EQ(std::get<std::string>(rt.at(0, "tag")), "a,\"b\"\nc");
+  EXPECT_TRUE(db::is_null(rt.at(1, "v")));
+  EXPECT_EQ(restored.get(db::Database::kNodeTable).row_count(), 1u);
+}
+
+TEST_F(WarehouseIoFixture, LoadIntoPopulatedStaticTablesAppends) {
+  db::Database db;
+  db.record_node("web1", "apache", 4);
+  WarehouseIO::save(db, dir_);
+
+  db::Database target;
+  target.record_node("db1", "mysql", 8);
+  WarehouseIO::load(target, dir_);
+  EXPECT_EQ(target.get(db::Database::kNodeTable).row_count(), 2u);
+}
+
+TEST_F(WarehouseIoFixture, MissingSidecarThrows) {
+  db::Database db;
+  WarehouseIO::save(db, dir_);
+  std::ofstream orphan(dir_ / "orphan.csv");
+  orphan << "a\n1\n";
+  orphan.close();
+  db::Database restored;
+  EXPECT_THROW((void)WarehouseIO::load(restored, dir_), std::runtime_error);
+}
+
+TEST_F(WarehouseIoFixture, MissingDirectoryThrows) {
+  db::Database db;
+  EXPECT_THROW((void)WarehouseIO::load(db, dir_ / "nope"),
+               std::invalid_argument);
+}
+
+TEST_F(WarehouseIoFixture, DuplicateDynamicTableThrows) {
+  db::Database db;
+  db.create_table("dyn", {{"a", db::DataType::kInt}});
+  WarehouseIO::save(db, dir_);
+  db::Database target;
+  target.create_table("dyn", {{"a", db::DataType::kInt}});
+  EXPECT_THROW((void)WarehouseIO::load(target, dir_), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mscope::transform
