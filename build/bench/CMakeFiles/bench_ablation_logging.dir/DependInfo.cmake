@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_logging.cpp" "bench/CMakeFiles/bench_ablation_logging.dir/bench_ablation_logging.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_logging.dir/bench_ablation_logging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ms_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitors/CMakeFiles/ms_monitors.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/ms_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/ms_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/ms_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysviz/CMakeFiles/ms_sysviz.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_logging.dir/bench_ablation_logging.cpp.o"
+  "CMakeFiles/bench_ablation_logging.dir/bench_ablation_logging.cpp.o.d"
+  "bench_ablation_logging"
+  "bench_ablation_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_queue_pushback.dir/bench_fig6_queue_pushback.cpp.o"
+  "CMakeFiles/bench_fig6_queue_pushback.dir/bench_fig6_queue_pushback.cpp.o.d"
+  "bench_fig6_queue_pushback"
+  "bench_fig6_queue_pushback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_queue_pushback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

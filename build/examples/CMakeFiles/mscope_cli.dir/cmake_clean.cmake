@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mscope_cli.dir/mscope_cli.cpp.o"
+  "CMakeFiles/mscope_cli.dir/mscope_cli.cpp.o.d"
+  "mscope_cli"
+  "mscope_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mscope_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

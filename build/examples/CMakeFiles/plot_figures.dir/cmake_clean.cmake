@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plot_figures.dir/plot_figures.cpp.o"
+  "CMakeFiles/plot_figures.dir/plot_figures.cpp.o.d"
+  "plot_figures"
+  "plot_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plot_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

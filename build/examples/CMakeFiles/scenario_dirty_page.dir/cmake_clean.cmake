@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_dirty_page.dir/scenario_dirty_page.cpp.o"
+  "CMakeFiles/scenario_dirty_page.dir/scenario_dirty_page.cpp.o.d"
+  "scenario_dirty_page"
+  "scenario_dirty_page.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_dirty_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

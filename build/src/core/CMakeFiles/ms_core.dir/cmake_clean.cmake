@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_core.dir/analysis.cpp.o"
+  "CMakeFiles/ms_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/ms_core.dir/consistency.cpp.o"
+  "CMakeFiles/ms_core.dir/consistency.cpp.o.d"
+  "CMakeFiles/ms_core.dir/metrics.cpp.o"
+  "CMakeFiles/ms_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/ms_core.dir/milliscope.cpp.o"
+  "CMakeFiles/ms_core.dir/milliscope.cpp.o.d"
+  "CMakeFiles/ms_core.dir/online_detector.cpp.o"
+  "CMakeFiles/ms_core.dir/online_detector.cpp.o.d"
+  "CMakeFiles/ms_core.dir/report.cpp.o"
+  "CMakeFiles/ms_core.dir/report.cpp.o.d"
+  "CMakeFiles/ms_core.dir/testbed.cpp.o"
+  "CMakeFiles/ms_core.dir/testbed.cpp.o.d"
+  "CMakeFiles/ms_core.dir/trace.cpp.o"
+  "CMakeFiles/ms_core.dir/trace.cpp.o.d"
+  "libms_core.a"
+  "libms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

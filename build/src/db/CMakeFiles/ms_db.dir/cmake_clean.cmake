@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_db.dir/database.cpp.o"
+  "CMakeFiles/ms_db.dir/database.cpp.o.d"
+  "CMakeFiles/ms_db.dir/query.cpp.o"
+  "CMakeFiles/ms_db.dir/query.cpp.o.d"
+  "CMakeFiles/ms_db.dir/sql.cpp.o"
+  "CMakeFiles/ms_db.dir/sql.cpp.o.d"
+  "CMakeFiles/ms_db.dir/table.cpp.o"
+  "CMakeFiles/ms_db.dir/table.cpp.o.d"
+  "CMakeFiles/ms_db.dir/value.cpp.o"
+  "CMakeFiles/ms_db.dir/value.cpp.o.d"
+  "libms_db.a"
+  "libms_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_logging.dir/facility.cpp.o"
+  "CMakeFiles/ms_logging.dir/facility.cpp.o.d"
+  "CMakeFiles/ms_logging.dir/formats.cpp.o"
+  "CMakeFiles/ms_logging.dir/formats.cpp.o.d"
+  "CMakeFiles/ms_logging.dir/log_file.cpp.o"
+  "CMakeFiles/ms_logging.dir/log_file.cpp.o.d"
+  "libms_logging.a"
+  "libms_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

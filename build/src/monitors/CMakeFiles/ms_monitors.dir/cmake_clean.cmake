@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_monitors.dir/event_monitor.cpp.o"
+  "CMakeFiles/ms_monitors.dir/event_monitor.cpp.o.d"
+  "CMakeFiles/ms_monitors.dir/resource_monitor.cpp.o"
+  "CMakeFiles/ms_monitors.dir/resource_monitor.cpp.o.d"
+  "libms_monitors.a"
+  "libms_monitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

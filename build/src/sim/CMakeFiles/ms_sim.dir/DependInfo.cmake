@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu.cpp" "src/sim/CMakeFiles/ms_sim.dir/cpu.cpp.o" "gcc" "src/sim/CMakeFiles/ms_sim.dir/cpu.cpp.o.d"
+  "/root/repo/src/sim/disk.cpp" "src/sim/CMakeFiles/ms_sim.dir/disk.cpp.o" "gcc" "src/sim/CMakeFiles/ms_sim.dir/disk.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/ms_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/ms_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/sim/CMakeFiles/ms_sim.dir/node.cpp.o" "gcc" "src/sim/CMakeFiles/ms_sim.dir/node.cpp.o.d"
+  "/root/repo/src/sim/page_cache.cpp" "src/sim/CMakeFiles/ms_sim.dir/page_cache.cpp.o" "gcc" "src/sim/CMakeFiles/ms_sim.dir/page_cache.cpp.o.d"
+  "/root/repo/src/sim/server.cpp" "src/sim/CMakeFiles/ms_sim.dir/server.cpp.o" "gcc" "src/sim/CMakeFiles/ms_sim.dir/server.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/ms_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/ms_sim.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

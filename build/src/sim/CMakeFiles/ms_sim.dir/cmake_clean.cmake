@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_sim.dir/cpu.cpp.o"
+  "CMakeFiles/ms_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/ms_sim.dir/disk.cpp.o"
+  "CMakeFiles/ms_sim.dir/disk.cpp.o.d"
+  "CMakeFiles/ms_sim.dir/network.cpp.o"
+  "CMakeFiles/ms_sim.dir/network.cpp.o.d"
+  "CMakeFiles/ms_sim.dir/node.cpp.o"
+  "CMakeFiles/ms_sim.dir/node.cpp.o.d"
+  "CMakeFiles/ms_sim.dir/page_cache.cpp.o"
+  "CMakeFiles/ms_sim.dir/page_cache.cpp.o.d"
+  "CMakeFiles/ms_sim.dir/server.cpp.o"
+  "CMakeFiles/ms_sim.dir/server.cpp.o.d"
+  "CMakeFiles/ms_sim.dir/simulation.cpp.o"
+  "CMakeFiles/ms_sim.dir/simulation.cpp.o.d"
+  "libms_sim.a"
+  "libms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

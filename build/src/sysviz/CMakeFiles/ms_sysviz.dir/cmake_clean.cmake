@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_sysviz.dir/reconstructor.cpp.o"
+  "CMakeFiles/ms_sysviz.dir/reconstructor.cpp.o.d"
+  "libms_sysviz.a"
+  "libms_sysviz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_sysviz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

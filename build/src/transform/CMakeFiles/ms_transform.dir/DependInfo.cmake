@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/csv.cpp" "src/transform/CMakeFiles/ms_transform.dir/csv.cpp.o" "gcc" "src/transform/CMakeFiles/ms_transform.dir/csv.cpp.o.d"
+  "/root/repo/src/transform/declaration.cpp" "src/transform/CMakeFiles/ms_transform.dir/declaration.cpp.o" "gcc" "src/transform/CMakeFiles/ms_transform.dir/declaration.cpp.o.d"
+  "/root/repo/src/transform/importer.cpp" "src/transform/CMakeFiles/ms_transform.dir/importer.cpp.o" "gcc" "src/transform/CMakeFiles/ms_transform.dir/importer.cpp.o.d"
+  "/root/repo/src/transform/parsers.cpp" "src/transform/CMakeFiles/ms_transform.dir/parsers.cpp.o" "gcc" "src/transform/CMakeFiles/ms_transform.dir/parsers.cpp.o.d"
+  "/root/repo/src/transform/pipeline.cpp" "src/transform/CMakeFiles/ms_transform.dir/pipeline.cpp.o" "gcc" "src/transform/CMakeFiles/ms_transform.dir/pipeline.cpp.o.d"
+  "/root/repo/src/transform/warehouse_io.cpp" "src/transform/CMakeFiles/ms_transform.dir/warehouse_io.cpp.o" "gcc" "src/transform/CMakeFiles/ms_transform.dir/warehouse_io.cpp.o.d"
+  "/root/repo/src/transform/xml.cpp" "src/transform/CMakeFiles/ms_transform.dir/xml.cpp.o" "gcc" "src/transform/CMakeFiles/ms_transform.dir/xml.cpp.o.d"
+  "/root/repo/src/transform/xml_to_csv.cpp" "src/transform/CMakeFiles/ms_transform.dir/xml_to_csv.cpp.o" "gcc" "src/transform/CMakeFiles/ms_transform.dir/xml_to_csv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/ms_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_transform.dir/csv.cpp.o"
+  "CMakeFiles/ms_transform.dir/csv.cpp.o.d"
+  "CMakeFiles/ms_transform.dir/declaration.cpp.o"
+  "CMakeFiles/ms_transform.dir/declaration.cpp.o.d"
+  "CMakeFiles/ms_transform.dir/importer.cpp.o"
+  "CMakeFiles/ms_transform.dir/importer.cpp.o.d"
+  "CMakeFiles/ms_transform.dir/parsers.cpp.o"
+  "CMakeFiles/ms_transform.dir/parsers.cpp.o.d"
+  "CMakeFiles/ms_transform.dir/pipeline.cpp.o"
+  "CMakeFiles/ms_transform.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ms_transform.dir/warehouse_io.cpp.o"
+  "CMakeFiles/ms_transform.dir/warehouse_io.cpp.o.d"
+  "CMakeFiles/ms_transform.dir/xml.cpp.o"
+  "CMakeFiles/ms_transform.dir/xml.cpp.o.d"
+  "CMakeFiles/ms_transform.dir/xml_to_csv.cpp.o"
+  "CMakeFiles/ms_transform.dir/xml_to_csv.cpp.o.d"
+  "libms_transform.a"
+  "libms_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

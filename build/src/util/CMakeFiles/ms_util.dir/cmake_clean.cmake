@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_util.dir/histogram.cpp.o"
+  "CMakeFiles/ms_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/ms_util.dir/id_codec.cpp.o"
+  "CMakeFiles/ms_util.dir/id_codec.cpp.o.d"
+  "CMakeFiles/ms_util.dir/stats.cpp.o"
+  "CMakeFiles/ms_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ms_util.dir/strings.cpp.o"
+  "CMakeFiles/ms_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ms_util.dir/svg_plot.cpp.o"
+  "CMakeFiles/ms_util.dir/svg_plot.cpp.o.d"
+  "CMakeFiles/ms_util.dir/time_format.cpp.o"
+  "CMakeFiles/ms_util.dir/time_format.cpp.o.d"
+  "libms_util.a"
+  "libms_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_workload.dir/client.cpp.o"
+  "CMakeFiles/ms_workload.dir/client.cpp.o.d"
+  "CMakeFiles/ms_workload.dir/rubbos.cpp.o"
+  "CMakeFiles/ms_workload.dir/rubbos.cpp.o.d"
+  "libms_workload.a"
+  "libms_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/consistency_test.cpp" "tests/CMakeFiles/ms_tests.dir/consistency_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/consistency_test.cpp.o.d"
+  "/root/repo/tests/core_metrics_test.cpp" "tests/CMakeFiles/ms_tests.dir/core_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/core_metrics_test.cpp.o.d"
+  "/root/repo/tests/core_report_test.cpp" "tests/CMakeFiles/ms_tests.dir/core_report_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/core_report_test.cpp.o.d"
+  "/root/repo/tests/core_trace_test.cpp" "tests/CMakeFiles/ms_tests.dir/core_trace_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/core_trace_test.cpp.o.d"
+  "/root/repo/tests/db_sql_test.cpp" "tests/CMakeFiles/ms_tests.dir/db_sql_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/db_sql_test.cpp.o.d"
+  "/root/repo/tests/db_test.cpp" "tests/CMakeFiles/ms_tests.dir/db_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/db_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/ms_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/logging_monitors_test.cpp" "tests/CMakeFiles/ms_tests.dir/logging_monitors_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/logging_monitors_test.cpp.o.d"
+  "/root/repo/tests/multinode_test.cpp" "tests/CMakeFiles/ms_tests.dir/multinode_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/multinode_test.cpp.o.d"
+  "/root/repo/tests/online_detector_test.cpp" "tests/CMakeFiles/ms_tests.dir/online_detector_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/online_detector_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/ms_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/ms_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/sim_kernel_test.cpp" "tests/CMakeFiles/ms_tests.dir/sim_kernel_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/sim_kernel_test.cpp.o.d"
+  "/root/repo/tests/sim_server_test.cpp" "tests/CMakeFiles/ms_tests.dir/sim_server_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/sim_server_test.cpp.o.d"
+  "/root/repo/tests/svg_plot_test.cpp" "tests/CMakeFiles/ms_tests.dir/svg_plot_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/svg_plot_test.cpp.o.d"
+  "/root/repo/tests/sysviz_test.cpp" "tests/CMakeFiles/ms_tests.dir/sysviz_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/sysviz_test.cpp.o.d"
+  "/root/repo/tests/transform_parsers_test.cpp" "tests/CMakeFiles/ms_tests.dir/transform_parsers_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/transform_parsers_test.cpp.o.d"
+  "/root/repo/tests/transform_pipeline_test.cpp" "tests/CMakeFiles/ms_tests.dir/transform_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/transform_pipeline_test.cpp.o.d"
+  "/root/repo/tests/transform_xml_csv_test.cpp" "tests/CMakeFiles/ms_tests.dir/transform_xml_csv_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/transform_xml_csv_test.cpp.o.d"
+  "/root/repo/tests/util_codec_time_test.cpp" "tests/CMakeFiles/ms_tests.dir/util_codec_time_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/util_codec_time_test.cpp.o.d"
+  "/root/repo/tests/util_histogram_test.cpp" "tests/CMakeFiles/ms_tests.dir/util_histogram_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/util_histogram_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/ms_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_stats_test.cpp" "tests/CMakeFiles/ms_tests.dir/util_stats_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/util_stats_test.cpp.o.d"
+  "/root/repo/tests/util_strings_test.cpp" "tests/CMakeFiles/ms_tests.dir/util_strings_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/util_strings_test.cpp.o.d"
+  "/root/repo/tests/warehouse_io_test.cpp" "tests/CMakeFiles/ms_tests.dir/warehouse_io_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/warehouse_io_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/ms_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/ms_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ms_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitors/CMakeFiles/ms_monitors.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/ms_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/ms_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/ms_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysviz/CMakeFiles/ms_sysviz.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ms_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
