@@ -1,0 +1,29 @@
+#include "collector/aggregator.h"
+
+namespace mscope::collector {
+
+Aggregator::Aggregator(sim::Simulation& sim, sim::Node& collector_node,
+                       transform::StreamingTransformer& transformer,
+                       Config cfg)
+    : sim_(sim), node_(collector_node), transformer_(transformer), cfg_(cfg) {}
+
+void Aggregator::on_batch(const Batch& batch, bool in_band) {
+  ++stats_.batches;
+  stats_.records += batch.records.size();
+  stats_.bytes += batch.bytes();
+  if (in_band) {
+    if (stats_.first_batch_at < 0) stats_.first_batch_at = sim_.now();
+    stats_.last_batch_at = sim_.now();
+    const SimTime cpu =
+        cfg_.cpu_per_batch +
+        cfg_.cpu_per_kb * static_cast<SimTime>(batch.bytes() / 1024);
+    stats_.cpu_charged += cpu;
+    node_.cpu().submit(cpu, sim::CpuCategory::kSystem,
+                       sim::CpuPriority::kNormal, [] {});
+  }
+  for (const auto& r : batch.records) {
+    transformer_.ingest(batch.node, r.file, r.data);
+  }
+}
+
+}  // namespace mscope::collector

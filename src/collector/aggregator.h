@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "collector/record.h"
+#include "sim/node.h"
+#include "sim/simulation.h"
+#include "transform/streaming.h"
+
+namespace mscope::collector {
+
+using util::SimTime;
+
+/// Collector-side endpoint: receives shipped batches, charges the collector
+/// node for decode work, and routes every record into the streaming
+/// transform path (stage-1 declaration matching happens in there).
+class Aggregator {
+ public:
+  struct Config {
+    SimTime cpu_per_batch = 40;  ///< decode/dispatch cost per batch
+    SimTime cpu_per_kb = 8;      ///< per-KB ingest cost
+  };
+
+  struct Stats {
+    std::uint64_t batches = 0;
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;
+    SimTime first_batch_at = -1;  ///< -1 until the first batch lands
+    SimTime last_batch_at = -1;
+    SimTime cpu_charged = 0;
+  };
+
+  Aggregator(sim::Simulation& sim, sim::Node& collector_node,
+             transform::StreamingTransformer& transformer, Config cfg);
+  Aggregator(sim::Simulation& sim, sim::Node& collector_node,
+             transform::StreamingTransformer& transformer)
+      : Aggregator(sim, collector_node, transformer, Config{}) {}
+
+  /// Ingests one delivered batch. `in_band` is false for the post-run flush
+  /// (virtual time has stopped, so no CPU is modeled for it).
+  void on_batch(const Batch& batch, bool in_band = true);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  sim::Simulation& sim_;
+  sim::Node& node_;
+  transform::StreamingTransformer& transformer_;
+  Config cfg_;
+  Stats stats_;
+};
+
+}  // namespace mscope::collector

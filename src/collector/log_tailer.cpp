@@ -1,0 +1,111 @@
+#include "collector/log_tailer.h"
+
+namespace mscope::collector {
+
+LogTailer::LogTailer(logging::LoggingFacility& facility, RingBuffer& buffer,
+                     std::string node, Config cfg)
+    : facility_(facility),
+      buffer_(buffer),
+      node_(std::move(node)),
+      cfg_(cfg) {
+  facility_.set_write_observer(
+      [this](const logging::LoggingFacility::WriteEvent& ev) { on_write(ev); });
+}
+
+LogTailer::~LogTailer() { facility_.set_write_observer(nullptr); }
+
+void LogTailer::on_write(const logging::LoggingFacility::WriteEvent& ev) {
+  const std::string name = ev.file.path().filename().string();
+  FileState& st = files_[name];
+
+  if (ev.generation != st.generation) {
+    // Rotation: everything held for the old generation is stale.
+    st = FileState{};
+    st.generation = ev.generation;
+    st.next_offset = ev.offset;
+    st.ship_offset = ev.offset;
+    ++stats_.resyncs;
+  } else if (ev.offset != st.next_offset) {
+    // Missed writes (observer attached late). Restart at the observed
+    // offset; the gap stays unshipped rather than shipping reordered bytes.
+    st.complete.clear();
+    st.partial.clear();
+    st.next_offset = ev.offset;
+    st.ship_offset = ev.offset;
+    ++stats_.resyncs;
+  }
+
+  st.partial.append(ev.text);
+  if (ev.newline) st.partial.push_back('\n');
+  st.next_offset += ev.text.size() + (ev.newline ? 1 : 0);
+
+  // Promote every complete line; hold the trailing fragment back.
+  const auto nl = st.partial.rfind('\n');
+  if (nl == std::string::npos) {
+    ++stats_.partial_holds;
+  } else {
+    st.complete.append(st.partial, 0, nl + 1);
+    st.partial.erase(0, nl + 1);
+    if (!st.partial.empty()) ++stats_.partial_holds;
+    drain_complete(name, st);
+  }
+}
+
+void LogTailer::drain_complete(const std::string& file, FileState& st) {
+  while (!st.complete.empty()) {
+    // Cut at the last line boundary within the size cap; a single oversized
+    // line ships whole (records must stay line-aligned).
+    std::size_t cut;
+    if (st.complete.size() <= cfg_.max_record_bytes) {
+      cut = st.complete.size();
+    } else {
+      const auto within = st.complete.rfind('\n', cfg_.max_record_bytes - 1);
+      if (within != std::string::npos) {
+        cut = within + 1;
+      } else {
+        const auto next = st.complete.find('\n');
+        cut = (next == std::string::npos) ? st.complete.size() : next + 1;
+      }
+    }
+    Record r;
+    r.file = file;
+    r.offset = st.ship_offset;
+    r.generation = st.generation;
+    r.data = st.complete.substr(0, cut);
+    if (!buffer_.push(std::move(r))) {
+      ++stats_.blocked;  // kBlock and full: retry on pump()
+      return;
+    }
+    // Note: under kDropNewest the push "succeeds" but the payload may have
+    // been discarded — the buffer's counters carry the loss accounting.
+    st.complete.erase(0, cut);
+    st.ship_offset += cut;
+    ++stats_.records;
+    stats_.bytes += cut;
+  }
+}
+
+void LogTailer::pump() {
+  for (auto& [file, st] : files_) {
+    if (!st.complete.empty()) drain_complete(file, st);
+  }
+}
+
+void LogTailer::flush() {
+  for (auto& [file, st] : files_) {
+    if (!st.partial.empty()) {
+      st.complete += st.partial;
+      st.partial.clear();
+    }
+    if (!st.complete.empty()) drain_complete(file, st);
+  }
+}
+
+bool LogTailer::has_pending() const {
+  for (const auto& [file, st] : files_) {
+    if (!st.complete.empty() || !st.partial.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace mscope::collector

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "collector/ring_buffer.h"
+#include "logging/facility.h"
+
+namespace mscope::collector {
+
+/// Streams one node's native log files into a RingBuffer, record by record.
+///
+/// Instead of polling the files (the classic tail -f race: partial lines,
+/// missed rotations, re-scans), the tailer installs a write observer on the
+/// node's LoggingFacility and sees every append the instant it happens, at
+/// zero file-system cost. It still behaves like a tailer:
+///   * partial lines are held back until their newline arrives, so every
+///     shipped record ends on a line boundary;
+///   * (generation, offset) from the write event detect rotations and missed
+///     writes; on either the tailer resynchronizes from the host file using
+///     LogFile's rotation-safe read offset.
+class LogTailer {
+ public:
+  struct Config {
+    /// Soft cap on record size; large appends are split at line boundaries.
+    std::size_t max_record_bytes = 4096;
+  };
+
+  struct Stats {
+    std::uint64_t records = 0;      ///< records accepted by the buffer
+    std::uint64_t bytes = 0;        ///< payload bytes accepted
+    std::uint64_t partial_holds = 0;  ///< appends that ended mid-line
+    std::uint64_t blocked = 0;      ///< push attempts refused (kBlock)
+    std::uint64_t resyncs = 0;      ///< rotation / missed-write recoveries
+  };
+
+  /// Installs itself as `facility`'s write observer; `node` names the source
+  /// in shipped records (the log directory name, e.g. "web1").
+  LogTailer(logging::LoggingFacility& facility, RingBuffer& buffer,
+            std::string node, Config cfg);
+  LogTailer(logging::LoggingFacility& facility, RingBuffer& buffer,
+            std::string node)
+      : LogTailer(facility, buffer, std::move(node), Config{}) {}
+  ~LogTailer();
+
+  LogTailer(const LogTailer&) = delete;
+  LogTailer& operator=(const LogTailer&) = delete;
+
+  /// Retries records the buffer refused (call after the shipper drains).
+  void pump();
+
+  /// Emits everything still held back, including trailing partial lines
+  /// (end of run: the file will not grow any more).
+  void flush();
+
+  /// True while any file still has unshipped bytes buffered here.
+  [[nodiscard]] bool has_pending() const;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& node() const { return node_; }
+
+ private:
+  struct FileState {
+    std::string complete;  ///< complete lines not yet accepted by the buffer
+    std::string partial;   ///< trailing bytes with no newline yet
+    std::uint64_t next_offset = 0;   ///< expected offset of the next append
+    std::uint64_t ship_offset = 0;   ///< offset of complete[0] in the file
+    std::uint64_t generation = 0;
+  };
+
+  void on_write(const logging::LoggingFacility::WriteEvent& ev);
+  /// Moves accepted prefixes of `complete` into the ring buffer.
+  void drain_complete(const std::string& file, FileState& st);
+
+  logging::LoggingFacility& facility_;
+  RingBuffer& buffer_;
+  std::string node_;
+  Config cfg_;
+  std::map<std::string, FileState> files_;
+  Stats stats_;
+};
+
+}  // namespace mscope::collector

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "collector/record.h"
+
+namespace mscope::collector {
+
+/// What a full buffer does to an incoming record (the collector's
+/// backpressure knob — cf. "Decreasing log data of multi-tier services for
+/// effective request tracing": bounded per-node memory is what makes online
+/// collection deployable).
+enum class OverflowPolicy {
+  kBlock,       ///< push fails; the producer keeps the record and backs off
+  kDropOldest,  ///< evict the oldest record to make room (keep the freshest)
+  kDropNewest,  ///< discard the incoming record (keep the oldest)
+};
+
+[[nodiscard]] constexpr const char* to_string(OverflowPolicy p) {
+  switch (p) {
+    case OverflowPolicy::kBlock: return "block";
+    case OverflowPolicy::kDropOldest: return "drop-oldest";
+    case OverflowPolicy::kDropNewest: return "drop-newest";
+  }
+  return "?";
+}
+
+/// Bounded FIFO of Records between a LogTailer (producer) and a Shipper
+/// (consumer), with a selectable overflow policy and exact loss accounting.
+/// Single-threaded by design: the whole collector runs inside the
+/// discrete-event simulation, so "blocking" is modeled as push-failure that
+/// the producer observes (and retries after the shipper drains).
+class RingBuffer {
+ public:
+  struct Stats {
+    std::uint64_t pushed = 0;         ///< records accepted
+    std::uint64_t popped = 0;         ///< records drained
+    std::uint64_t dropped_oldest = 0; ///< evicted under kDropOldest
+    std::uint64_t dropped_newest = 0; ///< rejected under kDropNewest
+    std::uint64_t blocked = 0;        ///< push failures under kBlock
+    std::size_t peak_depth = 0;
+
+    [[nodiscard]] std::uint64_t dropped() const {
+      return dropped_oldest + dropped_newest;
+    }
+  };
+
+  RingBuffer(std::size_t capacity, OverflowPolicy policy)
+      : slots_(capacity), policy_(policy) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer: capacity 0");
+  }
+
+  /// Offers a record. Returns false only under kBlock with a full buffer —
+  /// the caller keeps ownership of the data and should retry after a drain.
+  bool push(Record r) {
+    if (size_ == slots_.size()) {
+      switch (policy_) {
+        case OverflowPolicy::kBlock:
+          ++stats_.blocked;
+          return false;
+        case OverflowPolicy::kDropNewest:
+          ++stats_.dropped_newest;
+          return true;  // accepted-and-discarded: producer must not retry
+        case OverflowPolicy::kDropOldest:
+          ++stats_.dropped_oldest;
+          head_ = (head_ + 1) % slots_.size();
+          --size_;
+          break;
+      }
+    }
+    slots_[(head_ + size_) % slots_.size()] = std::move(r);
+    ++size_;
+    ++stats_.pushed;
+    stats_.peak_depth = std::max(stats_.peak_depth, size_);
+    return true;
+  }
+
+  /// Removes and returns the oldest record; nullopt when empty.
+  std::optional<Record> pop() {
+    if (size_ == 0) return std::nullopt;
+    Record r = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    ++stats_.popped;
+    return r;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::size_t free_slots() const { return capacity() - size_; }
+  [[nodiscard]] OverflowPolicy policy() const { return policy_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  std::vector<Record> slots_;
+  OverflowPolicy policy_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  Stats stats_;
+};
+
+}  // namespace mscope::collector

@@ -1,0 +1,115 @@
+#include "collector/shipper.h"
+
+#include <cmath>
+#include <utility>
+
+namespace mscope::collector {
+
+Shipper::Shipper(sim::Simulation& sim, sim::Network& net, sim::Node& src_node,
+                 std::uint16_t src_wire, std::uint16_t dst_wire,
+                 RingBuffer& buffer, Sink sink, std::string node_name,
+                 Config cfg)
+    : sim_(sim),
+      net_(net),
+      src_node_(src_node),
+      src_wire_(src_wire),
+      dst_wire_(dst_wire),
+      buffer_(buffer),
+      sink_(std::move(sink)),
+      node_name_(std::move(node_name)),
+      cfg_(cfg),
+      conn_id_(net.alloc_connections(1)) {}
+
+void Shipper::start() {
+  if (running_) return;
+  running_ = true;
+  sim_.schedule(cfg_.start_at + cfg_.interval, [this] { tick(); });
+}
+
+void Shipper::tick() {
+  if (!running_) return;
+  // Stop-and-wait: while a batch is unacknowledged (in the air or backing
+  // off between retries), keep accumulating in the buffer instead.
+  if (pending_ == nullptr) {
+    Batch batch = assemble();
+    if (!batch.records.empty()) {
+      // Serialization + syscall cost on the monitored node, accounted as
+      // system time so it lands in the same bucket as monitor overhead.
+      const SimTime cpu =
+          cfg_.cpu_per_batch +
+          cfg_.cpu_per_kb * static_cast<SimTime>(batch.bytes() / 1024);
+      stats_.cpu_charged += cpu;
+      src_node_.cpu().submit(cpu, sim::CpuCategory::kSystem,
+                             sim::CpuPriority::kNormal, [] {});
+      pending_ = std::make_shared<Batch>(std::move(batch));
+      try_send(0);
+    }
+  }
+  if (on_drain_) on_drain_();
+  sim_.schedule(cfg_.interval, [this] { tick(); });
+}
+
+Batch Shipper::assemble() {
+  Batch batch;
+  batch.node = node_name_;
+  batch.seq = next_seq_;
+  while (batch.records.size() < cfg_.max_batch_records) {
+    auto r = buffer_.pop();
+    if (!r) break;
+    batch.records.push_back(std::move(*r));
+  }
+  if (!batch.records.empty()) ++next_seq_;
+  return batch;
+}
+
+void Shipper::try_send(int attempt) {
+  if (pending_ == nullptr) return;  // already flushed out of band
+  if (fault_ && fault_(sim_.now(), pending_->seq, attempt)) {
+    ++stats_.send_failures;
+    if (attempt >= cfg_.max_retries) {
+      ++stats_.abandoned;
+      pending_.reset();
+      return;
+    }
+    ++stats_.retries;
+    const auto backoff = static_cast<SimTime>(
+        static_cast<double>(cfg_.backoff_base) *
+        std::pow(cfg_.backoff_factor, attempt));
+    sim_.schedule(backoff, [this, attempt] { try_send(attempt + 1); });
+    return;
+  }
+  const auto wire_bytes = static_cast<std::uint32_t>(
+      pending_->bytes() + cfg_.frame_overhead_bytes);
+  net_.send(
+      src_wire_, dst_wire_, conn_id_, 0, sim::Message::Kind::kRequest,
+      wire_bytes,
+      [this, p = pending_] {
+        if (p != pending_) return;  // recovered by flush_now meanwhile
+        deliver(*p, true);
+        pending_.reset();
+      },
+      /*record_tap=*/false);
+}
+
+void Shipper::deliver(const Batch& batch, bool in_band) {
+  stats_.batches += 1;
+  stats_.records += batch.records.size();
+  stats_.bytes += batch.bytes();
+  sink_(batch, in_band);
+}
+
+void Shipper::flush_now() {
+  if (pending_ != nullptr) {
+    // A transfer the end of the run cut off (in the air, or waiting out a
+    // retry backoff): deliver it directly so no record is lost.
+    deliver(*pending_, false);
+    pending_.reset();
+  }
+  while (!buffer_.empty()) {
+    Batch batch = assemble();
+    if (batch.records.empty()) break;
+    deliver(batch, false);
+  }
+}
+
+}  // namespace mscope::collector

@@ -35,6 +35,14 @@ transform::DataTransformer::Report Experiment::load_warehouse(
   return transformer.run(cfg.log_dir, db);
 }
 
+std::unique_ptr<OnlineCollection> Experiment::start_online(
+    db::Database& db, OnlineVsbDetector* detector,
+    OnlineCollection::Config cfg) {
+  if (ran_)
+    throw std::logic_error("Experiment::start_online: attach before run()");
+  return std::make_unique<OnlineCollection>(*testbed_, db, detector, cfg);
+}
+
 namespace {
 constexpr const char* kEventPrefixes[4] = {"ev_apache", "ev_tomcat",
                                            "ev_cjdbc", "ev_mysql"};

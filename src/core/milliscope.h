@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "core/analysis.h"
+#include "core/online_collection.h"
+#include "core/online_detector.h"
 #include "core/testbed.h"
 #include "core/trace.h"
 #include "db/database.h"
@@ -42,6 +44,15 @@ class Experiment {
   transform::DataTransformer::Report load_warehouse(db::Database& db);
   transform::DataTransformer::Report load_warehouse(
       db::Database& db, transform::DataTransformer::Config tc);
+
+  /// Attaches the streaming collection path (mScopeCollector): logs stream
+  /// into `db` *while the experiment runs* and, if `detector` is given, a
+  /// live queue-depth signal feeds it mid-run. Call before run(); call
+  /// finish() on the returned object after run(). With the default block
+  /// policy the streamed warehouse is byte-identical to load_warehouse().
+  [[nodiscard]] std::unique_ptr<OnlineCollection> start_online(
+      db::Database& db, OnlineVsbDetector* detector = nullptr,
+      OnlineCollection::Config cfg = {});
 
   /// Standard dynamic-table names for this deployment. The flat forms
   /// return one table per tier (the first replica) — convenient for the

@@ -1,0 +1,146 @@
+#include "core/online_collection.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mscope::core {
+
+OnlineCollection::OnlineCollection(Testbed& testbed, db::Database& db,
+                                   OnlineVsbDetector* detector, Config cfg)
+    : testbed_(testbed), detector_(detector), cfg_(cfg) {
+  auto& sim = testbed_.simulation();
+  auto& net = testbed_.network();
+
+  if (cfg_.record_metadata) {
+    // Mirror Experiment::load_warehouse so a streamed warehouse carries the
+    // same static metadata a batch-loaded one would.
+    const auto& tc = testbed_.config();
+    db.record_experiment("run", "RUBBoS n-tier experiment", tc.workload,
+                         tc.duration);
+    for (int tier = 0; tier < Testbed::kTiers; ++tier) {
+      for (int r = 0; r < testbed_.replicas(tier); ++r) {
+        db.record_node(Testbed::replica_name(tier, r),
+                       Testbed::services()[static_cast<std::size_t>(tier)],
+                       tc.cores_per_node);
+      }
+    }
+  }
+
+  // The dedicated collector machine (the paper keeps analysis off the
+  // monitored nodes; so do we).
+  sim::Node::Config nc;
+  nc.name = "collector";
+  nc.cores = cfg_.collector_cores;
+  collector_node_ = std::make_unique<sim::Node>(sim, nc);
+  collector_wire_ = net.register_node(collector_node_.get());
+
+  transformer_ =
+      std::make_unique<transform::StreamingTransformer>(db, cfg_.streaming);
+  transformer_->set_row_observer(
+      [this](const std::string& table, const db::Schema& schema,
+             const std::vector<std::string>& row) {
+        on_row(table, schema, row);
+      });
+  aggregator_ = std::make_unique<collector::Aggregator>(
+      sim, *collector_node_, *transformer_, cfg_.aggregator);
+
+  for (int tier = 0; tier < Testbed::kTiers; ++tier) {
+    for (int r = 0; r < testbed_.replicas(tier); ++r) {
+      Channel ch;
+      ch.node = Testbed::replica_name(tier, r);
+      ch.buffer = std::make_unique<collector::RingBuffer>(cfg_.buffer_capacity,
+                                                          cfg_.policy);
+      ch.tailer = std::make_unique<collector::LogTailer>(
+          testbed_.facility(tier, r), *ch.buffer, ch.node, cfg_.tailer);
+      ch.shipper = std::make_unique<collector::Shipper>(
+          sim, net, testbed_.node(tier, r), testbed_.tier_wire_id(tier, r),
+          collector_wire_, *ch.buffer,
+          [this](const collector::Batch& b, bool in_band) {
+            aggregator_->on_batch(b, in_band);
+          },
+          ch.node, cfg_.shipper);
+      ch.shipper->set_on_drain([t = ch.tailer.get()] { t->pump(); });
+      ch.shipper->start();
+      channels_.push_back(std::move(ch));
+    }
+  }
+
+  sim.schedule(cfg_.parse_interval, [this] { tick(); });
+}
+
+OnlineCollection::~OnlineCollection() = default;
+
+void OnlineCollection::tick() {
+  transformer_->parse_all();
+
+  for (auto& [table, q] : queues_) {
+    const std::int64_t t_eval = q.max_ud - cfg_.queue_watermark;
+    if (t_eval <= q.last_eval) continue;
+    double depth = 0;
+    std::size_t keep = 0;
+    for (auto& iv : q.intervals) {
+      if (iv.first <= t_eval && t_eval < iv.second) depth += 1;
+      if (iv.second > t_eval) q.intervals[keep++] = iv;  // still relevant
+    }
+    q.intervals.resize(keep);
+    q.last_eval = t_eval;
+    if (detector_ != nullptr) {
+      detector_->on_queue_sample(t_eval, table, depth);
+    }
+  }
+
+  testbed_.simulation().schedule(cfg_.parse_interval, [this] { tick(); });
+}
+
+void OnlineCollection::on_row(const std::string& table,
+                              const db::Schema& schema,
+                              const std::vector<std::string>& row) {
+  // Only event tables carry per-request (arrive, depart) pairs.
+  if (table.rfind("ev_", 0) != 0) return;
+  std::size_t ua_col = schema.size();
+  std::size_t ud_col = schema.size();
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i].name == "ua_usec") ua_col = i;
+    if (schema[i].name == "ud_usec") ud_col = i;
+  }
+  if (ua_col >= row.size() || ud_col >= row.size()) return;
+  if (row[ua_col].empty() || row[ud_col].empty()) return;
+  const std::int64_t ua = std::strtoll(row[ua_col].c_str(), nullptr, 10);
+  const std::int64_t ud = std::strtoll(row[ud_col].c_str(), nullptr, 10);
+  if (ud < ua) return;
+  QueueState& q = queues_[table];
+  q.intervals.emplace_back(ua, ud);
+  if (ud > q.max_ud) q.max_ud = ud;
+}
+
+void OnlineCollection::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (auto& ch : channels_) {
+    ch.shipper->stop();
+    // Alternate flush/drain until the channel runs dry: under kBlock the
+    // tailer may need several rounds through the bounded buffer.
+    do {
+      ch.tailer->flush();
+      ch.shipper->flush_now();
+    } while (ch.tailer->has_pending());
+  }
+  transformer_->finalize();
+}
+
+OnlineCollection::Totals OnlineCollection::totals() const {
+  Totals t;
+  for (const auto& ch : channels_) {
+    t.records_tailed += ch.tailer->stats().records;
+    t.bytes_tailed += ch.tailer->stats().bytes;
+    t.dropped += ch.buffer->stats().dropped();
+    t.blocked += ch.buffer->stats().blocked;
+    t.batches += ch.shipper->stats().batches;
+    t.retries += ch.shipper->stats().retries;
+    t.abandoned += ch.shipper->stats().abandoned;
+    t.shipping_cpu += ch.shipper->stats().cpu_charged;
+  }
+  return t;
+}
+
+}  // namespace mscope::core

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collector/aggregator.h"
+#include "collector/log_tailer.h"
+#include "collector/ring_buffer.h"
+#include "collector/shipper.h"
+#include "core/online_detector.h"
+#include "core/testbed.h"
+#include "db/database.h"
+#include "sim/node.h"
+#include "transform/streaming.h"
+
+namespace mscope::core {
+
+/// mScopeCollector wired onto a Testbed: the full streaming path
+///
+///   LoggingFacility --write observer--> LogTailer --> RingBuffer
+///     --> Shipper --sim::Network--> Aggregator --> StreamingTransformer
+///     --> mScopeDB (live) --> OnlineVsbDetector queue signal
+///
+/// Construct it *before* Testbed::run() with the same Database the analyses
+/// will read; during the run every node's native logs stream into a
+/// dedicated collector machine and mScopeDB fills up continuously. After the
+/// run, finish() drains what is still in flight and finalizes the warehouse
+/// — with the default block backpressure policy the result is byte-identical
+/// to the post-hoc batch transform of the same logs.
+class OnlineCollection {
+ public:
+  struct Config {
+    std::size_t buffer_capacity = 4096;  ///< records per node buffer
+    collector::OverflowPolicy policy = collector::OverflowPolicy::kBlock;
+    collector::LogTailer::Config tailer;
+    collector::Shipper::Config shipper;
+    collector::Aggregator::Config aggregator;
+    transform::StreamingTransformer::Config streaming;
+
+    /// Cadence of the forced incremental parse + queue estimation tick
+    /// (bounds how stale the live signal can get).
+    SimTime parse_interval = 250 * util::kMsec;
+    /// Queue depth is evaluated this far behind the newest departure seen,
+    /// so rows still in flight through the pipeline rarely invalidate it.
+    SimTime queue_watermark = 500 * util::kMsec;
+
+    int collector_cores = 8;
+    /// Record ms_experiment / ms_node rows (same values as
+    /// Experiment::load_warehouse) so a streamed warehouse is complete.
+    bool record_metadata = true;
+  };
+
+  /// The collection pipeline of one monitored replica.
+  struct Channel {
+    std::string node;
+    std::unique_ptr<collector::RingBuffer> buffer;
+    std::unique_ptr<collector::LogTailer> tailer;
+    std::unique_ptr<collector::Shipper> shipper;
+  };
+
+  /// `detector` may be null (collection without live diagnosis).
+  OnlineCollection(Testbed& testbed, db::Database& db,
+                   OnlineVsbDetector* detector, Config cfg);
+  OnlineCollection(Testbed& testbed, db::Database& db,
+                   OnlineVsbDetector* detector)
+      : OnlineCollection(testbed, db, detector, Config{}) {}
+  ~OnlineCollection();
+
+  OnlineCollection(const OnlineCollection&) = delete;
+  OnlineCollection& operator=(const OnlineCollection&) = delete;
+
+  /// Call once after Testbed::run(): flushes tailers and buffers (out of
+  /// band — virtual time has stopped) and finalizes the streaming
+  /// transformer, recording load-catalog/deployment metadata.
+  void finish();
+
+  [[nodiscard]] const std::vector<Channel>& channels() const {
+    return channels_;
+  }
+  [[nodiscard]] transform::StreamingTransformer& transformer() {
+    return *transformer_;
+  }
+  [[nodiscard]] collector::Aggregator& aggregator() { return *aggregator_; }
+  [[nodiscard]] sim::Node& collector_node() { return *collector_node_; }
+
+  /// Fleet-wide stats, summed over channels.
+  struct Totals {
+    std::uint64_t records_tailed = 0;
+    std::uint64_t bytes_tailed = 0;
+    std::uint64_t dropped = 0;    ///< records lost to backpressure
+    std::uint64_t blocked = 0;    ///< pushes refused under kBlock
+    std::uint64_t batches = 0;    ///< batches delivered in band
+    std::uint64_t retries = 0;    ///< shipper re-sends
+    std::uint64_t abandoned = 0;  ///< batches given up after max_retries
+    SimTime shipping_cpu = 0;     ///< modeled CPU on monitored nodes
+  };
+  [[nodiscard]] Totals totals() const;
+
+ private:
+  void on_row(const std::string& table, const db::Schema& schema,
+              const std::vector<std::string>& row);
+  void tick();
+
+  Testbed& testbed_;
+  OnlineVsbDetector* detector_;
+  Config cfg_;
+  std::unique_ptr<sim::Node> collector_node_;
+  std::uint16_t collector_wire_ = 0;
+  std::unique_ptr<transform::StreamingTransformer> transformer_;
+  std::unique_ptr<collector::Aggregator> aggregator_;
+  std::vector<Channel> channels_;
+  bool finished_ = false;
+
+  /// Live queue estimation state per event table: open (ua, ud) intervals
+  /// not yet behind the evaluation watermark.
+  struct QueueState {
+    std::vector<std::pair<std::int64_t, std::int64_t>> intervals;
+    std::int64_t max_ud = 0;
+    std::int64_t last_eval = -1;
+  };
+  std::map<std::string, QueueState> queues_;
+};
+
+}  // namespace mscope::core

@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "sim/request.h"
@@ -55,6 +56,36 @@ class OnlineVsbDetector {
     }
   }
 
+  /// One live queue-depth estimate for a tier, derived mid-run from the
+  /// event tables streaming into mScopeDB (see core::OnlineCollection).
+  /// This is the signal the paper reads *post-hoc* from the warehouse to
+  /// localize a VSB (queue peaks at the culprit tier); online collection
+  /// makes it available while the alarm is still open.
+  struct QueueSample {
+    SimTime time = 0;     ///< sim time the estimate refers to
+    std::string source;   ///< emitting table, e.g. "ev_mysql_db1"
+    double depth = 0.0;   ///< concurrent in-flight requests at `time`
+  };
+
+  /// Feed one queue-depth estimate (any order across sources).
+  void on_queue_sample(SimTime time, const std::string& source, double depth) {
+    queue_samples_.push_back({time, source, depth});
+    if (depth > peak_queue_depth_) {
+      peak_queue_depth_ = depth;
+      peak_queue_source_ = source;
+    }
+  }
+
+  [[nodiscard]] const std::vector<QueueSample>& queue_samples() const {
+    return queue_samples_;
+  }
+  [[nodiscard]] double peak_queue_depth() const { return peak_queue_depth_; }
+  /// Source of the deepest queue seen so far ("" before any sample) — the
+  /// live counterpart of the offline diagnosis' culprit-tier ranking.
+  [[nodiscard]] const std::string& peak_queue_source() const {
+    return peak_queue_source_;
+  }
+
   /// All alarms so far (the last one may still be open).
   [[nodiscard]] const std::vector<Alarm>& alarms() const { return alarms_; }
 
@@ -77,6 +108,9 @@ class OnlineVsbDetector {
   util::LatencyHistogram baseline_;  ///< rt in usec
   std::deque<Sample> window_;
   std::vector<Alarm> alarms_;
+  std::vector<QueueSample> queue_samples_;
+  double peak_queue_depth_ = 0.0;
+  std::string peak_queue_source_;
   std::size_t seen_ = 0;
 };
 

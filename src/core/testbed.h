@@ -133,6 +133,7 @@ class Testbed {
 
   [[nodiscard]] const TestbedConfig& config() const { return cfg_; }
   [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] sim::Network& network() { return net_; }
   [[nodiscard]] int replicas(int tier) const {
     return static_cast<int>(servers_[static_cast<std::size_t>(tier)].size());
   }
@@ -142,6 +143,10 @@ class Testbed {
   }
   [[nodiscard]] sim::Node& node(int tier, int replica = 0) {
     return *nodes_.at(static_cast<std::size_t>(tier))
+                .at(static_cast<std::size_t>(replica));
+  }
+  [[nodiscard]] logging::LoggingFacility& facility(int tier, int replica = 0) {
+    return *facilities_.at(static_cast<std::size_t>(tier))
                 .at(static_cast<std::size_t>(replica));
   }
   [[nodiscard]] const workload::ClientPool& clients() const {

@@ -28,14 +28,20 @@ void LoggingFacility::charge(std::size_t bytes, SimTime cpu_cost) {
 
 void LoggingFacility::write(LogFile& file, std::string_view line,
                             SimTime cpu_cost) {
+  const std::uint64_t offset = file.offset();
+  const std::uint64_t generation = file.generation();
   file.write_line(line);
   charge(line.size() + 1, cpu_cost);
+  if (observer_) observer_({file, line, true, offset, generation});
 }
 
 void LoggingFacility::write_block(LogFile& file, std::string_view text,
                                   SimTime cpu_cost) {
+  const std::uint64_t offset = file.offset();
+  const std::uint64_t generation = file.generation();
   file.write_raw(text);
   charge(text.size(), cpu_cost);
+  if (observer_) observer_({file, text, false, offset, generation});
 }
 
 void LoggingFacility::flush_all() {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -34,6 +35,20 @@ class LoggingFacility {
     bool model_costs = true;
   };
 
+  /// One observed append through the facility. `text` is the payload as
+  /// passed to the writer; when `newline` is set the file also received a
+  /// trailing '\n' (write() vs write_block()). `offset` is the byte position
+  /// of the payload within `generation` of the file, so a tailer can detect
+  /// missed writes and rotations without re-scanning the file.
+  struct WriteEvent {
+    LogFile& file;
+    std::string_view text;
+    bool newline = false;
+    std::uint64_t offset = 0;
+    std::uint64_t generation = 0;
+  };
+  using WriteObserver = std::function<void(const WriteEvent&)>;
+
   LoggingFacility(sim::Simulation& sim, sim::Node& node, Config cfg);
 
   /// Opens (or returns the already-open) log file `name` in this node's
@@ -56,6 +71,17 @@ class LoggingFacility {
   /// Flushes all open files to the host filesystem.
   void flush_all();
 
+  /// Installs (or clears, with nullptr) the single write observer. The
+  /// observer runs synchronously after the host append, before the call
+  /// returns — this is how mScopeCollector's tailers see writes without
+  /// polling the files.
+  void set_write_observer(WriteObserver observer) {
+    observer_ = std::move(observer);
+  }
+  [[nodiscard]] bool has_write_observer() const {
+    return static_cast<bool>(observer_);
+  }
+
  private:
   void charge(std::size_t bytes, SimTime cpu_cost);
 
@@ -63,6 +89,7 @@ class LoggingFacility {
   sim::Node& node_;
   Config cfg_;
   std::unordered_map<std::string, std::unique_ptr<LogFile>> files_;
+  WriteObserver observer_;
   std::uint64_t bytes_ = 0;
   std::uint64_t records_ = 0;
 };

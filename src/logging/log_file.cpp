@@ -17,18 +17,30 @@ LogFile::~LogFile() { flush(); }
 void LogFile::write_line(std::string_view line) {
   out_.write(line.data(), static_cast<std::streamsize>(line.size()));
   out_.put('\n');
-  bytes_ += line.size() + 1;
+  total_bytes_ += line.size() + 1;
+  offset_ += line.size() + 1;
   ++records_;
 }
 
 void LogFile::write_raw(std::string_view text) {
   out_.write(text.data(), static_cast<std::streamsize>(text.size()));
-  bytes_ += text.size();
+  total_bytes_ += text.size();
+  offset_ += text.size();
   ++records_;
 }
 
 void LogFile::flush() {
   if (out_.is_open()) out_.flush();
+}
+
+void LogFile::rotate() {
+  out_.close();
+  out_.open(path_, std::ios::out | std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("LogFile: cannot rotate " + path_.string());
+  }
+  offset_ = 0;
+  ++generation_;
 }
 
 }  // namespace mscope::logging

@@ -15,6 +15,13 @@ namespace mscope::logging {
 /// files, and mScopeDataTransformer later parses them back. Host-side I/O is
 /// buffered; the simulated cost of writing is modeled separately by the
 /// LoggingFacility.
+///
+/// For streaming consumers (mScopeCollector's LogTailer) the file exposes a
+/// rotation-safe position: `offset()` is the byte offset of the next append
+/// *within the current generation*, and `generation()` increments whenever
+/// the file is rotated (truncated and restarted). A tailer that remembers
+/// (generation, offset) can always tell "the file restarted" apart from
+/// "I missed some writes".
 class LogFile {
  public:
   explicit LogFile(std::filesystem::path path);
@@ -32,14 +39,26 @@ class LogFile {
   /// Flushes host buffers (done automatically on destruction).
   void flush();
 
+  /// Truncates the file and starts a new generation (classic logrotate
+  /// copytruncate behaviour). The write offset restarts at zero.
+  void rotate();
+
   [[nodiscard]] const std::filesystem::path& path() const { return path_; }
-  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_; }
+  /// Total bytes written across all generations.
+  [[nodiscard]] std::uint64_t bytes_written() const { return total_bytes_; }
   [[nodiscard]] std::uint64_t records() const { return records_; }
+
+  /// Byte offset of the next append within the current generation.
+  [[nodiscard]] std::uint64_t offset() const { return offset_; }
+  /// Rotation counter (0 until the first rotate()).
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
 
  private:
   std::filesystem::path path_;
   std::ofstream out_;
-  std::uint64_t bytes_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t offset_ = 0;
+  std::uint64_t generation_ = 0;
   std::uint64_t records_ = 0;
 };
 

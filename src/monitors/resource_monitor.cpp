@@ -94,8 +94,9 @@ SarMonitor::~SarMonitor() { finalize(); }
 void SarMonitor::finalize() {
   if (output_ == Output::kXml && !finalized_) {
     // Close the XML document so the file is well-formed when the
-    // transformer reads it.
-    file_->write_raw(fmt::sar_xml_close());
+    // transformer reads it. Goes through the facility (not straight to the
+    // file) so a streaming collector's write observer sees it too.
+    facility_.write_block(*file_, fmt::sar_xml_close(), 0);
     file_->flush();
     finalized_ = true;
   }

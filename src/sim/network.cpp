@@ -9,12 +9,12 @@ namespace mscope::sim {
 
 void Network::send(std::uint16_t src, std::uint16_t dst, std::uint64_t conn,
                    std::uint64_t req_id, Message::Kind kind,
-                   std::uint32_t bytes, Deliver deliver) {
+                   std::uint32_t bytes, Deliver deliver, bool record_tap) {
   if (src >= nodes_.size() || dst >= nodes_.size())
     throw std::out_of_range("Network::send: unregistered node");
   nodes_[src]->add_net_tx(bytes);
   nodes_[dst]->add_net_rx(bytes);
-  if (tap_ != nullptr) {
+  if (tap_ != nullptr && record_tap) {
     tap_->record(Message{sim_.now(), src, dst, conn, req_id, kind, bytes});
   }
   sim_.schedule(cfg_.latency, std::move(deliver));

@@ -74,9 +74,12 @@ class Network {
 
   /// Sends a message; `deliver` fires at the destination after the hop
   /// latency. Also updates both nodes' NIC counters and the tap.
+  /// `record_tap = false` keeps the message off the passive tap — used by
+  /// out-of-band traffic (log shipping) that SysViz's port mirror would not
+  /// see as part of the request flow.
   void send(std::uint16_t src, std::uint16_t dst, std::uint64_t conn,
             std::uint64_t req_id, Message::Kind kind, std::uint32_t bytes,
-            Deliver deliver);
+            Deliver deliver, bool record_tap = true);
 
   [[nodiscard]] SimTime latency() const { return cfg_.latency; }
 

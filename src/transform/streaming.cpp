@@ -1,0 +1,177 @@
+#include "transform/streaming.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "transform/parsers.h"
+#include "transform/xml_to_csv.h"
+#include "util/strings.h"
+
+namespace mscope::transform {
+
+StreamingTransformer::StreamingTransformer(db::Database& db, Config cfg)
+    : db_(db), cfg_(cfg) {}
+
+void StreamingTransformer::ingest(const std::string& node,
+                                  const std::string& file,
+                                  std::string_view data) {
+  auto& files = nodes_[node];
+  auto it = files.find(file);
+  if (it == files.end()) {
+    // First sight of this (node, file): stage-1 declaration lookup.
+    it = files.emplace(file, FileState{}).first;
+    ++stats_.files;
+    it->second.decl = registry_.match(file);
+    it->second.next_parse_at = std::max<std::size_t>(cfg_.min_parse_bytes, 1);
+    if (it->second.decl == nullptr) ++stats_.unmatched_files;
+  }
+  FileState& st = it->second;
+  ++stats_.chunks;
+  stats_.bytes += data.size();
+  if (st.decl == nullptr) return;  // unknown format: nothing to transform
+
+  st.content.append(data);
+  if (st.content.size() >= st.next_parse_at) {
+    parse_into_table(node, file, st, /*final_pass=*/false);
+  }
+}
+
+void StreamingTransformer::parse_all() {
+  for (auto& [node, files] : nodes_) {
+    for (auto& [file, st] : files) {
+      if (st.decl != nullptr) parse_into_table(node, file, st, false);
+    }
+  }
+}
+
+bool StreamingTransformer::parse_into_table(const std::string& node,
+                                            const std::string& file,
+                                            FileState& st, bool final_pass) {
+  // Parse only a complete-line prefix mid-run; a trailing fragment would
+  // produce a bogus row that a later parse could not retract. The final
+  // pass takes everything, exactly like the batch pipeline reading the file.
+  std::size_t prefix = st.content.size();
+  if (!final_pass) {
+    const auto nl = st.content.rfind('\n');
+    prefix = (nl == std::string::npos) ? 0 : nl + 1;
+  }
+  // Next trigger follows the geometric schedule whether or not this pass
+  // produces rows, so parse work stays amortized-linear.
+  st.next_parse_at = std::max(
+      static_cast<std::size_t>(static_cast<double>(st.content.size()) *
+                               cfg_.growth_factor),
+      st.content.size() + cfg_.min_parse_bytes);
+  if (prefix == 0 || (prefix <= st.parsed_bytes && !final_pass)) return true;
+
+  ParseContext ctx{node, file, st.decl};
+  Conversion conv;
+  try {
+    const ParserFn parser = ParserRegistry::get(st.decl->parser_id);
+    const auto annotated =
+        parser(std::string_view(st.content).substr(0, prefix), ctx);
+    conv = XmlToCsvConverter::convert(*annotated);
+  } catch (const std::exception&) {
+    // A prefix of a structured document (sar XML) need not parse; the final
+    // pass usually sees the whole document. If even that fails (lossy
+    // backpressure policies can punch holes in a document), keep the rows
+    // from the last good parse rather than losing the file.
+    ++stats_.parse_deferrals;
+    return false;
+  }
+  ++stats_.parse_passes;
+  st.parsed_bytes = prefix;
+  if (conv.schema.empty()) return true;  // no rows yet
+
+  if (st.table.empty()) st.table = st.decl->table_prefix + "_" + node;
+
+  db::Table* table = db_.find(st.table);
+  const bool schema_changed = table != nullptr && st.schema != conv.schema;
+  if (table != nullptr && schema_changed) {
+    // Widened type or new column: earlier rows must be re-typed, so rebuild
+    // the table at the new schema. Rows already announced to the observer
+    // stay announced (rows_notified survives the rebuild).
+    db_.drop(st.table);
+    table = nullptr;
+    stats_.rows_live -= st.rows_in_table;
+    st.rows_in_table = 0;
+    ++stats_.schema_rebuilds;
+  }
+  if (table == nullptr) {
+    table = &db_.create_table(st.table, conv.schema);
+  }
+  st.schema = conv.schema;
+
+  for (std::size_t i = st.rows_in_table; i < conv.rows.size(); ++i) {
+    db::Table::Row row;
+    row.reserve(conv.rows[i].size());
+    for (std::size_t c = 0; c < conv.rows[i].size(); ++c) {
+      auto v = db::parse_as(conv.rows[i][c], conv.schema[c].type);
+      if (!v) {
+        throw std::invalid_argument("StreamingTransformer: cell '" +
+                                    conv.rows[i][c] + "' does not fit column " +
+                                    conv.schema[c].name + " of " + st.table);
+      }
+      row.push_back(std::move(*v));
+    }
+    table->insert(std::move(row));
+    ++stats_.rows_inserted;
+    ++stats_.rows_live;
+  }
+  st.rows_in_table = conv.rows.size();
+  if (observer_) {
+    for (std::size_t i = st.rows_notified; i < conv.rows.size(); ++i) {
+      observer_(st.table, conv.schema, conv.rows[i]);
+    }
+  }
+  st.rows_notified = std::max(st.rows_notified, conv.rows.size());
+  return true;
+}
+
+void StreamingTransformer::finalize() {
+  // Walk (node, file) in sorted order — the same order DataTransformer::run
+  // imports in — so static-table rows land identically.
+  for (auto& [node, files] : nodes_) {
+    for (auto& [file, st] : files) {
+      if (st.decl == nullptr) continue;
+      parse_into_table(node, file, st, /*final_pass=*/true);
+      if (st.table.empty() || !db_.exists(st.table)) continue;
+
+      const db::Table& table = db_.get(st.table);
+      // Load-catalog time range, computed exactly like DataImporter: prefer
+      // ts_usec, then ua_usec, then any *_usec column.
+      const db::Schema& schema = table.schema();
+      std::size_t time_col = schema.size();
+      for (std::size_t i = 0; i < schema.size(); ++i) {
+        if (schema[i].name == "ts_usec") { time_col = i; break; }
+      }
+      if (time_col == schema.size()) {
+        for (std::size_t i = 0; i < schema.size(); ++i) {
+          if (schema[i].name == "ua_usec") { time_col = i; break; }
+        }
+      }
+      if (time_col == schema.size()) {
+        for (std::size_t i = 0; i < schema.size(); ++i) {
+          if (util::ends_with(schema[i].name, "_usec")) { time_col = i; break; }
+        }
+      }
+      std::int64_t t_min = std::numeric_limits<std::int64_t>::max();
+      std::int64_t t_max = std::numeric_limits<std::int64_t>::min();
+      if (time_col < schema.size()) {
+        for (const auto& row : table.rows()) {
+          if (const auto t = db::as_int(row[time_col])) {
+            t_min = std::min(t_min, *t);
+            t_max = std::max(t_max, *t);
+          }
+        }
+      }
+      if (t_min > t_max) t_min = t_max = 0;
+      db_.record_load(node + "/" + file, st.table,
+                      static_cast<std::int64_t>(table.row_count()), t_min,
+                      t_max);
+      db_.record_deployment(node, st.decl->monitor_name, file, 0);
+    }
+  }
+}
+
+}  // namespace mscope::transform

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/database.h"
+#include "transform/declaration.h"
+
+namespace mscope::transform {
+
+/// Incremental counterpart of DataTransformer: ingests raw log *bytes* as
+/// they arrive from the collector and keeps mScopeDB continuously loaded,
+/// instead of transforming complete files after the run.
+///
+/// The trick that makes this exact rather than approximate: every built-in
+/// mScopeParser is *prefix-stable* — parsing the first k lines of a file
+/// yields the first rows of parsing the whole file (headers only affect
+/// subsequent lines). So the streamer re-parses the accumulated
+/// complete-line prefix of each file and appends only the rows beyond what
+/// the table already holds. Re-parse points follow a geometric growth
+/// schedule, bounding total parse work at ~growth/(growth-1) times the
+/// one-shot cost.
+///
+/// Schema widening on the fly: the XMLtoCSV "best match" type of a column
+/// can widen as data arrives (Int -> Double -> Text), and new columns can
+/// appear. When the inferred schema of the prefix differs from the live
+/// table's, the table is dropped and rebuilt at the new schema — earlier
+/// rows are re-typed, so the final table is identical to a batch import.
+///
+/// finalize() parses each file's full content (including a trailing line
+/// with no newline), appends the tail rows, and records ms_load_catalog /
+/// ms_monitor_deployment entries in the same order and with the same
+/// time-range computation as the batch pipeline — byte-for-byte parity is
+/// asserted by tests/collector_test.cpp.
+class StreamingTransformer {
+ public:
+  struct Config {
+    std::size_t min_parse_bytes = 2048;  ///< first re-parse threshold
+    double growth_factor = 1.5;          ///< geometric re-parse schedule
+  };
+
+  struct Stats {
+    std::uint64_t bytes = 0;            ///< raw bytes ingested
+    std::uint64_t chunks = 0;           ///< ingest() calls
+    std::uint64_t parse_passes = 0;     ///< incremental prefix parses
+    std::uint64_t parse_deferrals = 0;  ///< parses retried later (e.g. a
+                                        ///< mid-document XML prefix)
+    std::uint64_t rows_live = 0;        ///< rows currently in dynamic tables
+    std::uint64_t rows_inserted = 0;    ///< inserts incl. rebuild re-inserts
+    std::uint64_t schema_rebuilds = 0;  ///< drop+rebuild on widened schema
+    std::uint64_t files = 0;            ///< distinct (node, file) seen
+    std::uint64_t unmatched_files = 0;  ///< no declaration: bytes discarded
+  };
+
+  /// Fires once per row the moment it becomes visible in a dynamic table
+  /// mid-run (rebuild re-inserts do not re-fire). Cells are the stage-3
+  /// string form; `schema` gives column names/types.
+  using RowObserver = std::function<void(
+      const std::string& table, const db::Schema& schema,
+      const std::vector<std::string>& row)>;
+
+  StreamingTransformer(db::Database& db, Config cfg);
+  explicit StreamingTransformer(db::Database& db)
+      : StreamingTransformer(db, Config{}) {}
+
+  /// The declaration registry used for stage-1 matching (add custom formats
+  /// before the first ingest).
+  [[nodiscard]] DeclarationRegistry& declarations() { return registry_; }
+
+  void set_row_observer(RowObserver obs) { observer_ = std::move(obs); }
+
+  /// Appends raw bytes of `file` on `node` (in offset order — the collector
+  /// guarantees this) and re-parses if the growth schedule says so.
+  void ingest(const std::string& node, const std::string& file,
+              std::string_view data);
+
+  /// Forces an incremental parse of every file regardless of the growth
+  /// schedule (bounds signal staleness for online consumers).
+  void parse_all();
+
+  /// End of stream: parses full contents, loads the tails, and records
+  /// load-catalog + deployment metadata exactly like the batch pipeline.
+  void finalize();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct FileState {
+    const Declaration* decl = nullptr;  ///< nullptr: no declaration matched
+    std::string content;                ///< full byte stream so far
+    std::size_t parsed_bytes = 0;       ///< prefix covered by the last parse
+    std::size_t next_parse_at = 0;      ///< growth-schedule trigger
+    std::size_t rows_in_table = 0;
+    std::size_t rows_notified = 0;
+    db::Schema schema;
+    std::string table;
+  };
+
+  /// Parses the complete-line prefix (or, in finalize, everything) and
+  /// reconciles the dynamic table. Returns false if deferred.
+  bool parse_into_table(const std::string& node, const std::string& file,
+                        FileState& st, bool final_pass);
+
+  db::Database& db_;
+  DeclarationRegistry registry_;
+  Config cfg_;
+  RowObserver observer_;
+  // node -> file -> state; both levels sorted so finalize() walks files in
+  // the same order as DataTransformer::run.
+  std::map<std::string, std::map<std::string, FileState>> nodes_;
+  Stats stats_;
+};
+
+}  // namespace mscope::transform
