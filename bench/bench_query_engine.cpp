@@ -1,0 +1,206 @@
+// Microbenchmarks of the mScopeDB query engine (google-benchmark): the
+// indexed time_range path against the brute-force scan it replaced, typed
+// predicate filters against std::function dispatch, and the sliding-window
+// cursor against issuing one range query per window. These quantify what the
+// engine buys the analyses (PIT, queue length) at warehouse scale.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "db/database.h"
+#include "db/query.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mscope;
+
+// One synthetic event table per size, built once and leaked (benchmark
+// fixture). Layout mirrors an Apache event table: one request per msec,
+// service times of 3-23 ms, eight distinct servlet URLs, four tiers.
+constexpr int kUrlVariants = 8;
+
+db::Database& warehouse(std::int64_t rows) {
+  static std::map<std::int64_t, db::Database*>& dbs =
+      *new std::map<std::int64_t, db::Database*>();
+  auto it = dbs.find(rows);
+  if (it == dbs.end()) {
+    auto* d = new db::Database();  // intentionally leaked benchmark fixture
+    auto& t = d->create_table("ev", {{"req_id", db::DataType::kText},
+                                     {"url", db::DataType::kText},
+                                     {"tier", db::DataType::kInt},
+                                     {"ua_usec", db::DataType::kInt},
+                                     {"ud_usec", db::DataType::kInt},
+                                     {"duration_usec", db::DataType::kInt}});
+    t.reserve(static_cast<std::size_t>(rows));
+    util::Rng rng(13);
+    for (std::int64_t i = 0; i < rows; ++i) {
+      const std::int64_t ua = util::msec(i);
+      const std::int64_t dur =
+          3000 + static_cast<std::int64_t>(rng.next_below(20000));
+      t.insert({db::Value{std::string("ID") + std::to_string(i)},
+                db::Value{std::string("/rubbos/Servlet") +
+                          std::to_string(i % kUrlVariants)},
+                db::Value{i % 4}, db::Value{ua}, db::Value{ua + dur},
+                db::Value{dur}});
+    }
+    (void)t.time_index("ua_usec");  // warm, so benches measure steady state
+    it = dbs.emplace(rows, d).first;
+  }
+  return *it->second;
+}
+
+// A 10-second slice out of the middle of the table: the canonical "zoom into
+// the bottleneck window" query of every analysis.
+void BM_TimeRangeIndexed(benchmark::State& state) {
+  db::Database& db = warehouse(state.range(0));
+  const util::SimTime lo = util::sec(1), hi = util::sec(11);
+  for (auto _ : state) {
+    const auto n =
+        db::Query(db.get("ev")).time_range("ua_usec", lo, hi).count();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TimeRangeIndexed)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_TimeRangeScan(benchmark::State& state) {
+  db::Database& db = warehouse(state.range(0));
+  const util::SimTime lo = util::sec(1), hi = util::sec(11);
+  for (auto _ : state) {
+    const auto n = db::Query(db.get("ev"))
+                       .use_index(false)
+                       .time_range("ua_usec", lo, hi)
+                       .count();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TimeRangeScan)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+// Typed equality filters against the std::function scan they shortcut.
+void BM_WhereEqStrTyped(benchmark::State& state) {
+  db::Database& db = warehouse(state.range(0));
+  for (auto _ : state) {
+    const auto n =
+        db::Query(db.get("ev")).where_eq_str("url", "/rubbos/Servlet3").count();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WhereEqStrTyped)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_WhereEqStrFn(benchmark::State& state) {
+  db::Database& db = warehouse(state.range(0));
+  for (auto _ : state) {
+    const auto n = db::Query(db.get("ev"))
+                       .where("url",
+                              [](const db::Value& v) {
+                                return !db::is_null(v) &&
+                                       db::as_text(v) == "/rubbos/Servlet3";
+                              })
+                       .count();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WhereEqStrFn)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_WhereEqIntTyped(benchmark::State& state) {
+  db::Database& db = warehouse(state.range(0));
+  for (auto _ : state) {
+    const auto n = db::Query(db.get("ev")).where_eq_int("tier", 2).count();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WhereEqIntTyped)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_WhereEqIntFn(benchmark::State& state) {
+  db::Database& db = warehouse(state.range(0));
+  for (auto _ : state) {
+    const auto n = db::Query(db.get("ev"))
+                       .where("tier",
+                              [](const db::Value& v) {
+                                const auto i = db::as_int(v);
+                                return i && *i == 2;
+                              })
+                       .count();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WhereEqIntFn)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+// Windowed analysis: per-window max service time over 1-second windows
+// covering the whole run. The cursor walks the index once; the per-window
+// variants issue one time_range query per window — the scan flavor is what
+// every analysis did before the engine existed (O(rows) per window, i.e.
+// quadratic over the run).
+std::int64_t windowed_max_cursor(const db::Table& t) {
+  const auto dur = *t.column_index("duration_usec");
+  auto cursor = db::Query(t).windows("ua_usec", util::sec(1));
+  db::Query::Window w;
+  std::int64_t acc = 0;
+  while (cursor.next(w)) {
+    std::int64_t peak = 0;
+    for (const auto& e : w.entries) {
+      if (const auto d = db::as_int(t.at(e.row, dur))) {
+        peak = std::max(peak, *d);
+      }
+    }
+    acc += peak;
+  }
+  return acc;
+}
+
+std::int64_t windowed_max_queries(const db::Table& t, bool use_index) {
+  const util::SimTime horizon = util::msec(
+      static_cast<std::int64_t>(t.row_count()));
+  std::int64_t acc = 0;
+  for (util::SimTime w = 0; w < horizon; w += util::sec(1)) {
+    acc += static_cast<std::int64_t>(
+        db::Query(t)
+            .use_index(use_index)
+            .time_range("ua_usec", w, w + util::sec(1))
+            .aggregate(db::Query::AggKind::kMax, "duration_usec"));
+  }
+  return acc;
+}
+
+void BM_WindowedCursor(benchmark::State& state) {
+  db::Database& db = warehouse(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(windowed_max_cursor(db.get("ev")));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WindowedCursor)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_WindowedPerQueryIndexed(benchmark::State& state) {
+  db::Database& db = warehouse(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(windowed_max_queries(db.get("ev"), true));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WindowedPerQueryIndexed)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_WindowedPerQueryScan(benchmark::State& state) {
+  db::Database& db = warehouse(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(windowed_max_queries(db.get("ev"), false));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+// No 1M variant: the quadratic baseline takes minutes there — which is the
+// point, but not one worth a CI timeout.
+BENCHMARK(BM_WindowedPerQueryScan)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
+#include <utility>
 
 #include "db/query.h"
 
@@ -45,16 +47,32 @@ std::vector<VsbWindow> find_vsb_windows(const PitSeries& pit, double factor,
   return out;
 }
 
+namespace {
+
+/// [first, last) indices of the samples with time in [begin, end).
+/// Series are time-ordered, so the window is a contiguous slice findable by
+/// binary search — window helpers no longer scan the whole run per window.
+std::pair<std::size_t, std::size_t> window_span(const Series& s, SimTime begin,
+                                                SimTime end) {
+  const auto by_time = [](const util::Sample& p, SimTime t) {
+    return p.time < t;
+  };
+  const auto lo = std::lower_bound(s.begin(), s.end(), begin, by_time);
+  const auto hi = std::lower_bound(lo, s.end(), end, by_time);
+  return {static_cast<std::size_t>(lo - s.begin()),
+          static_cast<std::size_t>(hi - s.begin())};
+}
+
+}  // namespace
+
 PushbackReport detect_pushback(const std::vector<Series>& tier_queues,
                                const VsbWindow& window,
                                double min_slope_per_sec, double min_peak) {
   PushbackReport report;
   for (std::size_t tier = 0; tier < tier_queues.size(); ++tier) {
-    Series in_window;
-    for (const auto& s : tier_queues[tier]) {
-      if (s.time >= window.begin && s.time < window.end)
-        in_window.push_back(s);
-    }
+    const Series& q = tier_queues[tier];
+    const auto [lo, hi] = window_span(q, window.begin, window.end);
+    const std::span<const util::Sample> in_window{q.data() + lo, hi - lo};
     if (in_window.size() < 2) continue;
     double peak = 0.0;
     for (const auto& s : in_window) peak = std::max(peak, s.value);
@@ -62,10 +80,9 @@ PushbackReport detect_pushback(const std::vector<Series>& tier_queues,
     // Median of the out-of-window samples: a robust normal-depth baseline
     // that other bottleneck episodes elsewhere in the run cannot inflate.
     std::vector<double> outside;
-    for (const auto& s : tier_queues[tier]) {
-      if (s.time < window.begin || s.time >= window.end)
-        outside.push_back(s.value);
-    }
+    outside.reserve(q.size() - in_window.size());
+    for (std::size_t i = 0; i < lo; ++i) outside.push_back(q[i].value);
+    for (std::size_t i = hi; i < q.size(); ++i) outside.push_back(q[i].value);
     const double level =
         std::max(min_peak, 4.0 * (util::percentile(outside, 50) + 1.0));
     // A tier participates in the push-back if its queue is elevated for a
@@ -117,41 +134,82 @@ PitSeries Diagnoser::pit(SimTime horizon) const {
 namespace {
 
 /// Mean of a series restricted to [begin, end) / to its complement.
+/// The complement is accumulated prefix-then-suffix — the same order the old
+/// full-scan produced — because Welford's result depends on visit order.
 double mean_in(const Series& s, SimTime begin, SimTime end, bool inside) {
+  const auto [lo, hi] = window_span(s, begin, end);
   util::RunningStats stats;
-  for (const auto& p : s) {
-    const bool in = p.time >= begin && p.time < end;
-    if (in == inside) stats.add(p.value);
+  if (inside) {
+    for (std::size_t i = lo; i < hi; ++i) stats.add(s[i].value);
+  } else {
+    for (std::size_t i = 0; i < lo; ++i) stats.add(s[i].value);
+    for (std::size_t i = hi; i < s.size(); ++i) stats.add(s[i].value);
   }
   return stats.mean();
 }
 
 double max_in(const Series& s, SimTime begin, SimTime end) {
+  const auto [lo, hi] = window_span(s, begin, end);
   double peak = 0.0;
-  for (const auto& p : s) {
-    if (p.time >= begin && p.time < end) peak = std::max(peak, p.value);
-  }
+  for (std::size_t i = lo; i < hi; ++i) peak = std::max(peak, s[i].value);
   return peak;
 }
 
 double min_in(const Series& s, SimTime begin, SimTime end) {
+  const auto [lo, hi] = window_span(s, begin, end);
+  if (lo == hi) return 0.0;
   double low = std::numeric_limits<double>::max();
-  for (const auto& p : s) {
-    if (p.time >= begin && p.time < end) low = std::min(low, p.value);
-  }
-  return low == std::numeric_limits<double>::max() ? 0.0 : low;
+  for (std::size_t i = lo; i < hi; ++i) low = std::min(low, s[i].value);
+  return low;
 }
 
 std::size_t buckets_at_or_above(const Series& s, SimTime begin, SimTime end,
                                 double threshold) {
+  const auto [lo, hi] = window_span(s, begin, end);
   std::size_t n = 0;
-  for (const auto& p : s) {
-    if (p.time >= begin && p.time < end && p.value >= threshold) ++n;
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (s[i].value >= threshold) ++n;
   }
   return n;
 }
 
 }  // namespace
+
+const Diagnoser::RunCache& Diagnoser::run_cache(SimTime horizon) const {
+  if (cache_.horizon == horizon) return cache_;
+  RunCache c;
+  c.horizon = horizon;
+  c.queues.reserve(tables_.event_tables.size());
+  for (const auto& tier_tables : tables_.event_tables) {
+    c.queues.push_back(queue_length_db_multi(db_, tier_tables,
+                                             cfg_.queue_bucket, 0, horizon));
+  }
+  const Series& front = c.queues.front();
+  c.replicas.resize(tables_.collectl_tables.size());
+  for (std::size_t tier = 0; tier < tables_.collectl_tables.size(); ++tier) {
+    c.replicas[tier].reserve(tables_.collectl_tables[tier].size());
+    for (const auto& collectl : tables_.collectl_tables[tier]) {
+      ReplicaSeries rs;
+      rs.disk_util = resource_series(db_, collectl, "dsk_pctutil");
+      rs.cpu_busy = resource_series(db_, collectl, "cpu_user_pct");
+      const Series cpu_sys = resource_series(db_, collectl, "cpu_sys_pct");
+      for (std::size_t i = 0; i < rs.cpu_busy.size() && i < cpu_sys.size();
+           ++i) {
+        rs.cpu_busy[i].value += cpu_sys[i].value;
+      }
+      rs.dirty = resource_series(db_, collectl, "mem_dirtykb");
+      rs.disk_corr =
+          util::correlate_series(rs.disk_util, front, cfg_.queue_bucket);
+      rs.cpu_corr =
+          util::correlate_series(rs.cpu_busy, front, cfg_.queue_bucket);
+      rs.dirty_corr =
+          util::correlate_series(rs.dirty, front, cfg_.queue_bucket);
+      c.replicas[tier].push_back(std::move(rs));
+    }
+  }
+  cache_ = std::move(c);
+  return cache_;
+}
 
 Diagnosis Diagnoser::diagnose_window(const VsbWindow& w,
                                      SimTime horizon) const {
@@ -164,12 +222,8 @@ Diagnosis Diagnoser::diagnose_window(const VsbWindow& w,
   const SimTime wb = std::max<SimTime>(0, w.begin - cfg_.lookback);
   const SimTime we = std::min(horizon, w.end + 4 * cfg_.queue_bucket);
 
-  std::vector<Series> queues;
-  queues.reserve(tables_.event_tables.size());
-  for (const auto& tier_tables : tables_.event_tables) {
-    queues.push_back(queue_length_db_multi(db_, tier_tables,
-                                           cfg_.queue_bucket, 0, horizon));
-  }
+  const RunCache& run = run_cache(horizon);
+  const std::vector<Series>& queues = run.queues;
   // Queue growth is judged from `lookback` before the symptom up to the
   // *front tier's queue peak*: push-back makes the deeper tiers fill before
   // or together with Apache, whereas the drain flood that races downstream
@@ -178,12 +232,12 @@ Diagnosis Diagnoser::diagnose_window(const VsbWindow& w,
   SimTime pushback_end = w.end;
   {
     const Series& front = queues.front();
+    const auto [lo, hi] = window_span(front, wb, we);
     double best = -1.0;
-    for (const auto& s : front) {
-      if (s.time < wb || s.time >= we) continue;
-      if (s.value > best) {
-        best = s.value;
-        pushback_end = s.time + 2 * cfg_.queue_bucket;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (front[i].value > best) {
+        best = front[i].value;
+        pushback_end = front[i].time + 2 * cfg_.queue_bucket;
       }
     }
     pushback_end = std::min(pushback_end, we);
@@ -200,38 +254,23 @@ Diagnosis Diagnoser::diagnose_window(const VsbWindow& w,
   // into the specific system component" (paper Section I) means naming the
   // node, not just the tier.
   const auto tier_idx = static_cast<std::size_t>(d.bottleneck_tier);
-  const Series& front_queue = queues.front();
   double best_score = -1.0;
   Evidence disk_ev, cpu_ev, dirty_ev;
   double dirty_peak = 0, dirty_low = 0;
   std::size_t disk_sat_buckets = 0, cpu_sat_buckets = 0;
 
   for (std::size_t r = 0; r < tables_.collectl_tables[tier_idx].size(); ++r) {
-    const auto& collectl = tables_.collectl_tables[tier_idx][r];
+    const ReplicaSeries& rs = run.replicas[tier_idx][r];
     const std::string& node = tables_.nodes[tier_idx][r];
-    const Series disk_util = resource_series(db_, collectl, "dsk_pctutil");
-    const Series cpu_user = resource_series(db_, collectl, "cpu_user_pct");
-    const Series cpu_sys = resource_series(db_, collectl, "cpu_sys_pct");
-    const Series dirty = resource_series(db_, collectl, "mem_dirtykb");
 
-    Evidence r_disk{node, "dsk_pctutil", max_in(disk_util, wb, we),
-                    mean_in(disk_util, wb, we, false),
-                    util::correlate_series(disk_util, front_queue,
-                                           cfg_.queue_bucket)};
-    Series cpu_busy = cpu_user;
-    for (std::size_t i = 0; i < cpu_busy.size() && i < cpu_sys.size(); ++i) {
-      cpu_busy[i].value += cpu_sys[i].value;
-    }
-    Evidence r_cpu{node, "cpu_busy_pct", max_in(cpu_busy, wb, we),
-                   mean_in(cpu_busy, wb, we, false),
-                   util::correlate_series(cpu_busy, front_queue,
-                                          cfg_.queue_bucket)};
-    const double r_dirty_peak = max_in(dirty, wb, we);
-    const double r_dirty_low = min_in(dirty, wb, we);
+    Evidence r_disk{node, "dsk_pctutil", max_in(rs.disk_util, wb, we),
+                    mean_in(rs.disk_util, wb, we, false), rs.disk_corr};
+    Evidence r_cpu{node, "cpu_busy_pct", max_in(rs.cpu_busy, wb, we),
+                   mean_in(rs.cpu_busy, wb, we, false), rs.cpu_corr};
+    const double r_dirty_peak = max_in(rs.dirty, wb, we);
+    const double r_dirty_low = min_in(rs.dirty, wb, we);
     Evidence r_dirty{node, "mem_dirtykb", r_dirty_peak,
-                     mean_in(dirty, wb, we, false),
-                     util::correlate_series(dirty, front_queue,
-                                            cfg_.queue_bucket)};
+                     mean_in(rs.dirty, wb, we, false), rs.dirty_corr};
     const double score = std::max(r_disk.in_window, r_cpu.in_window);
     if (score > best_score) {
       best_score = score;
@@ -241,9 +280,9 @@ Diagnosis Diagnoser::diagnose_window(const VsbWindow& w,
       dirty_ev = r_dirty;
       dirty_peak = r_dirty_peak;
       dirty_low = r_dirty_low;
-      disk_sat_buckets = buckets_at_or_above(disk_util, wb, we,
+      disk_sat_buckets = buckets_at_or_above(rs.disk_util, wb, we,
                                              cfg_.disk_saturation_pct);
-      cpu_sat_buckets = buckets_at_or_above(cpu_busy, wb, we,
+      cpu_sat_buckets = buckets_at_or_above(rs.cpu_busy, wb, we,
                                             cfg_.cpu_saturation_pct);
     }
   }

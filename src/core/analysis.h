@@ -40,6 +40,8 @@ struct VsbWindow {
 /// Cross-tier push-back (paper Fig. 6): inside a window, which tiers' queues
 /// grow together. Queue amplification across >= 2 adjacent tiers reaching
 /// the front tier is the signature of a deep-tier bottleneck.
+/// `tier_queues` must be time-ordered (as integrate_deltas produces); the
+/// detector slices each window out by binary search instead of scanning.
 struct PushbackReport {
   std::vector<int> growing_tiers;  ///< tiers whose queue grows in-window
   int deepest_growing = -1;
@@ -125,9 +127,32 @@ class Diagnoser {
   [[nodiscard]] PitSeries pit(SimTime horizon) const;
 
  private:
+  /// Per-horizon artifacts shared by every window diagnosed in one run.
+  /// Queue series, resource series and their whole-run correlations with the
+  /// front tier's queue do not depend on the window being diagnosed, so they
+  /// are computed once per horizon instead of once per window — diagnosing k
+  /// windows costs one pass over the warehouse, not k.
+  struct ReplicaSeries {
+    Series disk_util;
+    Series cpu_busy;  ///< cpu_user_pct + cpu_sys_pct, summed element-wise
+    Series dirty;
+    double disk_corr = 0.0;
+    double cpu_corr = 0.0;
+    double dirty_corr = 0.0;
+  };
+  struct RunCache {
+    SimTime horizon = -1;
+    std::vector<Series> queues;                        ///< per tier
+    std::vector<std::vector<ReplicaSeries>> replicas;  ///< [tier][replica]
+  };
+  /// Returns the cache for `horizon`, (re)building it on a miss. The cache
+  /// holds one horizon at a time; Diagnoser is not thread-safe.
+  const RunCache& run_cache(SimTime horizon) const;
+
   const db::Database& db_;
   Tables tables_;
   Config cfg_;
+  mutable RunCache cache_;
 };
 
 }  // namespace mscope::core

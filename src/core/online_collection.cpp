@@ -76,16 +76,22 @@ void OnlineCollection::tick() {
   for (auto& [table, q] : queues_) {
     const std::int64_t t_eval = q.max_ud - cfg_.queue_watermark;
     if (t_eval <= q.last_eval) continue;
-    double depth = 0;
-    std::size_t keep = 0;
-    for (auto& iv : q.intervals) {
-      if (iv.first <= t_eval && t_eval < iv.second) depth += 1;
-      if (iv.second > t_eval) q.intervals[keep++] = iv;  // still relevant
+    // Pop everything now behind the watermark; the running count stays equal
+    // to #(ua <= t_eval < ud), i.e. the requests inside the tier at t_eval.
+    // Rows that arrive late (pipeline stragglers with old timestamps) enter
+    // the heaps after earlier evaluations but are still popped — and counted
+    // — the first time the watermark passes them.
+    while (!q.arrivals.empty() && q.arrivals.top() <= t_eval) {
+      q.arrivals.pop();
+      ++q.depth;
     }
-    q.intervals.resize(keep);
+    while (!q.departures.empty() && q.departures.top() <= t_eval) {
+      q.departures.pop();
+      --q.depth;
+    }
     q.last_eval = t_eval;
     if (detector_ != nullptr) {
-      detector_->on_queue_sample(t_eval, table, depth);
+      detector_->on_queue_sample(t_eval, table, static_cast<double>(q.depth));
     }
   }
 
@@ -109,7 +115,8 @@ void OnlineCollection::on_row(const std::string& table,
   const std::int64_t ud = std::strtoll(row[ud_col].c_str(), nullptr, 10);
   if (ud < ua) return;
   QueueState& q = queues_[table];
-  q.intervals.emplace_back(ua, ud);
+  q.arrivals.push(ua);
+  q.departures.push(ud);
   if (ud > q.max_ud) q.max_ud = ud;
 }
 

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <queue>
 #include <string>
 #include <vector>
 
@@ -114,10 +116,19 @@ class OnlineCollection {
   std::vector<Channel> channels_;
   bool finished_ = false;
 
-  /// Live queue estimation state per event table: open (ua, ud) intervals
-  /// not yet behind the evaluation watermark.
+  /// Live queue estimation state per event table. Arrival and departure
+  /// timestamps not yet behind the evaluation watermark sit in two min-heaps;
+  /// since a row's departure never precedes its arrival, the depth at the
+  /// watermark is #(arrivals <= t) - #(departures <= t), maintained as a
+  /// running count while the heaps are popped up to t. Each record costs
+  /// O(log n) total across its lifetime, instead of being rescanned by every
+  /// tick while its interval stays open.
   struct QueueState {
-    std::vector<std::pair<std::int64_t, std::int64_t>> intervals;
+    using MinHeap = std::priority_queue<std::int64_t, std::vector<std::int64_t>,
+                                        std::greater<>>;
+    MinHeap arrivals;
+    MinHeap departures;
+    std::int64_t depth = 0;  ///< open requests at last_eval
     std::int64_t max_ud = 0;
     std::int64_t last_eval = -1;
   };

@@ -1,0 +1,50 @@
+#include "db/index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "db/table.h"
+
+namespace mscope::db {
+
+TimeIndex TimeIndex::build(const Table& table, std::size_t col) {
+  TimeIndex idx;
+  idx.entries_.reserve(table.row_count());
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    if (const auto t = as_int(table.at(r, col))) {
+      idx.entries_.push_back({*t, static_cast<std::uint32_t>(r)});
+    }
+  }
+  std::sort(idx.entries_.begin(), idx.entries_.end());
+  return idx;
+}
+
+void TimeIndex::append(std::int64_t time, std::uint32_t row) {
+  const Entry e{time, row};
+  if (entries_.empty() || !(e < entries_.back())) {
+    entries_.push_back(e);
+    return;
+  }
+  entries_.insert(std::lower_bound(entries_.begin(), entries_.end(), e), e);
+}
+
+std::span<const TimeIndex::Entry> TimeIndex::range(std::int64_t lo,
+                                                   std::int64_t hi) const {
+  if (hi <= lo) return {};
+  const auto b =
+      std::lower_bound(entries_.begin(), entries_.end(), Entry{lo, 0});
+  const auto e =
+      std::lower_bound(b, entries_.end(), Entry{hi, 0});
+  return {b, e};
+}
+
+std::span<const TimeIndex::Entry> TimeIndex::equal(std::int64_t t) const {
+  const auto b =
+      std::lower_bound(entries_.begin(), entries_.end(), Entry{t, 0});
+  const auto e = std::upper_bound(
+      b, entries_.end(),
+      Entry{t, std::numeric_limits<std::uint32_t>::max()});
+  return {b, e};
+}
+
+}  // namespace mscope::db

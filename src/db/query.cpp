@@ -8,6 +8,24 @@
 
 namespace mscope::db {
 
+bool QueryFilter::matches(const Value& v) const {
+  switch (kind) {
+    case Kind::kPred:
+      return pred(v);
+    case Kind::kEqInt: {
+      const auto t = as_int(v);
+      return t && *t == lo;
+    }
+    case Kind::kEqText:
+      return type_of(v) == DataType::kText && std::get<TextRef>(v) == text;
+    case Kind::kIntRange: {
+      const auto t = as_int(v);
+      return t && *t >= lo && *t < hi;
+    }
+  }
+  return false;
+}
+
 Query::Query(const Table& table) : table_(table) {}
 
 std::size_t Query::col_or_throw(const std::string& name) const {
@@ -19,21 +37,79 @@ std::size_t Query::col_or_throw(const std::string& name) const {
 }
 
 Query& Query::where(std::string column, std::function<bool(const Value&)> pred) {
-  filters_.push_back({col_or_throw(column), std::move(pred)});
+  QueryFilter f;
+  f.col = col_or_throw(column);
+  f.kind = QueryFilter::Kind::kPred;
+  f.pred = std::move(pred);
+  filters_.push_back(std::move(f));
   return *this;
 }
 
 Query& Query::where_eq(std::string column, Value v) {
-  return where(std::move(column),
-               [v = std::move(v)](const Value& x) { return compare(x, v) == 0; });
+  // Route to the typed kinds when that preserves the generic semantics: an
+  // Int operand on an Int column (where_eq_int rounds Double cells, compare
+  // does not), or a Text operand anywhere. Everything else falls back to the
+  // generic compare (NULL operand matches NULL cells).
+  switch (type_of(v)) {
+    case DataType::kInt:
+      if (table_.schema()[col_or_throw(column)].type == DataType::kInt) {
+        return where_eq_int(std::move(column), std::get<std::int64_t>(v));
+      }
+      break;
+    case DataType::kText: {
+      QueryFilter f;
+      f.col = col_or_throw(column);
+      f.kind = QueryFilter::Kind::kEqText;
+      f.text = std::get<TextRef>(v);
+      filters_.push_back(std::move(f));
+      return *this;
+    }
+    default:
+      break;
+  }
+  return where(std::move(column), [v = std::move(v)](const Value& x) {
+    if (is_null(v)) return is_null(x);
+    return !is_null(x) && compare(x, v) == 0;
+  });
+}
+
+Query& Query::where_eq_int(std::string column, std::int64_t v) {
+  QueryFilter f;
+  f.col = col_or_throw(column);
+  f.kind = QueryFilter::Kind::kEqInt;
+  f.lo = v;
+  filters_.push_back(std::move(f));
+  return *this;
+}
+
+Query& Query::where_eq_str(std::string column, std::string_view v) {
+  QueryFilter f;
+  f.col = col_or_throw(column);
+  f.kind = QueryFilter::Kind::kEqText;
+  f.text = TextRef{v};
+  filters_.push_back(std::move(f));
+  return *this;
+}
+
+Query& Query::where_int_range(std::string column, std::int64_t lo,
+                              std::int64_t hi) {
+  QueryFilter f;
+  f.col = col_or_throw(column);
+  f.kind = QueryFilter::Kind::kIntRange;
+  f.lo = lo;
+  f.hi = hi;
+  filters_.push_back(std::move(f));
+  return *this;
 }
 
 Query& Query::time_range(std::string column, util::SimTime lo,
                          util::SimTime hi) {
-  return where(std::move(column), [lo, hi](const Value& x) {
-    const auto t = as_int(x);
-    return t && *t >= lo && *t < hi;
-  });
+  return where_int_range(std::move(column), lo, hi);
+}
+
+Query& Query::use_index(bool on) {
+  use_index_ = on;
+  return *this;
 }
 
 Query& Query::project(std::vector<std::string> columns) {
@@ -54,24 +130,91 @@ Query& Query::limit(std::size_t n) {
   return *this;
 }
 
+namespace {
+
+/// The index slice a filter would select, or an empty optional when the
+/// filter kind / column cannot be served from an index.
+std::optional<std::span<const TimeIndex::Entry>> index_slice(
+    const Table& table, const QueryFilter& f) {
+  if (f.kind == QueryFilter::Kind::kIntRange) {
+    // Range filters justify building the index on demand: they are the
+    // repeated time_range pattern of every analysis pass.
+    if (const TimeIndex* idx = table.time_index(f.col)) {
+      return idx->range(f.lo, f.hi);
+    }
+  } else if (f.kind == QueryFilter::Kind::kEqInt) {
+    // Equality probes only ride an index that is already warm.
+    if (const TimeIndex* idx = table.find_time_index(f.col)) {
+      return idx->equal(f.lo);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
 std::vector<std::size_t> Query::matching_rows() const {
   std::vector<std::size_t> out;
-  for (std::size_t r = 0; r < table_.row_count(); ++r) {
-    bool ok = true;
-    for (const auto& f : filters_) {
-      if (!f.pred(table_.at(r, f.col))) {
-        ok = false;
-        break;
+
+  // Plan: serve the most selective indexable filter from its sorted index,
+  // then test only that slice against the remaining filters. Falls back to
+  // a full scan when no filter is indexable (or use_index(false)).
+  std::size_t via_index = filters_.size();
+  std::span<const TimeIndex::Entry> slice;
+  if (use_index_) {
+    for (std::size_t i = 0; i < filters_.size(); ++i) {
+      if (const auto s = index_slice(table_, filters_[i])) {
+        if (via_index == filters_.size() || s->size() < slice.size()) {
+          via_index = i;
+          slice = *s;
+        }
       }
     }
-    if (ok) out.push_back(r);
   }
+
+  if (via_index < filters_.size()) {
+    out.reserve(slice.size());
+    for (const auto& e : slice) out.push_back(e.row);
+    // Index order is (time, row); results contract with insertion order.
+    std::sort(out.begin(), out.end());
+    if (filters_.size() > 1) {
+      std::size_t keep = 0;
+      for (const std::size_t r : out) {
+        bool ok = true;
+        for (std::size_t i = 0; i < filters_.size(); ++i) {
+          if (i == via_index) continue;
+          if (!filters_[i].matches(table_.at(r, filters_[i].col))) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) out[keep++] = r;
+      }
+      out.resize(keep);
+    }
+  } else {
+    for (std::size_t r = 0; r < table_.row_count(); ++r) {
+      bool ok = true;
+      for (const auto& f : filters_) {
+        if (!f.matches(table_.at(r, f.col))) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) out.push_back(r);
+    }
+  }
+
   if (has_order_) {
     const std::size_t c = col_or_throw(order_col_);
+    // stable_sort *and* an explicit row-id tie-break: insertion order for
+    // equal keys is part of the result contract (byte-reproducible analysis
+    // output across standard libraries), not an accident of the algorithm.
     std::stable_sort(out.begin(), out.end(),
                      [this, c](std::size_t a, std::size_t b) {
                        const int cmp = compare(table_.at(a, c), table_.at(b, c));
-                       return order_asc_ ? cmp < 0 : cmp > 0;
+                       if (cmp != 0) return order_asc_ ? cmp < 0 : cmp > 0;
+                       return a < b;
                      });
   }
   if (has_limit_ && out.size() > limit_) out.resize(limit_);
@@ -109,6 +252,19 @@ util::Series Query::series(const std::string& time_column,
   const std::size_t tc = col_or_throw(time_column);
   const std::size_t vc = col_or_throw(value_column);
   util::Series out;
+  if (use_index_ && filters_.empty()) {
+    // Index walk: already (time, row)-ordered, which is exactly the
+    // stable-sorted-by-time order the scan path produces — minus the sort.
+    if (const TimeIndex* idx = table_.time_index(tc)) {
+      out.reserve(idx->size());
+      for (const auto& e : idx->entries()) {
+        if (const auto v = as_double(table_.at(e.row, vc))) {
+          out.push_back({e.time, *v});
+        }
+      }
+      return out;
+    }
+  }
   for (const std::size_t r : matching_rows()) {
     const auto t = as_int(table_.at(r, tc));
     const auto v = as_double(table_.at(r, vc));
@@ -117,6 +273,80 @@ util::Series Query::series(const std::string& time_column,
   std::stable_sort(out.begin(), out.end(),
                    [](const auto& a, const auto& b) { return a.time < b.time; });
   return out;
+}
+
+Query::WindowCursor Query::windows(const std::string& time_column,
+                                   util::SimTime width, util::SimTime step,
+                                   util::SimTime t_begin,
+                                   util::SimTime t_end) const {
+  if (width <= 0) throw std::invalid_argument("Query::windows: width <= 0");
+  if (step <= 0) step = width;
+  const std::size_t tc = col_or_throw(time_column);
+  const TimeIndex* idx = table_.time_index(tc);
+  if (idx == nullptr) {
+    throw std::out_of_range("Query::windows: column '" + time_column +
+                            "' of table '" + table_.name() +
+                            "' is not numeric (cannot be time-indexed)");
+  }
+  WindowCursor c;
+  c.table_ = &table_;
+  c.all_ = idx->entries();
+  for (const auto& f : filters_) {
+    if (f.col != tc || f.kind == QueryFilter::Kind::kPred) c.extra_.push_back(f);
+  }
+  // Filters *on the window column* other than predicates are folded into the
+  // walk bounds rather than re-tested per entry.
+  for (const auto& f : filters_) {
+    if (f.col != tc) continue;
+    if (f.kind == QueryFilter::Kind::kIntRange) {
+      t_begin = std::max<util::SimTime>(t_begin, f.lo);
+      if (t_end < 0 || f.hi < t_end) t_end = f.hi;
+    } else if (f.kind == QueryFilter::Kind::kEqInt) {
+      t_begin = std::max<util::SimTime>(t_begin, f.lo);
+      if (t_end < 0 || f.lo + 1 < t_end) t_end = f.lo + 1;
+    }
+  }
+  if (t_end < 0) {
+    t_end = idx->empty() ? t_begin : idx->max_time() + 1;
+  }
+  c.width_ = width;
+  c.step_ = step;
+  c.cur_ = t_begin;
+  c.end_ = t_end;
+  // Start both pointers at the first entry that can ever be visible.
+  while (c.lo_ < c.all_.size() && c.all_[c.lo_].time < t_begin) ++c.lo_;
+  c.hi_ = c.lo_;
+  return c;
+}
+
+bool Query::WindowCursor::next(Window& out) {
+  if (cur_ >= end_) return false;
+  const util::SimTime b = cur_;
+  const util::SimTime e = std::min<util::SimTime>(b + width_, end_);
+  while (lo_ < all_.size() && all_[lo_].time < b) ++lo_;
+  if (hi_ < lo_) hi_ = lo_;
+  while (hi_ < all_.size() && all_[hi_].time < e) ++hi_;
+  out.begin = b;
+  out.end = e;
+  if (extra_.empty()) {
+    out.entries = all_.subspan(lo_, hi_ - lo_);
+  } else {
+    scratch_.clear();
+    for (std::size_t i = lo_; i < hi_; ++i) {
+      const TimeIndex::Entry& entry = all_[i];
+      bool ok = true;
+      for (const auto& f : extra_) {
+        if (!f.matches(table_->at(entry.row, f.col))) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) scratch_.push_back(entry);
+    }
+    out.entries = scratch_;
+  }
+  cur_ += step_;
+  return true;
 }
 
 Table Query::group_by_bucket(const std::string& time_column,

@@ -1,21 +1,34 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "db/index.h"
 #include "db/table.h"
 #include "util/simtime.h"
 #include "util/stats.h"
 
 namespace mscope::db {
 
+struct QueryFilter;
+
 /// Fluent query over one table — the "uniform interface" researchers use to
 /// interrogate mScopeDB (paper Section III-C: e.g. "was there any disk
 /// activity on any node while the Point-In-Time response time fluctuated?").
 ///
-/// Evaluation is eager and row-at-a-time; the warehouse holds minutes of
-/// millisecond-granularity monitoring data, so simplicity beats cleverness.
+/// Two execution tiers:
+///  - *typed* filters (where_eq_int / where_eq_str / where_int_range /
+///    time_range) evaluate without std::function dispatch or Value boxing,
+///    and range filters are served from the column's sorted TimeIndex when
+///    one is available — two binary searches plus a slice instead of a scan;
+///  - arbitrary std::function predicates (where / where_eq) fall back to a
+///    row-at-a-time scan.
+/// Result rows always come back in insertion order (then order_by / limit),
+/// whichever plan ran — the plans are interchangeable, which the property
+/// tests exploit via use_index(false).
 class Query {
  public:
   explicit Query(const Table& table);
@@ -23,16 +36,35 @@ class Query {
   /// Arbitrary predicate on a named column.
   Query& where(std::string column, std::function<bool(const Value&)> pred);
 
-  /// Equality shorthand.
+  /// Equality shorthand (generic: compares via db::compare).
   Query& where_eq(std::string column, Value v);
 
-  /// Keep rows whose integer/double `column` lies in [lo, hi).
+  // --- typed fast paths ----------------------------------------------------
+
+  /// Keep rows whose numeric `column` equals v (after as_int rounding).
+  Query& where_eq_int(std::string column, std::int64_t v);
+
+  /// Keep rows whose Text `column` equals `v` (interned pointer compare on
+  /// the hot path).
+  Query& where_eq_str(std::string column, std::string_view v);
+
+  /// Keep rows whose numeric `column` lies in [lo, hi).
+  Query& where_int_range(std::string column, std::int64_t lo, std::int64_t hi);
+
+  /// Keep rows whose integer/double `column` lies in [lo, hi). Alias of
+  /// where_int_range kept for readability at analysis call sites.
   Query& time_range(std::string column, util::SimTime lo, util::SimTime hi);
+
+  /// Plan control: with `false`, range filters are evaluated by brute-force
+  /// scan even when an index exists (benchmark baseline / property tests).
+  Query& use_index(bool on);
 
   /// Project to the given columns (in order). Empty = all.
   Query& project(std::vector<std::string> columns);
 
-  /// Sort ascending/descending by a column (applied after filtering).
+  /// Sort by a column (applied after filtering). Stable with an explicit
+  /// tie-break on row insertion order, so equal keys come back in a
+  /// deterministic order on every standard library.
   Query& order_by(std::string column, bool ascending = true);
 
   /// Limit the number of result rows.
@@ -45,9 +77,58 @@ class Query {
   [[nodiscard]] std::size_t count() const;
 
   /// Extracts a (time, value) series from two numeric columns of the
-  /// filtered rows — the bread-and-butter call of every analysis.
+  /// filtered rows — the bread-and-butter call of every analysis. With no
+  /// filters and a warm/warmable index on `time_column`, this walks the
+  /// index once and returns already-sorted samples without re-sorting.
   [[nodiscard]] util::Series series(const std::string& time_column,
                                     const std::string& value_column) const;
+
+  // --- sliding windows -----------------------------------------------------
+
+  /// One step of a window walk: the (time, row) index entries whose time lies
+  /// in [begin, end), time-ordered, with any other query filters applied.
+  struct Window {
+    util::SimTime begin = 0;
+    util::SimTime end = 0;
+    std::span<const TimeIndex::Entry> entries;
+  };
+
+  /// Forward cursor over sliding windows of one time column. The cursor
+  /// walks the sorted index with two monotone pointers, so a full pass costs
+  /// O(rows + windows) — each record is touched once per overlapping window
+  /// (exactly once when step == width) instead of once per window as with a
+  /// time_range query per window.
+  class WindowCursor {
+   public:
+    /// Advances to the next window; false when past the end. The spans
+    /// handed out stay valid until the next call (they may point into an
+    /// internal scratch buffer when extra filters are active).
+    bool next(Window& out);
+
+   private:
+    friend class Query;
+    const Table* table_ = nullptr;
+    std::span<const TimeIndex::Entry> all_;
+    std::vector<QueryFilter> extra_;  ///< non-window filters
+    std::vector<TimeIndex::Entry> scratch_;
+    util::SimTime width_ = 0;
+    util::SimTime step_ = 0;
+    util::SimTime cur_ = 0;
+    util::SimTime end_ = 0;
+    std::size_t lo_ = 0;
+    std::size_t hi_ = 0;
+  };
+
+  /// Windows of `width` starting every `step` (default: step = width, i.e.
+  /// non-overlapping buckets), aligned at t_begin, covering [t_begin, t_end).
+  /// t_end < 0 means "through the last indexed sample". Other filters on the
+  /// query are applied to each window's entries. Throws std::out_of_range if
+  /// `time_column` cannot be indexed.
+  [[nodiscard]] WindowCursor windows(const std::string& time_column,
+                                     util::SimTime width,
+                                     util::SimTime step = 0,
+                                     util::SimTime t_begin = 0,
+                                     util::SimTime t_end = -1) const;
 
   // --- aggregation ---------------------------------------------------------
 
@@ -82,17 +163,30 @@ class Query {
   [[nodiscard]] std::size_t col_or_throw(const std::string& name) const;
 
   const Table& table_;
-  struct Filter {
-    std::size_t col;
-    std::function<bool(const Value&)> pred;
-  };
-  std::vector<Filter> filters_;
+  std::vector<QueryFilter> filters_;
   std::vector<std::string> projection_;
   std::string order_col_;
   bool order_asc_ = true;
   bool has_order_ = false;
+  bool use_index_ = true;
   std::size_t limit_ = 0;
   bool has_limit_ = false;
+};
+
+/// One filter of a Query. Typed kinds carry their operands unboxed so the
+/// match loop never allocates or virtual-dispatches; kPred wraps the legacy
+/// std::function path.
+struct QueryFilter {
+  enum class Kind : std::uint8_t { kPred, kEqInt, kEqText, kIntRange };
+
+  std::size_t col = 0;
+  Kind kind = Kind::kPred;
+  std::function<bool(const Value&)> pred;  ///< kPred only
+  std::int64_t lo = 0;  ///< kEqInt value / kIntRange lower bound
+  std::int64_t hi = 0;  ///< kIntRange upper bound (exclusive)
+  TextRef text;         ///< kEqText operand
+
+  [[nodiscard]] bool matches(const Value& v) const;
 };
 
 }  // namespace mscope::db

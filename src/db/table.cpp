@@ -47,6 +47,35 @@ void Table::insert(Row row) {
                                 std::string(to_string(col)) + ")");
   }
   rows_.push_back(std::move(row));
+  if (!indexes_.empty()) {
+    // Incremental index maintenance: monitoring logs append mostly in time
+    // order, so this is an O(1) push_back on the hot path.
+    const auto r = static_cast<std::uint32_t>(rows_.size() - 1);
+    for (auto& [col, idx] : indexes_) {
+      if (const auto t = as_int(rows_.back()[col])) idx.append(*t, r);
+    }
+  }
+}
+
+const TimeIndex* Table::time_index(std::size_t col) const {
+  if (col >= schema_.size()) return nullptr;
+  const DataType t = schema_[col].type;
+  if (t != DataType::kInt && t != DataType::kDouble) return nullptr;
+  auto it = indexes_.find(col);
+  if (it == indexes_.end()) {
+    it = indexes_.emplace(col, TimeIndex::build(*this, col)).first;
+  }
+  return &it->second;
+}
+
+const TimeIndex* Table::time_index(std::string_view col) const {
+  const auto idx = column_index(col);
+  return idx ? time_index(*idx) : nullptr;
+}
+
+const TimeIndex* Table::find_time_index(std::size_t col) const {
+  const auto it = indexes_.find(col);
+  return it == indexes_.end() ? nullptr : &it->second;
 }
 
 const Value& Table::at(std::size_t row, std::string_view col) const {

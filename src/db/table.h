@@ -1,10 +1,12 @@
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "db/index.h"
 #include "db/value.h"
 
 namespace mscope::db {
@@ -23,6 +25,11 @@ using Schema = std::vector<ColumnDef>;
 /// dynamically by the Data Importer from inferred CSV schemas, so inserts
 /// validate arity and type (a cell must be NULL or match — or be narrower
 /// than — its column's declared type).
+///
+/// Numeric columns can carry a sorted TimeIndex (see db/index.h): built on
+/// first use or prewarmed by the importers, then maintained incrementally by
+/// insert(). Tables are append-only (no update/delete), which keeps the
+/// index invariant trivial; clear() discards all indexes.
 class Table {
  public:
   using Row = std::vector<Value>;
@@ -53,7 +60,20 @@ class Table {
   /// Cell accessor by column name; throws if the column does not exist.
   [[nodiscard]] const Value& at(std::size_t row, std::string_view col) const;
 
-  void clear() { rows_.clear(); }
+  /// The sorted time index of an Int/Double column, building it on first use
+  /// (one O(n log n) pass; subsequent inserts maintain it incrementally).
+  /// Returns nullptr for Text/Null columns, which cannot be time-indexed.
+  [[nodiscard]] const TimeIndex* time_index(std::size_t col) const;
+  [[nodiscard]] const TimeIndex* time_index(std::string_view col) const;
+
+  /// The index if it has already been built (never builds) — lets callers
+  /// choose an index-backed plan only when one is warm.
+  [[nodiscard]] const TimeIndex* find_time_index(std::size_t col) const;
+
+  void clear() {
+    rows_.clear();
+    indexes_.clear();
+  }
 
   void reserve(std::size_t n) { rows_.reserve(n); }
 
@@ -61,6 +81,9 @@ class Table {
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
+  /// Lazily built per-column time indexes; mutable so read-only queries can
+  /// warm them (logically const: they cache a derived view of rows_).
+  mutable std::map<std::size_t, TimeIndex> indexes_;
 };
 
 }  // namespace mscope::db

@@ -1,10 +1,50 @@
 #include "db/value.h"
 
 #include <cmath>
+#include <mutex>
+#include <unordered_map>
 
 #include "util/strings.h"
 
 namespace mscope::db {
+
+namespace {
+
+/// Pool limits: long strings are unlikely to repeat (and hashing them costs
+/// more than copying), and a bounded entry count keeps unbounded-cardinality
+/// columns (request ids) from growing the pool forever — once full, lookups
+/// still dedup hits but new distinct strings get private storage.
+constexpr std::size_t kMaxInternableLength = 128;
+constexpr std::size_t kMaxPoolEntries = 1u << 16;
+
+struct InternPool {
+  std::mutex mu;
+  // Keys view into the pooled strings, which the mapped shared_ptrs own.
+  std::unordered_map<std::string_view, std::shared_ptr<const std::string>> map;
+};
+
+InternPool& pool() {
+  static InternPool p;
+  return p;
+}
+
+}  // namespace
+
+std::shared_ptr<const std::string> TextRef::intern(std::string s) {
+  if (s.size() > kMaxInternableLength) {
+    return std::make_shared<const std::string>(std::move(s));
+  }
+  InternPool& p = pool();
+  const std::lock_guard<std::mutex> lock(p.mu);
+  if (const auto it = p.map.find(std::string_view(s)); it != p.map.end()) {
+    return it->second;
+  }
+  auto owned = std::make_shared<const std::string>(std::move(s));
+  if (p.map.size() < kMaxPoolEntries) {
+    p.map.emplace(std::string_view(*owned), owned);
+  }
+  return owned;
+}
 
 std::string_view to_string(DataType t) {
   switch (t) {
@@ -39,7 +79,7 @@ std::string value_to_string(const Value& v) {
       }
       return buf;
     }
-    default: return std::get<std::string>(v);
+    default: return std::get<TextRef>(v).str();
   }
 }
 
@@ -71,7 +111,7 @@ std::optional<Value> parse_as(std::string_view s, DataType t) {
       return Value{*v};
     }
     case DataType::kText:
-      return Value{std::string(s)};
+      return Value{TextRef{s}};
     default:
       return std::nullopt;
   }
@@ -93,6 +133,12 @@ std::optional<std::int64_t> as_int(const Value& v) {
   }
 }
 
+const std::string& as_text(const Value& v) {
+  static const std::string empty;
+  if (v.index() != 3) return empty;
+  return std::get<TextRef>(v).str();
+}
+
 int compare(const Value& a, const Value& b) {
   const bool na = is_null(a);
   const bool nb = is_null(b);
@@ -106,9 +152,11 @@ int compare(const Value& a, const Value& b) {
   }
   if (da && !db_) return -1;  // numbers before text
   if (!da && db_) return 1;
-  const auto& sa = std::get<std::string>(a);
-  const auto& sb = std::get<std::string>(b);
-  return sa.compare(sb) < 0 ? -1 : (sa == sb ? 0 : 1);
+  const TextRef& ta = std::get<TextRef>(a);
+  const TextRef& tb = std::get<TextRef>(b);
+  if (ta.same_ref(tb)) return 0;  // interned: identical without a byte compare
+  const int c = ta.str().compare(tb.str());
+  return c < 0 ? -1 : (c == 0 ? 0 : 1);
 }
 
 }  // namespace mscope::db

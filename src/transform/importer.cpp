@@ -1,38 +1,47 @@
 #include "transform/importer.h"
 
-#include <algorithm>
-#include <limits>
 #include <stdexcept>
 
 #include "util/strings.h"
 
 namespace mscope::transform {
 
+void prewarm_time_indexes(const db::Table& table) {
+  for (const char* name : {"ts_usec", "ua_usec", "ud_usec"}) {
+    if (table.column_index(name)) {
+      (void)table.time_index(name);  // builds on miss, no-op for Text columns
+    }
+  }
+}
+
+std::pair<std::int64_t, std::int64_t> anchor_time_range(
+    const db::Table& table) {
+  const db::Schema& schema = table.schema();
+  std::size_t time_col = schema.size();
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i].name == "ts_usec") { time_col = i; break; }
+  }
+  if (time_col == schema.size()) {
+    for (std::size_t i = 0; i < schema.size(); ++i) {
+      if (schema[i].name == "ua_usec") { time_col = i; break; }
+    }
+  }
+  if (time_col == schema.size()) {
+    for (std::size_t i = 0; i < schema.size(); ++i) {
+      if (util::ends_with(schema[i].name, "_usec")) { time_col = i; break; }
+    }
+  }
+  if (time_col == schema.size()) return {0, 0};
+  const db::TimeIndex* idx = table.time_index(time_col);
+  if (idx == nullptr || idx->empty()) return {0, 0};
+  return {idx->min_time(), idx->max_time()};
+}
+
 DataImporter::Result DataImporter::import(db::Database& db,
                                           const std::string& table_name,
                                           const Conversion& c) {
   db::Table& table = db.create_table(table_name, c.schema);
   table.reserve(c.rows.size());
-
-  // Pick the column that anchors the load-catalog time range: prefer
-  // "ts_usec", then "ua_usec", then any *_usec column.
-  std::size_t time_col = c.schema.size();
-  for (std::size_t i = 0; i < c.schema.size(); ++i) {
-    if (c.schema[i].name == "ts_usec") { time_col = i; break; }
-  }
-  if (time_col == c.schema.size()) {
-    for (std::size_t i = 0; i < c.schema.size(); ++i) {
-      if (c.schema[i].name == "ua_usec") { time_col = i; break; }
-    }
-  }
-  if (time_col == c.schema.size()) {
-    for (std::size_t i = 0; i < c.schema.size(); ++i) {
-      if (util::ends_with(c.schema[i].name, "_usec")) { time_col = i; break; }
-    }
-  }
-
-  std::int64_t t_min = std::numeric_limits<std::int64_t>::max();
-  std::int64_t t_max = std::numeric_limits<std::int64_t>::min();
 
   for (const auto& srow : c.rows) {
     db::Table::Row row;
@@ -46,16 +55,13 @@ DataImporter::Result DataImporter::import(db::Database& db,
       }
       row.push_back(std::move(*v));
     }
-    if (time_col < row.size()) {
-      if (const auto t = db::as_int(row[time_col])) {
-        t_min = std::min(t_min, *t);
-        t_max = std::max(t_max, *t);
-      }
-    }
     table.insert(std::move(row));
   }
 
-  if (t_min > t_max) t_min = t_max = 0;
+  // Build the query indexes while the rows are cache-hot, then read the
+  // catalog time range straight off the anchor index.
+  prewarm_time_indexes(table);
+  const auto [t_min, t_max] = anchor_time_range(table);
   db.record_load(c.node + "/" + c.file, table_name,
                  static_cast<std::int64_t>(table.row_count()), t_min, t_max);
   return {table_name, table.row_count()};

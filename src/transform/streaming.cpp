@@ -1,9 +1,9 @@
 #include "transform/streaming.h"
 
 #include <algorithm>
-#include <limits>
 #include <stdexcept>
 
+#include "transform/importer.h"
 #include "transform/parsers.h"
 #include "transform/xml_to_csv.h"
 #include "util/strings.h"
@@ -99,6 +99,11 @@ bool StreamingTransformer::parse_into_table(const std::string& node,
   }
   if (table == nullptr) {
     table = &db_.create_table(st.table, conv.schema);
+    // Warm the time indexes on the empty table: every row streamed in from
+    // here on (including all rows re-inserted after a schema-widening
+    // rebuild, which passes through this branch again) maintains them
+    // incrementally, so the live queue-depth queries never pay a rebuild.
+    prewarm_time_indexes(*table);
   }
   st.schema = conv.schema;
 
@@ -138,34 +143,9 @@ void StreamingTransformer::finalize() {
       if (st.table.empty() || !db_.exists(st.table)) continue;
 
       const db::Table& table = db_.get(st.table);
-      // Load-catalog time range, computed exactly like DataImporter: prefer
-      // ts_usec, then ua_usec, then any *_usec column.
-      const db::Schema& schema = table.schema();
-      std::size_t time_col = schema.size();
-      for (std::size_t i = 0; i < schema.size(); ++i) {
-        if (schema[i].name == "ts_usec") { time_col = i; break; }
-      }
-      if (time_col == schema.size()) {
-        for (std::size_t i = 0; i < schema.size(); ++i) {
-          if (schema[i].name == "ua_usec") { time_col = i; break; }
-        }
-      }
-      if (time_col == schema.size()) {
-        for (std::size_t i = 0; i < schema.size(); ++i) {
-          if (util::ends_with(schema[i].name, "_usec")) { time_col = i; break; }
-        }
-      }
-      std::int64_t t_min = std::numeric_limits<std::int64_t>::max();
-      std::int64_t t_max = std::numeric_limits<std::int64_t>::min();
-      if (time_col < schema.size()) {
-        for (const auto& row : table.rows()) {
-          if (const auto t = db::as_int(row[time_col])) {
-            t_min = std::min(t_min, *t);
-            t_max = std::max(t_max, *t);
-          }
-        }
-      }
-      if (t_min > t_max) t_min = t_max = 0;
+      // Load-catalog time range, computed exactly like DataImporter: read
+      // off the anchor column's (already warm) time index.
+      const auto [t_min, t_max] = anchor_time_range(table);
       db_.record_load(node + "/" + file, st.table,
                       static_cast<std::int64_t>(table.row_count()), t_min,
                       t_max);

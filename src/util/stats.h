@@ -64,7 +64,9 @@ enum class BucketOp { kMean, kMax, kMin, kLast, kSum, kCount };
 
 /// Linear regression slope of value against time (per second) — used by the
 /// pushback detector to test whether a queue is *growing* inside a window.
-[[nodiscard]] double slope_per_sec(const Series& s);
+/// Accepts a span so callers can pass a window slice of a larger series
+/// without copying.
+[[nodiscard]] double slope_per_sec(std::span<const Sample> s);
 
 /// Result of a lagged cross-correlation sweep.
 struct LaggedCorrelation {
@@ -88,5 +90,12 @@ struct LaggedCorrelation {
 /// "instantaneous queue length" curves of the paper's Figs. 6, 8b and 9.
 [[nodiscard]] Series integrate_deltas(Series deltas, SimTime bucket,
                                       SimTime t_begin, SimTime t_end);
+
+/// integrate_deltas for a delta sequence that is *already sorted by time*
+/// (e.g. produced by merging per-table time-index walks): skips the O(n log n)
+/// sort. Callers must guarantee the order; output contract is identical.
+[[nodiscard]] Series integrate_deltas_sorted(const Series& deltas,
+                                             SimTime bucket, SimTime t_begin,
+                                             SimTime t_end);
 
 }  // namespace mscope::util

@@ -81,8 +81,8 @@ TEST_F(SqlFixture, OrderByAndLimit) {
   const Table r = Sql::execute(
       db_, "SELECT req_id FROM ev WHERE rt != NULL ORDER BY rt DESC LIMIT 3");
   ASSERT_EQ(r.row_count(), 3u);
-  EXPECT_EQ(std::get<std::string>(r.at(0, "req_id")), "ID29");
-  EXPECT_EQ(std::get<std::string>(r.at(2, "req_id")), "ID27");
+  EXPECT_EQ(db::as_text(r.at(0, "req_id")), "ID29");
+  EXPECT_EQ(db::as_text(r.at(2, "req_id")), "ID27");
 }
 
 TEST_F(SqlFixture, Aggregates) {

@@ -36,7 +36,7 @@ TEST(Value, InferTypeNarrowest) {
 TEST(Value, ParseAsRespectsType) {
   EXPECT_EQ(std::get<std::int64_t>(*parse_as("7", DataType::kInt)), 7);
   EXPECT_DOUBLE_EQ(std::get<double>(*parse_as("7", DataType::kDouble)), 7.0);
-  EXPECT_EQ(std::get<std::string>(*parse_as("7", DataType::kText)), "7");
+  EXPECT_EQ(as_text(*parse_as("7", DataType::kText)), "7");
   EXPECT_TRUE(is_null(*parse_as("", DataType::kInt)));
   EXPECT_FALSE(parse_as("x", DataType::kInt));
 }

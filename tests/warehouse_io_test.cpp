@@ -44,7 +44,7 @@ TEST_F(WarehouseIoFixture, SaveLoadRoundTrip) {
   ASSERT_EQ(rt.row_count(), 2u);
   EXPECT_EQ(std::get<std::int64_t>(rt.at(0, "ts_usec")), 100);
   EXPECT_DOUBLE_EQ(std::get<double>(rt.at(0, "v")), 1.25);
-  EXPECT_EQ(std::get<std::string>(rt.at(0, "tag")), "a,\"b\"\nc");
+  EXPECT_EQ(db::as_text(rt.at(0, "tag")), "a,\"b\"\nc");
   EXPECT_TRUE(db::is_null(rt.at(1, "v")));
   EXPECT_EQ(restored.get(db::Database::kNodeTable).row_count(), 1u);
 }
