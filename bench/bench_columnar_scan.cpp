@@ -1,0 +1,174 @@
+// Microbenchmarks of the columnar segment store (google-benchmark): typed
+// predicate scans and un-indexed time ranges over sealed delta+varint /
+// dictionary segments with zone-map skipping, against the identical table
+// kept entirely in the row-major tail (SegmentConfig{.seal = false} — the
+// pre-segment storage layout). Also reports the resident-memory side of the
+// trade: encoded bytes per row at warehouse scale.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "db/database.h"
+#include "db/query.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mscope;
+
+constexpr int kUrlVariants = 8;
+
+// One synthetic Apache-shaped event table per (size, sealed) pair, built
+// once and leaked (benchmark fixture). Same layout and rng seed as
+// bench_query_engine, so numbers are comparable across the two binaries.
+db::Table& event_table(std::int64_t rows, bool sealed) {
+  static std::map<std::pair<std::int64_t, bool>, db::Database*>& dbs =
+      *new std::map<std::pair<std::int64_t, bool>, db::Database*>();
+  const auto key = std::make_pair(rows, sealed);
+  auto it = dbs.find(key);
+  if (it == dbs.end()) {
+    auto* d = new db::Database();  // intentionally leaked benchmark fixture
+    auto& t = d->create_table("ev", {{"req_id", db::DataType::kText},
+                                     {"url", db::DataType::kText},
+                                     {"tier", db::DataType::kInt},
+                                     {"ua_usec", db::DataType::kInt},
+                                     {"ud_usec", db::DataType::kInt},
+                                     {"duration_usec", db::DataType::kInt}});
+    if (!sealed) t.set_storage_config({.seal = false});
+    t.reserve(static_cast<std::size_t>(rows));
+    util::Rng rng(13);
+    for (std::int64_t i = 0; i < rows; ++i) {
+      const std::int64_t ua = util::msec(i);
+      const std::int64_t dur =
+          3000 + static_cast<std::int64_t>(rng.next_below(20000));
+      t.insert({db::Value{std::string("ID") + std::to_string(i)},
+                db::Value{std::string("/rubbos/Servlet") +
+                          std::to_string(i % kUrlVariants)},
+                db::Value{i % 4}, db::Value{ua}, db::Value{ua + dur},
+                db::Value{dur}});
+    }
+    it = dbs.emplace(key, d).first;
+  }
+  return it->second->get("ev");
+}
+
+// Typed equality predicate on a Text column: dictionary probe + code scan
+// per segment vs row-at-a-time Value materialization over the tail.
+void BM_PredicateScanColumnar(benchmark::State& state) {
+  db::Table& t = event_table(state.range(0), /*sealed=*/true);
+  for (auto _ : state) {
+    const auto n =
+        db::Query(t).where_eq_str("url", "/rubbos/Servlet3").count();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PredicateScanColumnar)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_PredicateScanRowMajor(benchmark::State& state) {
+  db::Table& t = event_table(state.range(0), /*sealed=*/false);
+  for (auto _ : state) {
+    const auto n =
+        db::Query(t).where_eq_str("url", "/rubbos/Servlet3").count();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PredicateScanRowMajor)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+// Un-indexed time range: zone maps skip every segment outside the 10-second
+// slice, so the columnar scan touches ~1% of the table at 1M rows.
+void BM_TimeRangeScanColumnar(benchmark::State& state) {
+  db::Table& t = event_table(state.range(0), /*sealed=*/true);
+  const util::SimTime lo = util::sec(1), hi = util::sec(11);
+  for (auto _ : state) {
+    const auto n = db::Query(t)
+                       .use_index(false)
+                       .time_range("ua_usec", lo, hi)
+                       .count();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TimeRangeScanColumnar)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_TimeRangeScanRowMajor(benchmark::State& state) {
+  db::Table& t = event_table(state.range(0), /*sealed=*/false);
+  const util::SimTime lo = util::sec(1), hi = util::sec(11);
+  for (auto _ : state) {
+    const auto n = db::Query(t)
+                       .use_index(false)
+                       .time_range("ua_usec", lo, hi)
+                       .count();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TimeRangeScanRowMajor)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+// Full-table sequential materialization through RowCursor: the cost floor
+// of every analysis pass (trace reconstruction, consistency checks).
+void BM_FullScanCursor(benchmark::State& state) {
+  db::Table& t = event_table(state.range(0), /*sealed=*/true);
+  for (auto _ : state) {
+    std::size_t n = 0;
+    for (db::RowCursor cur = t.scan(); cur.next();) n += cur.row().size();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullScanCursor)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+std::size_t vm_rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      std::sscanf(line + 6, "%zu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+// Storage footprint of the 1M-row table in both layouts. byte_size() gives
+// the engine's own accounting; the VmRSS delta around construction confirms
+// it against the allocator's reality.
+void report_memory() {
+  const std::int64_t rows = 1'000'000;
+  const std::size_t rss0 = vm_rss_kb();
+  const std::size_t row_major = event_table(rows, false).storage().byte_size();
+  const std::size_t rss1 = vm_rss_kb();
+  const std::size_t columnar = event_table(rows, true).storage().byte_size();
+  const std::size_t rss2 = vm_rss_kb();
+  std::printf("# storage footprint, %lld rows\n", (long long)rows);
+  std::printf("#   row-major tail: %8.1f MB encoded (%.1f B/row), "
+              "VmRSS delta %8.1f MB\n",
+              row_major / 1e6, row_major / (double)rows,
+              (rss1 - rss0) / 1e3);
+  std::printf("#   sealed columnar: %7.1f MB encoded (%.1f B/row), "
+              "VmRSS delta %8.1f MB\n",
+              columnar / 1e6, columnar / (double)rows, (rss2 - rss1) / 1e3);
+  std::printf("#   encoded-size ratio: %.2fx\n",
+              row_major / (double)columnar);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  report_memory();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -104,14 +104,15 @@ void print_report(const db::Database& db, util::SimTime horizon) {
   core::Diagnoser::Tables tables;
   std::vector<std::string> flat_events, services;
   const db::Table& node_table = db.get(db::Database::kNodeTable);
+  const auto service_col = node_table.column_index("service");
+  const auto node_col = node_table.column_index("node");
   for (int tier = 0; tier < 4; ++tier) {
     const std::string& service =
         core::Testbed::services()[static_cast<std::size_t>(tier)];
     std::vector<std::string> events, collectl, nodes;
-    for (std::size_t r = 0; r < node_table.row_count(); ++r) {
-      if (db::value_to_string(node_table.at(r, "service")) != service)
-        continue;
-      const std::string node = db::value_to_string(node_table.at(r, "node"));
+    for (db::RowCursor cur = node_table.scan(); cur.next();) {
+      if (db::value_to_string(cur.row()[*service_col]) != service) continue;
+      const std::string node = db::value_to_string(cur.row()[*node_col]);
       events.push_back(std::string(kPrefixes[tier]) + "_" + node);
       collectl.push_back("res_collectl_" + node);
       nodes.push_back(node);
@@ -198,8 +199,9 @@ int cmd_report(const Args& a) {
   // Horizon: widest time range recorded in the load catalog.
   util::SimTime horizon = 0;
   const db::Table& catalog = db.get(db::Database::kLoadCatalogTable);
-  for (std::size_t r = 0; r < catalog.row_count(); ++r) {
-    if (const auto t = db::as_int(catalog.at(r, "t_max_usec"))) {
+  const auto t_max_col = catalog.column_index("t_max_usec");
+  for (db::RowCursor cur = catalog.scan(); cur.next();) {
+    if (const auto t = db::as_int(cur.row()[*t_max_col])) {
       horizon = std::max(horizon, *t);
     }
   }

@@ -17,10 +17,10 @@ void print_table(const db::Table& t, std::size_t limit = 5) {
   std::printf("-- %s (%zu rows)\n   ", t.name().c_str(), t.row_count());
   for (const auto& col : t.schema()) std::printf("%s  ", col.name.c_str());
   std::printf("\n");
-  for (std::size_t r = 0; r < std::min(limit, t.row_count()); ++r) {
+  for (db::RowCursor cur = t.scan(); cur.next() && cur.row_id() < limit;) {
     std::printf("   ");
     for (std::size_t c = 0; c < t.column_count(); ++c) {
-      std::string cell = db::value_to_string(t.at(r, c));
+      std::string cell = db::value_to_string(cur.row()[c]);
       if (cell.size() > 28) cell = cell.substr(0, 25) + "...";
       std::printf("%s  ", cell.c_str());
     }

@@ -26,21 +26,21 @@ namespace {
 /// All (ds, dr) downstream windows of one event row (ds_usec/dr_usec or the
 /// Tomcat monitor's dsN/drN columns).
 std::vector<std::pair<std::int64_t, std::int64_t>> downstream_windows(
-    const db::Table& t, std::size_t row) {
+    const db::Table& t, const std::vector<db::Value>& row) {
   std::vector<std::pair<std::int64_t, std::int64_t>> out;
   const auto ds = t.column_index("ds_usec");
   const auto dr = t.column_index("dr_usec");
   if (ds && dr) {
-    const auto a = db::as_int(t.at(row, *ds));
-    const auto b = db::as_int(t.at(row, *dr));
+    const auto a = db::as_int(row[*ds]);
+    const auto b = db::as_int(row[*dr]);
     if (a && b) out.emplace_back(*a, *b);
   }
   for (int call = 0; call < 64; ++call) {
     const auto dn = t.column_index("ds" + std::to_string(call) + "_usec");
     const auto rn = t.column_index("dr" + std::to_string(call) + "_usec");
     if (!dn || !rn) break;
-    const auto a = db::as_int(t.at(row, *dn));
-    const auto b = db::as_int(t.at(row, *rn));
+    const auto a = db::as_int(row[*dn]);
+    const auto b = db::as_int(row[*rn]);
     if (a && b) out.emplace_back(*a, *b);
   }
   return out;
@@ -62,17 +62,18 @@ void WarehouseValidator::check_row_order(const db::Database& db,
     report.violations.push_back({table, 0, "no ua/ud columns"});
     return;
   }
-  for (std::size_t r = 0; r < t->row_count(); ++r) {
+  for (db::RowCursor cur = t->scan(); cur.next();) {
     if (full(report)) return;
     ++report.rows_checked;
-    const auto a = db::as_int(t->at(r, *ua));
-    const auto d = db::as_int(t->at(r, *ud));
+    const std::size_t r = cur.row_id();
+    const auto a = db::as_int(cur.row()[*ua]);
+    const auto d = db::as_int(cur.row()[*ud]);
     if (!a || !d) continue;  // baseline rows carry no event timestamps
     if (*a > *d) {
       report.violations.push_back({table, r, "ua > ud"});
       continue;
     }
-    for (const auto& [s, e] : downstream_windows(*t, r)) {
+    for (const auto& [s, e] : downstream_windows(*t, cur.row())) {
       if (s < *a) report.violations.push_back({table, r, "ds < ua"});
       if (e < s) report.violations.push_back({table, r, "dr < ds"});
       if (*d < e) report.violations.push_back({table, r, "ud < dr"});
@@ -93,11 +94,13 @@ void WarehouseValidator::check_nesting(
     parent_name = pt;
     const auto rid = p->column_index("req_id");
     if (!rid) continue;
-    for (std::size_t r = 0; r < p->row_count(); ++r) {
-      const db::Value& id = p->at(r, *rid);
+    for (db::RowCursor cur = p->scan(); cur.next();) {
+      const db::Value& id = cur.row()[*rid];
       if (db::is_null(id)) continue;
       auto& w = windows[db::value_to_string(id)];
-      for (const auto& win : downstream_windows(*p, r)) w.push_back(win);
+      for (const auto& win : downstream_windows(*p, cur.row())) {
+        w.push_back(win);
+      }
     }
   }
 
@@ -108,11 +111,12 @@ void WarehouseValidator::check_nesting(
     const auto ua = c->column_index("ua_usec");
     const auto ud = c->column_index("ud_usec");
     if (!rid || !ua || !ud) continue;
-    for (std::size_t r = 0; r < c->row_count(); ++r) {
+    for (db::RowCursor cur = c->scan(); cur.next();) {
       if (full(report)) return;
-      const db::Value& id = c->at(r, *rid);
-      const auto a = db::as_int(c->at(r, *ua));
-      const auto d = db::as_int(c->at(r, *ud));
+      const std::size_t r = cur.row_id();
+      const db::Value& id = cur.row()[*rid];
+      const auto a = db::as_int(cur.row()[*ua]);
+      const auto d = db::as_int(cur.row()[*ud]);
       if (db::is_null(id) || !a || !d) continue;
       const auto it = windows.find(db::value_to_string(id));
       if (it == windows.end()) {
@@ -140,10 +144,13 @@ void WarehouseValidator::check_nesting(
 void WarehouseValidator::check_catalog(const db::Database& db,
                                        Report& report) const {
   const db::Table& catalog = db.get(db::Database::kLoadCatalogTable);
-  for (std::size_t r = 0; r < catalog.row_count(); ++r) {
+  const auto name_col = catalog.column_index("table_name");
+  const auto rows_col = catalog.column_index("rows");
+  for (db::RowCursor cur = catalog.scan(); cur.next();) {
     if (full(report)) return;
-    const std::string table = db::value_to_string(catalog.at(r, "table_name"));
-    const auto rows = db::as_int(catalog.at(r, "rows"));
+    const std::size_t r = cur.row_id();
+    const std::string table = db::value_to_string(cur.row()[*name_col]);
+    const auto rows = db::as_int(cur.row()[*rows_col]);
     const db::Table* t = db.find(table);
     if (t == nullptr) {
       report.violations.push_back(

@@ -188,8 +188,8 @@ std::vector<InteractionStats> interaction_breakdown(
   // Pass 1: the median RT defines the VLRT threshold.
   std::vector<double> all_ms;
   all_ms.reserve(t->row_count());
-  for (std::size_t r = 0; r < t->row_count(); ++r) {
-    if (const auto d = db::as_int(t->at(r, *dur_col))) {
+  for (db::RowCursor cur = t->scan(); cur.next();) {
+    if (const auto d = db::as_int(cur.row()[*dur_col])) {
       all_ms.push_back(static_cast<double>(*d) / 1000.0);
     }
   }
@@ -201,9 +201,9 @@ std::vector<InteractionStats> interaction_breakdown(
     std::size_t vlrt = 0;
   };
   std::map<std::string, Acc> groups;
-  for (std::size_t r = 0; r < t->row_count(); ++r) {
-    const db::Value& u = t->at(r, *url_col);
-    const auto d = db::as_int(t->at(r, *dur_col));
+  for (db::RowCursor cur = t->scan(); cur.next();) {
+    const db::Value& u = cur.row()[*url_col];
+    const auto d = db::as_int(cur.row()[*dur_col]);
     if (db::is_null(u) || !d) continue;
     std::string path = db::value_to_string(u);
     const auto q = path.find('?');

@@ -42,21 +42,21 @@ std::vector<TierContribution> tier_contributions(
 
     double sum_excl = 0.0, sum_incl = 0.0;
     std::size_t n = 0;
-    for (std::size_t r = 0; r < table->row_count(); ++r) {
-      const auto a = db::as_int(table->at(r, *ua));
-      const auto d = db::as_int(table->at(r, *ud));
+    for (db::RowCursor cur = table->scan(); cur.next();) {
+      const auto a = db::as_int(cur.row()[*ua]);
+      const auto d = db::as_int(cur.row()[*ud]);
       if (!a || !d) continue;
       if (t1 > t0 && (*d < t0 || *d >= t1)) continue;
       const double incl = static_cast<double>(*d - *a);
       double wait = 0.0;
       if (ds && dr) {
-        const auto s = db::as_int(table->at(r, *ds));
-        const auto e = db::as_int(table->at(r, *dr));
+        const auto s = db::as_int(cur.row()[*ds]);
+        const auto e = db::as_int(cur.row()[*dr]);
         if (s && e && *e >= *s) wait += static_cast<double>(*e - *s);
       }
       for (const auto& [ci, cj] : call_cols) {
-        const auto s = db::as_int(table->at(r, ci));
-        const auto e = db::as_int(table->at(r, cj));
+        const auto s = db::as_int(cur.row()[ci]);
+        const auto e = db::as_int(cur.row()[cj]);
         if (s && e && *e >= *s) wait += static_cast<double>(*e - *s);
       }
       sum_incl += incl;

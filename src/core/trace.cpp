@@ -41,28 +41,28 @@ std::optional<Trace> TraceReconstructor::reconstruct(
     if (table == nullptr) continue;
     const auto rid = table->column_index("req_id");
     if (!rid) continue;
-    for (std::size_t r = 0; r < table->row_count(); ++r) {
-      const db::Value& v = table->at(r, *rid);
+    for (db::RowCursor cur = table->scan(); cur.next();) {
+      const db::Value& v = cur.row()[*rid];
       if (db::is_null(v) || db::value_to_string(v) != hex) continue;
       TraceSpan span;
       span.tier = static_cast<int>(tier);
       span.service = tier < services_.size() ? services_[tier] : "?";
       if (const auto c = table->column_index("visit")) {
-        if (const auto x = db::as_int(table->at(r, *c)))
+        if (const auto x = db::as_int(cur.row()[*c]))
           span.visit = static_cast<int>(*x);
       }
       if (const auto c = table->column_index("ua_usec")) {
-        if (const auto x = db::as_int(table->at(r, *c))) span.ua = *x;
+        if (const auto x = db::as_int(cur.row()[*c])) span.ua = *x;
       }
       if (const auto c = table->column_index("ud_usec")) {
-        if (const auto x = db::as_int(table->at(r, *c))) span.ud = *x;
+        if (const auto x = db::as_int(cur.row()[*c])) span.ud = *x;
       }
       // Single downstream pair (Apache, CJDBC)...
       const auto ds = table->column_index("ds_usec");
       const auto dr = table->column_index("dr_usec");
       if (ds && dr) {
-        const auto a = db::as_int(table->at(r, *ds));
-        const auto b = db::as_int(table->at(r, *dr));
+        const auto a = db::as_int(cur.row()[*ds]);
+        const auto b = db::as_int(cur.row()[*dr]);
         if (a && b) span.calls.emplace_back(*a, *b);
       }
       // ...or the Tomcat monitor's variable-width dsN/drN columns.
@@ -72,8 +72,8 @@ std::optional<Trace> TraceReconstructor::reconstruct(
         const auto drn =
             table->column_index("dr" + std::to_string(call) + "_usec");
         if (!dsn || !drn) break;
-        const auto a = db::as_int(table->at(r, *dsn));
-        const auto b = db::as_int(table->at(r, *drn));
+        const auto a = db::as_int(cur.row()[*dsn]);
+        const auto b = db::as_int(cur.row()[*drn]);
         if (a && b) span.calls.emplace_back(*a, *b);
       }
       trace.spans.push_back(std::move(span));
@@ -94,8 +94,8 @@ std::vector<std::uint64_t> TraceReconstructor::request_ids() const {
   if (table == nullptr) return ids;
   const auto rid = table->column_index("req_id");
   if (!rid) return ids;
-  for (std::size_t r = 0; r < table->row_count(); ++r) {
-    const db::Value& v = table->at(r, *rid);
+  for (db::RowCursor cur = table->scan(); cur.next();) {
+    const db::Value& v = cur.row()[*rid];
     if (db::is_null(v)) continue;
     if (const auto id = util::IdCodec::decode(db::value_to_string(v))) {
       ids.push_back(*id);

@@ -38,6 +38,19 @@ Table& Database::create_table(const std::string& name, Schema schema) {
   return ref;
 }
 
+Table& Database::adopt_table(Table table) {
+  const std::string name = table.name();
+  if (tables_.contains(name))
+    throw std::invalid_argument("Database: table exists: " + name);
+  if (is_static(name))
+    throw std::invalid_argument("Database: cannot adopt static table: " +
+                                name);
+  auto t = std::make_unique<Table>(std::move(table));
+  Table& ref = *t;
+  tables_.emplace(name, std::move(t));
+  return ref;
+}
+
 Table* Database::find(const std::string& name) {
   const auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();

@@ -32,6 +32,11 @@ class Database {
   /// Creates a dynamic table; throws std::invalid_argument if it exists.
   Table& create_table(const std::string& name, Schema schema);
 
+  /// Installs a fully built dynamic table (binary snapshot load adopts the
+  /// table's sealed storage wholesale); throws std::invalid_argument if the
+  /// name exists or is a static table's.
+  Table& adopt_table(Table table);
+
   /// Looks up a table (static or dynamic); nullptr if absent.
   [[nodiscard]] Table* find(const std::string& name);
   [[nodiscard]] const Table* find(const std::string& name) const;

@@ -1,8 +1,10 @@
 #include "db/query.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <map>
+#include <numeric>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -112,6 +114,11 @@ Query& Query::use_index(bool on) {
   return *this;
 }
 
+Query& Query::use_columnar(bool on) {
+  use_columnar_ = on;
+  return *this;
+}
+
 Query& Query::project(std::vector<std::string> columns) {
   projection_ = std::move(columns);
   return *this;
@@ -149,6 +156,75 @@ std::optional<std::span<const TimeIndex::Entry>> index_slice(
     }
   }
   return std::nullopt;
+}
+
+/// Zone-map pruning: true when some cell of the sealed chunk *could* match
+/// the filter. Zone min/max use as_int semantics, exactly like the typed
+/// predicates, so pruning is conservative and exact.
+bool zone_allows(const segment::ColumnChunk& ch, const QueryFilter& f) {
+  using K = QueryFilter::Kind;
+  const segment::ZoneMap& z = ch.zone();
+  switch (f.kind) {
+    case K::kEqInt:
+      return z.has_value && f.lo >= z.min && f.lo <= z.max;
+    case K::kIntRange:
+      return z.has_value && f.lo <= z.max && f.hi > z.min;
+    case K::kEqText:
+      // Only Text chunks can hold text cells; the dictionary probe happens
+      // in apply_filter.
+      return std::holds_alternative<segment::TextChunk>(ch.data());
+    default:
+      return true;
+  }
+}
+
+/// ANDs one typed filter into the segment's match vector, column-at-a-time.
+void apply_filter(const segment::ColumnChunk& ch, const QueryFilter& f,
+                  std::vector<std::uint8_t>& m) {
+  using K = QueryFilter::Kind;
+  if (const auto* ic = std::get_if<segment::IntChunk>(&ch.data())) {
+    if (f.kind == K::kEqInt) {
+      ic->for_each([&](std::size_t i, bool valid, std::int64_t v) {
+        m[i] &= static_cast<std::uint8_t>(valid && v == f.lo);
+      });
+    } else if (f.kind == K::kIntRange) {
+      ic->for_each([&](std::size_t i, bool valid, std::int64_t v) {
+        m[i] &= static_cast<std::uint8_t>(valid && v >= f.lo && v < f.hi);
+      });
+    } else {
+      std::fill(m.begin(), m.end(), std::uint8_t{0});
+    }
+  } else if (const auto* dc = std::get_if<segment::DoubleChunk>(&ch.data())) {
+    if (f.kind == K::kEqText) {
+      std::fill(m.begin(), m.end(), std::uint8_t{0});
+      return;
+    }
+    for (std::size_t i = 0; i < dc->size(); ++i) {
+      // Same rounding as as_int: the plans must agree cell for cell.
+      const auto v = static_cast<std::int64_t>(std::llround(dc->value(i)));
+      const bool ok = f.kind == K::kEqInt ? v == f.lo
+                                          : (v >= f.lo && v < f.hi);
+      m[i] &= static_cast<std::uint8_t>(dc->valid(i) && ok);
+    }
+  } else if (const auto* tc = std::get_if<segment::TextChunk>(&ch.data())) {
+    if (f.kind != K::kEqText) {
+      std::fill(m.begin(), m.end(), std::uint8_t{0});
+      return;
+    }
+    // Probe the per-segment dictionary once, then scan 4-byte codes.
+    const auto& dict = tc->dict();
+    std::vector<std::uint8_t> dm(dict.size(), 0);
+    for (std::size_t k = 0; k < dict.size(); ++k) {
+      dm[k] = static_cast<std::uint8_t>(dict[k] == f.text);
+    }
+    const auto& codes = tc->codes();
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      m[i] &= static_cast<std::uint8_t>(
+          codes[i] != segment::TextChunk::kNullCode && dm[codes[i]]);
+    }
+  } else {  // NullChunk: no cell matches any typed filter
+    std::fill(m.begin(), m.end(), std::uint8_t{0});
+  }
 }
 
 }  // namespace
@@ -193,29 +269,82 @@ std::vector<std::size_t> Query::matching_rows() const {
       out.resize(keep);
     }
   } else {
-    for (std::size_t r = 0; r < table_.row_count(); ++r) {
-      bool ok = true;
-      for (const auto& f : filters_) {
-        if (!f.matches(table_.at(r, f.col))) {
-          ok = false;
-          break;
+    const segment::SegmentStore& store = table_.storage();
+    bool columnar = use_columnar_ && !filters_.empty() &&
+                    store.sealed_row_count() > 0;
+    for (const auto& f : filters_) {
+      if (f.kind == QueryFilter::Kind::kPred) columnar = false;
+    }
+    if (columnar) {
+      // Sealed segments: column-at-a-time over the encoded chunks, whole
+      // segments skipped via zone maps. Row ids come out ascending, exactly
+      // like the row-at-a-time scan.
+      std::vector<std::uint8_t> match;
+      for (const segment::Segment& seg : store.segments()) {
+        bool skip = false;
+        for (const auto& f : filters_) {
+          if (!zone_allows(seg.column(f.col), f)) {
+            skip = true;
+            break;
+          }
+        }
+        if (skip) continue;
+        match.assign(seg.row_count(), 1);
+        for (const auto& f : filters_) {
+          apply_filter(seg.column(f.col), f, match);
+        }
+        for (std::size_t i = 0; i < match.size(); ++i) {
+          if (match[i]) out.push_back(seg.base_row() + i);
         }
       }
-      if (ok) out.push_back(r);
+      // Active tail: row-major, tested in place.
+      const std::size_t base = store.sealed_row_count();
+      for (std::size_t i = 0; i < store.tail().size(); ++i) {
+        bool ok = true;
+        for (const auto& f : filters_) {
+          if (!f.matches(store.tail()[i][f.col])) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) out.push_back(base + i);
+      }
+    } else {
+      for (std::size_t r = 0; r < table_.row_count(); ++r) {
+        bool ok = true;
+        for (const auto& f : filters_) {
+          if (!f.matches(table_.at(r, f.col))) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) out.push_back(r);
+      }
     }
   }
 
   if (has_order_) {
     const std::size_t c = col_or_throw(order_col_);
-    // stable_sort *and* an explicit row-id tie-break: insertion order for
+    // Materialize the sort keys once (sealed cells decode a block per random
+    // access — O(n) decodes beats O(n log n) inside the comparator), then
+    // stable_sort *with* an explicit row-id tie-break: insertion order for
     // equal keys is part of the result contract (byte-reproducible analysis
     // output across standard libraries), not an accident of the algorithm.
-    std::stable_sort(out.begin(), out.end(),
-                     [this, c](std::size_t a, std::size_t b) {
-                       const int cmp = compare(table_.at(a, c), table_.at(b, c));
+    std::vector<Value> keys;
+    keys.reserve(out.size());
+    for (const std::size_t r : out) keys.push_back(table_.at(r, c));
+    std::vector<std::size_t> perm(out.size());
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&](std::size_t x, std::size_t y) {
+                       const int cmp = compare(keys[x], keys[y]);
                        if (cmp != 0) return order_asc_ ? cmp < 0 : cmp > 0;
-                       return a < b;
+                       return out[x] < out[y];
                      });
+    std::vector<std::size_t> sorted;
+    sorted.reserve(out.size());
+    for (const std::size_t x : perm) sorted.push_back(out[x]);
+    out = std::move(sorted);
   }
   if (has_limit_ && out.size() > limit_) out.resize(limit_);
   return out;
@@ -449,24 +578,28 @@ Table Query::inner_join(const Table& a, const std::string& a_col,
     schema.push_back({b.name() + "." + c.name, c.type});
   Table result(result_name, std::move(schema));
 
-  // Hash the smaller side by the string rendering of the key (keys are
-  // request ids / node names; rendering unifies Int/Double forms).
+  // Hash the build side by the string rendering of the key (keys are
+  // request ids / node names; rendering unifies Int/Double forms). Both
+  // sides are walked with RowCursor — sequential decode over sealed
+  // segments; matched build-side rows materialize cell-wise on demand.
   std::unordered_multimap<std::string, std::size_t> index;
   index.reserve(b.row_count());
-  for (std::size_t r = 0; r < b.row_count(); ++r) {
-    const Value& key = b.at(r, *bi);
+  for (RowCursor cur = b.scan(); cur.next();) {
+    const Value& key = cur.row()[*bi];
     if (is_null(key)) continue;
-    index.emplace(value_to_string(key), r);
+    index.emplace(value_to_string(key), cur.row_id());
   }
-  for (std::size_t r = 0; r < a.row_count(); ++r) {
-    const Value& key = a.at(r, *ai);
+  for (RowCursor cur = a.scan(); cur.next();) {
+    const Value& key = cur.row()[*ai];
     if (is_null(key)) continue;
     const auto [lo, hi] = index.equal_range(value_to_string(key));
     for (auto it = lo; it != hi; ++it) {
       Table::Row row;
       row.reserve(a.column_count() + b.column_count());
-      for (const auto& v : a.row(r)) row.push_back(v);
-      for (const auto& v : b.row(it->second)) row.push_back(v);
+      for (const auto& v : cur.row()) row.push_back(v);
+      for (std::size_t c = 0; c < b.column_count(); ++c) {
+        row.push_back(b.at(it->second, c));
+      }
       result.insert(std::move(row));
     }
   }

@@ -59,6 +59,11 @@ class Query {
   /// scan even when an index exists (benchmark baseline / property tests).
   Query& use_index(bool on);
 
+  /// Plan control: with `false`, the scan plan materializes cells row by row
+  /// even over sealed columnar segments, instead of scanning column-at-a-time
+  /// with zone-map skipping (benchmark baseline / property tests).
+  Query& use_columnar(bool on);
+
   /// Project to the given columns (in order). Empty = all.
   Query& project(std::vector<std::string> columns);
 
@@ -169,6 +174,7 @@ class Query {
   bool order_asc_ = true;
   bool has_order_ = false;
   bool use_index_ = true;
+  bool use_columnar_ = true;
   std::size_t limit_ = 0;
   bool has_limit_ = false;
 };

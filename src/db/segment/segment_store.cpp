@@ -1,0 +1,169 @@
+#include "db/segment/segment_store.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mscope::db::segment {
+
+SegmentStore::SegmentStore(std::vector<DataType> types,
+                           std::optional<std::size_t> anchor,
+                           SegmentConfig cfg)
+    : types_(std::move(types)), anchor_(anchor), cfg_(cfg) {}
+
+void SegmentStore::append(Row row) {
+  tail_.push_back(std::move(row));
+  maybe_seal();
+}
+
+void SegmentStore::maybe_seal() {
+  if (!cfg_.seal || cfg_.seal_rows == 0 || tail_.size() < cfg_.seal_rows) {
+    return;
+  }
+  std::size_t k = tail_.size();
+  if (anchor_ && cfg_.partition_usec > 0) {
+    // Align the seal point with the time partition containing the newest
+    // anchor value: rows at or past that partition's start stay in the tail.
+    if (const auto t_last = as_int(tail_.back()[*anchor_])) {
+      std::int64_t b = *t_last / cfg_.partition_usec;
+      if (*t_last < 0 && *t_last % cfg_.partition_usec != 0) --b;
+      const std::int64_t boundary = b * cfg_.partition_usec;
+      std::size_t j = tail_.size();
+      while (j > 0) {
+        // NULL anchors ride with their neighbors (they have no time of
+        // their own, and global row order must be preserved).
+        const auto t = as_int(tail_[j - 1][*anchor_]);
+        if (t && *t < boundary) break;
+        --j;
+      }
+      // j == 0 means the whole tail shares the hot partition — seal it all
+      // rather than let one partition grow without bound.
+      if (j > 0) k = j;
+    }
+  }
+  seal_prefix(k);
+}
+
+void SegmentStore::seal_prefix(std::size_t k) {
+  if (k == 0) return;
+  std::vector<ColumnChunk> cols;
+  cols.reserve(types_.size());
+  for (std::size_t c = 0; c < types_.size(); ++c) {
+    cols.push_back(ColumnChunk::encode(types_[c], tail_, c, k));
+  }
+  segments_.emplace_back(sealed_rows_, k, std::move(cols));
+  sealed_rows_ += k;
+  if (k == tail_.size()) {
+    tail_.clear();
+  } else {
+    tail_.erase(tail_.begin(),
+                tail_.begin() + static_cast<std::ptrdiff_t>(k));
+  }
+}
+
+Value SegmentStore::cell(std::size_t row, std::size_t col) const {
+  if (row >= sealed_rows_) {
+    return tail_.at(row - sealed_rows_).at(col);
+  }
+  // Segments are contiguous and ordered by base_row: binary search.
+  const auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), row,
+      [](std::size_t r, const Segment& s) { return r < s.base_row(); });
+  const Segment& seg = *(it - 1);
+  return seg.cell(row - seg.base_row(), col);
+}
+
+void SegmentStore::seal_all() { seal_prefix(tail_.size()); }
+
+void SegmentStore::clear() {
+  std::vector<Segment>().swap(segments_);
+  std::vector<Row>().swap(tail_);
+  sealed_rows_ = 0;
+}
+
+void SegmentStore::reserve(std::size_t n) {
+  // Never reserve past one seal's worth: the tail is bounded by design.
+  if (cfg_.seal && cfg_.seal_rows > 0) n = std::min(n, cfg_.seal_rows);
+  tail_.reserve(n);
+}
+
+std::size_t SegmentStore::byte_size() const {
+  std::size_t n = segments_.capacity() * sizeof(Segment);
+  for (const Segment& s : segments_) n += s.byte_size();
+  n += tail_.capacity() * sizeof(Row);
+  for (const Row& r : tail_) n += r.capacity() * sizeof(Value);
+  return n;
+}
+
+bool SegmentStore::column_all_null(std::size_t col) const {
+  for (const Segment& s : segments_) {
+    if (!s.column(col).all_null()) return false;
+  }
+  for (const Row& r : tail_) {
+    if (!is_null(r[col])) return false;
+  }
+  return true;
+}
+
+void SegmentStore::retype_int_to_double(std::size_t col) {
+  for (Segment& s : segments_) s.column_mut(col).retype_int_to_double();
+  for (Row& r : tail_) {
+    if (!is_null(r[col])) {
+      r[col] = Value{static_cast<double>(std::get<std::int64_t>(r[col]))};
+    }
+  }
+  types_[col] = DataType::kDouble;
+}
+
+void SegmentStore::retype_all_null(std::size_t col, DataType to) {
+  for (Segment& s : segments_) s.column_mut(col).retype_all_null(to);
+  types_[col] = to;
+}
+
+void SegmentStore::add_null_column(DataType type) {
+  for (Segment& s : segments_) {
+    ColumnChunk::Data d;
+    switch (type) {
+      case DataType::kInt: {
+        ValidityBitmap valid;
+        for (std::size_t i = 0; i < s.row_count(); ++i)
+          valid.push_back(false);
+        d = ColumnChunk::Data{IntChunk(
+            std::vector<std::int64_t>(s.row_count(), 0), std::move(valid))};
+        break;
+      }
+      case DataType::kDouble: {
+        ValidityBitmap valid;
+        for (std::size_t i = 0; i < s.row_count(); ++i)
+          valid.push_back(false);
+        d = ColumnChunk::Data{DoubleChunk(
+            std::vector<double>(s.row_count(), 0.0), std::move(valid))};
+        break;
+      }
+      case DataType::kText:
+        d = ColumnChunk::Data{TextChunk(
+            {}, std::vector<std::uint32_t>(s.row_count(),
+                                           TextChunk::kNullCode))};
+        break;
+      case DataType::kNull:
+        d = ColumnChunk::Data{NullChunk{s.row_count()}};
+        break;
+    }
+    s.append_column(ColumnChunk(std::move(d)));
+  }
+  for (Row& r : tail_) r.emplace_back();
+  types_.push_back(type);
+}
+
+void SegmentStore::adopt_segment(Segment seg) {
+  if (!tail_.empty()) {
+    throw std::logic_error("SegmentStore::adopt_segment: tail not empty");
+  }
+  if (seg.base_row() != sealed_rows_ ||
+      seg.column_count() != types_.size()) {
+    throw std::logic_error("SegmentStore::adopt_segment: shape mismatch");
+  }
+  sealed_rows_ += seg.row_count();
+  segments_.push_back(std::move(seg));
+}
+
+}  // namespace mscope::db::segment

@@ -1,0 +1,249 @@
+#include "db/segment/snapshot.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace mscope::db::segment {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'S', 'E', 'G'};
+
+// --- little-endian primitives ----------------------------------------------
+
+void put_u8(std::ostream& out, std::uint8_t v) {
+  out.put(static_cast<char>(v));
+}
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b, 4);
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(b, 8);
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::uint8_t get_u8(std::istream& in) {
+  char c;
+  if (!in.get(c)) throw std::runtime_error("snapshot: truncated file");
+  return static_cast<std::uint8_t>(c);
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  char b[4];
+  if (!in.read(b, 4)) throw std::runtime_error("snapshot: truncated file");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(b[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  char b[8];
+  if (!in.read(b, 8)) throw std::runtime_error("snapshot: truncated file");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(b[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::string get_string(std::istream& in) {
+  const std::uint32_t n = get_u32(in);
+  std::string s(n, '\0');
+  if (n > 0 && !in.read(s.data(), n)) {
+    throw std::runtime_error("snapshot: truncated file");
+  }
+  return s;
+}
+
+// --- chunks ----------------------------------------------------------------
+
+void put_bitmap(std::ostream& out, const ValidityBitmap& b) {
+  put_u32(out, static_cast<std::uint32_t>(b.words().size()));
+  for (const std::uint64_t w : b.words()) put_u64(out, w);
+}
+
+ValidityBitmap get_bitmap(std::istream& in, std::size_t rows) {
+  const std::uint32_t n = get_u32(in);
+  std::vector<std::uint64_t> words(n);
+  for (std::uint32_t i = 0; i < n; ++i) words[i] = get_u64(in);
+  return ValidityBitmap::from_words(std::move(words), rows);
+}
+
+void put_chunk(std::ostream& out, const ColumnChunk& col) {
+  const ColumnChunk::Data& d = col.data();
+  put_u8(out, static_cast<std::uint8_t>(d.index()));
+  put_u64(out, col.size());
+  switch (d.index()) {
+    case 0:
+      break;
+    case 1: {
+      const auto& c = std::get<IntChunk>(d);
+      put_bitmap(out, c.validity());
+      put_u64(out, c.bytes().size());
+      out.write(reinterpret_cast<const char*>(c.bytes().data()),
+                static_cast<std::streamsize>(c.bytes().size()));
+      break;
+    }
+    case 2: {
+      const auto& c = std::get<DoubleChunk>(d);
+      put_bitmap(out, c.validity());
+      for (const double v : c.values()) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        put_u64(out, bits);
+      }
+      break;
+    }
+    default: {
+      const auto& c = std::get<TextChunk>(d);
+      put_u32(out, static_cast<std::uint32_t>(c.dict().size()));
+      for (const TextRef& t : c.dict()) put_string(out, t.str());
+      for (const std::uint32_t code : c.codes()) put_u32(out, code);
+      break;
+    }
+  }
+}
+
+ColumnChunk get_chunk(std::istream& in) {
+  const std::uint8_t kind = get_u8(in);
+  const auto rows = static_cast<std::size_t>(get_u64(in));
+  switch (kind) {
+    case 0:
+      return ColumnChunk(ColumnChunk::Data{NullChunk{rows}});
+    case 1: {
+      ValidityBitmap valid = get_bitmap(in, rows);
+      const auto nbytes = static_cast<std::size_t>(get_u64(in));
+      std::vector<std::uint8_t> bytes(nbytes);
+      if (nbytes > 0 &&
+          !in.read(reinterpret_cast<char*>(bytes.data()),
+                   static_cast<std::streamsize>(nbytes))) {
+        throw std::runtime_error("snapshot: truncated file");
+      }
+      return ColumnChunk(
+          ColumnChunk::Data{IntChunk(std::move(bytes), std::move(valid))});
+    }
+    case 2: {
+      ValidityBitmap valid = get_bitmap(in, rows);
+      std::vector<double> vals(rows);
+      for (std::size_t i = 0; i < rows; ++i) {
+        const std::uint64_t bits = get_u64(in);
+        std::memcpy(&vals[i], &bits, sizeof(double));
+      }
+      return ColumnChunk(
+          ColumnChunk::Data{DoubleChunk(std::move(vals), std::move(valid))});
+    }
+    case 3: {
+      const std::uint32_t dict_size = get_u32(in);
+      std::vector<TextRef> dict;
+      dict.reserve(dict_size);
+      for (std::uint32_t i = 0; i < dict_size; ++i) {
+        dict.emplace_back(get_string(in));
+      }
+      std::vector<std::uint32_t> codes(rows);
+      for (std::size_t i = 0; i < rows; ++i) codes[i] = get_u32(in);
+      return ColumnChunk(
+          ColumnChunk::Data{TextChunk(std::move(dict), std::move(codes))});
+    }
+    default:
+      throw std::runtime_error("snapshot: unknown chunk kind");
+  }
+}
+
+}  // namespace
+
+void write_table(std::ostream& out, const Table& table) {
+  out.write(kMagic, 4);
+  put_u8(out, kSnapshotVersion);
+  put_string(out, table.name());
+  put_u32(out, static_cast<std::uint32_t>(table.schema().size()));
+  for (const ColumnDef& c : table.schema()) {
+    put_string(out, c.name);
+    put_u8(out, static_cast<std::uint8_t>(c.type));
+  }
+  const SegmentStore& store = table.storage();
+  put_u32(out, static_cast<std::uint32_t>(store.segments().size()));
+  for (const Segment& seg : store.segments()) {
+    put_u64(out, seg.row_count());
+    for (std::size_t c = 0; c < seg.column_count(); ++c) {
+      put_chunk(out, seg.column(c));
+    }
+  }
+  // The active tail travels as one chunk-set, encoded with the same codecs
+  // a seal would use but without mutating the (const) table.
+  put_u64(out, store.tail().size());
+  if (!store.tail().empty()) {
+    for (std::size_t c = 0; c < table.schema().size(); ++c) {
+      put_chunk(out, ColumnChunk::encode(table.schema()[c].type,
+                                         store.tail(), c,
+                                         store.tail().size()));
+    }
+  }
+  if (!out) throw std::runtime_error("snapshot: write failed");
+}
+
+Table read_table(std::istream& in) {
+  char magic[4];
+  if (!in.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("snapshot: bad magic");
+  }
+  const std::uint8_t version = get_u8(in);
+  if (version != kSnapshotVersion) {
+    throw std::runtime_error("snapshot: unsupported format version " +
+                             std::to_string(version));
+  }
+  std::string name = get_string(in);
+  const std::uint32_t ncols = get_u32(in);
+  Schema schema;
+  schema.reserve(ncols);
+  std::vector<DataType> types;
+  for (std::uint32_t c = 0; c < ncols; ++c) {
+    std::string col_name = get_string(in);
+    const auto type = static_cast<DataType>(get_u8(in));
+    schema.push_back({std::move(col_name), type});
+    types.push_back(type);
+  }
+
+  SegmentStore store(types, std::nullopt);
+  const std::uint32_t nsegs = get_u32(in);
+  for (std::uint32_t s = 0; s < nsegs; ++s) {
+    const auto rows = static_cast<std::size_t>(get_u64(in));
+    std::vector<ColumnChunk> cols;
+    cols.reserve(ncols);
+    for (std::uint32_t c = 0; c < ncols; ++c) cols.push_back(get_chunk(in));
+    store.adopt_segment(
+        Segment(store.sealed_row_count(), rows, std::move(cols)));
+  }
+
+  const auto tail_rows = static_cast<std::size_t>(get_u64(in));
+  if (tail_rows > 0) {
+    std::vector<ColumnChunk> cols;
+    cols.reserve(ncols);
+    for (std::uint32_t c = 0; c < ncols; ++c) cols.push_back(get_chunk(in));
+    const Segment tail_set(0, tail_rows, std::move(cols));
+    Segment::Reader reader(tail_set);
+    std::vector<Value> row;
+    while (reader.next(row)) {
+      store.append(std::vector<Value>(row));
+    }
+  }
+  // The adopting Table constructor re-detects the anchor column.
+  return Table(std::move(name), std::move(schema), std::move(store));
+}
+
+}  // namespace mscope::db::segment

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "db/table.h"
+
+namespace mscope::db::segment {
+
+/// On-disk snapshot format version ("MSEG" magic + this byte). Bump on any
+/// layout change; readers reject versions they do not understand, so an old
+/// binary never silently misreads a new warehouse.
+inline constexpr std::uint8_t kSnapshotVersion = 1;
+
+/// Writes the table in binary segment form: schema, then each sealed
+/// segment's encoded chunks verbatim (delta+varint bytes, validity words,
+/// dictionaries), then the active tail encoded as one trailing chunk-set.
+/// All integers little-endian; doubles as IEEE-754 bit patterns, so the
+/// round trip is bit-exact.
+void write_table(std::ostream& out, const Table& table);
+
+/// Reads a table written by write_table, adopting the sealed segments
+/// without re-parsing or re-encoding (the tail chunk-set is decoded back
+/// into row-major form). Throws std::runtime_error on magic, version, or
+/// shape mismatch. Snapshots are trusted local files: payload bytes are not
+/// defensively validated beyond structural checks.
+[[nodiscard]] Table read_table(std::istream& in);
+
+}  // namespace mscope::db::segment

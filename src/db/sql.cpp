@@ -395,9 +395,10 @@ std::string Sql::format(const Table& table, std::size_t max_rows) {
   std::vector<std::size_t> widths;
   for (const auto& col : table.schema()) widths.push_back(col.name.size());
   std::vector<std::vector<std::string>> cells(rows);
-  for (std::size_t r = 0; r < rows; ++r) {
+  for (RowCursor cur = table.scan(); cur.next() && cur.row_id() < rows;) {
+    const std::size_t r = cur.row_id();
     for (std::size_t c = 0; c < table.column_count(); ++c) {
-      cells[r].push_back(value_to_string(table.at(r, c)));
+      cells[r].push_back(value_to_string(cur.row()[c]));
       widths[c] = std::max(widths[c], cells[r][c].size());
     }
   }

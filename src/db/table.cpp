@@ -2,7 +2,35 @@
 
 #include <stdexcept>
 
+#include "util/strings.h"
+
 namespace mscope::db {
+
+namespace {
+
+std::vector<DataType> types_of(const Schema& schema) {
+  std::vector<DataType> t;
+  t.reserve(schema.size());
+  for (const auto& c : schema) t.push_back(c.type);
+  return t;
+}
+
+}  // namespace
+
+std::optional<std::size_t> Table::detect_anchor(const Schema& schema) {
+  // Same preference order as the importers' anchor_time_range: the event
+  // tables' ts/ua columns, then any *_usec column. Type is not checked —
+  // non-numeric anchors simply never align a seal (as_int yields nothing).
+  for (const char* name : {"ts_usec", "ua_usec"}) {
+    for (std::size_t i = 0; i < schema.size(); ++i) {
+      if (schema[i].name == name) return i;
+    }
+  }
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    if (util::ends_with(schema[i].name, "_usec")) return i;
+  }
+  return std::nullopt;
+}
 
 Table::Table(std::string name, Schema schema)
     : name_(std::move(name)), schema_(std::move(schema)) {
@@ -17,6 +45,13 @@ Table::Table(std::string name, Schema schema)
                                     "': duplicate column " + schema_[i].name);
     }
   }
+  store_ = segment::SegmentStore(types_of(schema_), detect_anchor(schema_));
+}
+
+Table::Table(std::string name, Schema schema, segment::SegmentStore store)
+    : Table(std::move(name), std::move(schema)) {
+  store_ = std::move(store);
+  store_.set_anchor(detect_anchor(schema_));
 }
 
 std::optional<std::size_t> Table::column_index(std::string_view name) const {
@@ -46,15 +81,33 @@ void Table::insert(Row row) {
                                 std::string(to_string(cell)) + ", column " +
                                 std::string(to_string(col)) + ")");
   }
-  rows_.push_back(std::move(row));
   if (!indexes_.empty()) {
     // Incremental index maintenance: monitoring logs append mostly in time
-    // order, so this is an O(1) push_back on the hot path.
-    const auto r = static_cast<std::uint32_t>(rows_.size() - 1);
+    // order, so this is an O(1) push_back on the hot path. Read the cells
+    // before the row moves into the store (which may seal it away).
+    const auto r = static_cast<std::uint32_t>(store_.row_count());
     for (auto& [col, idx] : indexes_) {
-      if (const auto t = as_int(rows_.back()[col])) idx.append(*t, r);
+      if (const auto t = as_int(row[col])) idx.append(*t, r);
     }
   }
+  store_.append(std::move(row));
+}
+
+Value Table::at(std::size_t row, std::size_t col) const {
+  if (row >= store_.row_count() || col >= schema_.size()) {
+    throw std::out_of_range("Table '" + name_ + "': cell (" +
+                            std::to_string(row) + ", " + std::to_string(col) +
+                            ") out of range");
+  }
+  return store_.cell(row, col);
+}
+
+Value Table::at(std::size_t row, std::string_view col) const {
+  const auto idx = column_index(col);
+  if (!idx)
+    throw std::out_of_range("Table '" + name_ + "': no column " +
+                            std::string(col));
+  return at(row, *idx);
 }
 
 const TimeIndex* Table::time_index(std::size_t col) const {
@@ -78,12 +131,66 @@ const TimeIndex* Table::find_time_index(std::size_t col) const {
   return it == indexes_.end() ? nullptr : &it->second;
 }
 
-const Value& Table::at(std::size_t row, std::string_view col) const {
-  const auto idx = column_index(col);
-  if (!idx)
-    throw std::out_of_range("Table '" + name_ + "': no column " +
-                            std::string(col));
-  return rows_.at(row).at(*idx);
+bool Table::try_widen(const Schema& wider) {
+  if (wider.size() < schema_.size()) return false;
+  for (std::size_t i = 0; i < schema_.size(); ++i) {
+    if (wider[i].name != schema_[i].name) return false;
+  }
+  enum class Op : std::uint8_t { kKeep, kIntToDouble, kAllNull };
+  std::vector<Op> ops(schema_.size(), Op::kKeep);
+  for (std::size_t i = 0; i < schema_.size(); ++i) {
+    if (wider[i].type == schema_[i].type) continue;
+    if (schema_[i].type == DataType::kInt &&
+        wider[i].type == DataType::kDouble) {
+      // Exact: integer cells convert to the same double that a re-parse of
+      // their rendering would produce, and as_int rounds straight back.
+      ops[i] = Op::kIntToDouble;
+    } else if (store_.column_all_null(i)) {
+      // Exact trivially: there is no value to re-represent. Covers the
+      // all-empty-column kNull -> kText inference quirk and any later
+      // retype of such a column.
+      ops[i] = Op::kAllNull;
+    } else {
+      // Anything else (notably Int/Double -> Text) is lossy: "042" infers
+      // as Int 42 and would re-render as "42". Caller must rebuild.
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i] == Op::kIntToDouble) {
+      store_.retype_int_to_double(i);
+    } else if (ops[i] == Op::kAllNull) {
+      store_.retype_all_null(i, wider[i].type);
+      // A (necessarily empty) index on the old type may not be valid for
+      // the new one (e.g. retyped to Text); drop it.
+      indexes_.erase(i);
+    }
+  }
+  for (std::size_t j = schema_.size(); j < wider.size(); ++j) {
+    store_.add_null_column(wider[j].type);
+  }
+  schema_ = wider;
+  store_.set_anchor(detect_anchor(schema_));
+  return true;
+}
+
+bool RowCursor::next() {
+  const segment::SegmentStore& store = table_->store_;
+  if (next_row_ >= store.row_count()) return false;
+  if (next_row_ < store.sealed_row_count()) {
+    const auto& segs = store.segments();
+    for (;;) {
+      if (!reader_) reader_.emplace(segs[seg_i_]);
+      if (reader_->next(buf_)) break;
+      reader_.reset();
+      ++seg_i_;
+    }
+    cur_ = &buf_;
+  } else {
+    cur_ = &store.tail()[next_row_ - store.sealed_row_count()];
+  }
+  row_id_ = next_row_++;
+  return true;
 }
 
 }  // namespace mscope::db

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "db/index.h"
+#include "db/segment/segment_store.h"
 #include "db/value.h"
 
 namespace mscope::db {
@@ -21,24 +22,62 @@ struct ColumnDef {
 
 using Schema = std::vector<ColumnDef>;
 
-/// A relational table in mScopeDB. Row-major storage; schemas are created
-/// dynamically by the Data Importer from inferred CSV schemas, so inserts
-/// validate arity and type (a cell must be NULL or match — or be narrower
-/// than — its column's declared type).
+class Table;
+
+/// Forward iterator over a table's rows in insertion order, independent of
+/// physical layout: sealed columnar segments are decoded sequentially (one
+/// pass per column, no per-cell block decodes), the row-major tail is handed
+/// out by reference. The only sanctioned way to walk whole rows — storage
+/// layout is not part of Table's public contract.
+class RowCursor {
+ public:
+  /// Advances to the next row; false at the end. The reference returned by
+  /// row() stays valid until the next call.
+  bool next();
+
+  [[nodiscard]] const std::vector<Value>& row() const { return *cur_; }
+  [[nodiscard]] std::size_t row_id() const { return row_id_; }
+
+ private:
+  friend class Table;
+  explicit RowCursor(const Table& t) : table_(&t) {}
+
+  const Table* table_;
+  std::size_t next_row_ = 0;
+  std::size_t row_id_ = 0;
+  std::size_t seg_i_ = 0;
+  std::optional<segment::Segment::Reader> reader_;
+  std::vector<Value> buf_;
+  const std::vector<Value>* cur_ = nullptr;
+};
+
+/// A relational table in mScopeDB. Storage is a segment::SegmentStore:
+/// sealed immutable columnar segments (delta+varint Ints, dictionary Text,
+/// validity bitmaps) plus one active row-major tail that absorbs inserts —
+/// a multi-hour run never lives in one allocation, and full-column scans
+/// run at memory bandwidth instead of chasing per-row heap vectors.
+/// Schemas are created dynamically by the Data Importer from inferred CSV
+/// schemas, so inserts validate arity and type (a cell must be NULL or
+/// match — or be narrower than — its column's declared type).
 ///
 /// Numeric columns can carry a sorted TimeIndex (see db/index.h): built on
 /// first use or prewarmed by the importers, then maintained incrementally by
 /// insert(). Tables are append-only (no update/delete), which keeps the
-/// index invariant trivial; clear() discards all indexes.
+/// index invariant trivial; clear() discards all indexes and releases
+/// storage.
 class Table {
  public:
   using Row = std::vector<Value>;
 
   Table(std::string name, Schema schema);
 
+  /// Adopts pre-built storage (binary snapshot load). The store's shape must
+  /// match the schema.
+  Table(std::string name, Schema schema, segment::SegmentStore store);
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const Schema& schema() const { return schema_; }
-  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t row_count() const { return store_.row_count(); }
   [[nodiscard]] std::size_t column_count() const { return schema_.size(); }
 
   /// Index of a column by name.
@@ -46,19 +85,20 @@ class Table {
       std::string_view name) const;
 
   /// Inserts a row; throws std::invalid_argument on arity or type mismatch.
-  /// Int cells are silently accepted into Double columns (widening).
+  /// Int cells are silently accepted into Double columns (widening). May
+  /// seal the tail into a columnar segment as a side effect.
   void insert(Row row);
 
-  [[nodiscard]] const Row& row(std::size_t i) const { return rows_.at(i); }
-  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
-
-  /// Cell accessor (bounds-checked).
-  [[nodiscard]] const Value& at(std::size_t row, std::size_t col) const {
-    return rows_.at(row).at(col);
-  }
+  /// Cell accessor (bounds-checked). Returns by value: sealed cells are
+  /// materialized from columnar storage. Sequential whole-row access should
+  /// use scan() instead.
+  [[nodiscard]] Value at(std::size_t row, std::size_t col) const;
 
   /// Cell accessor by column name; throws if the column does not exist.
-  [[nodiscard]] const Value& at(std::size_t row, std::string_view col) const;
+  [[nodiscard]] Value at(std::size_t row, std::string_view col) const;
+
+  /// Row iterator from row 0 (see RowCursor).
+  [[nodiscard]] RowCursor scan() const { return RowCursor(*this); }
 
   /// The sorted time index of an Int/Double column, building it on first use
   /// (one O(n log n) pass; subsequent inserts maintain it incrementally).
@@ -70,19 +110,48 @@ class Table {
   /// choose an index-backed plan only when one is warm.
   [[nodiscard]] const TimeIndex* find_time_index(std::size_t col) const;
 
+  /// Read access to physical storage for the query engine's columnar scans
+  /// and the snapshot writer. Layout may change between versions; analysis
+  /// code should stay on at()/scan()/Query.
+  [[nodiscard]] const segment::SegmentStore& storage() const {
+    return store_;
+  }
+
+  /// Storage policy control (benchmarks, tests). Applies to future inserts.
+  void set_storage_config(segment::SegmentConfig cfg) {
+    store_.set_config(cfg);
+  }
+
+  /// Seals the active tail into a columnar segment (snapshot save path).
+  void seal_all() { store_.seal_all(); }
+
+  /// In-place schema widening: succeeds when the current schema is a
+  /// name-preserving prefix of `wider` and every type change is exact —
+  /// identical, Int -> Double (integer cells convert exactly), or a column
+  /// with no non-NULL cells. New trailing columns backfill NULL. Sealed
+  /// segments re-encode only the affected columns; warm indexes survive
+  /// (as_int values are unchanged by exact widenings). Returns false — with
+  /// the table untouched — when the change cannot be applied exactly
+  /// (caller falls back to drop + rebuild).
+  bool try_widen(const Schema& wider);
+
   void clear() {
-    rows_.clear();
+    store_.clear();
     indexes_.clear();
   }
 
-  void reserve(std::size_t n) { rows_.reserve(n); }
+  void reserve(std::size_t n) { store_.reserve(n); }
 
  private:
+  friend class RowCursor;
+
+  static std::optional<std::size_t> detect_anchor(const Schema& schema);
+
   std::string name_;
   Schema schema_;
-  std::vector<Row> rows_;
+  segment::SegmentStore store_;
   /// Lazily built per-column time indexes; mutable so read-only queries can
-  /// warm them (logically const: they cache a derived view of rows_).
+  /// warm them (logically const: they cache a derived view of the storage).
   mutable std::map<std::size_t, TimeIndex> indexes_;
 };
 

@@ -88,14 +88,26 @@ bool StreamingTransformer::parse_into_table(const std::string& node,
   db::Table* table = db_.find(st.table);
   const bool schema_changed = table != nullptr && st.schema != conv.schema;
   if (table != nullptr && schema_changed) {
-    // Widened type or new column: earlier rows must be re-typed, so rebuild
-    // the table at the new schema. Rows already announced to the observer
-    // stay announced (rows_notified survives the rebuild).
-    db_.drop(st.table);
-    table = nullptr;
-    stats_.rows_live -= st.rows_in_table;
-    st.rows_in_table = 0;
-    ++stats_.schema_rebuilds;
+    // Widened type or new column: earlier rows must be re-typed. Exact
+    // widenings (Int -> Double, all-NULL columns, appended columns) apply
+    // in place — sealed columnar segments re-encode only the affected
+    // columns and warm indexes survive, so streaming never re-inserts a
+    // sealed row. Inexact changes (e.g. "042" re-typed to Text) fall back
+    // to drop + rebuild. Rows already announced to the observer stay
+    // announced (rows_notified survives either path).
+    if (table->try_widen(conv.schema)) {
+      ++stats_.schema_rebuilds;  // counts schema-change events of both kinds
+      ++stats_.inplace_widens;
+      // A widened schema can introduce new *_usec columns; make sure their
+      // indexes are warm before rows stream in.
+      prewarm_time_indexes(*table);
+    } else {
+      db_.drop(st.table);
+      table = nullptr;
+      stats_.rows_live -= st.rows_in_table;
+      st.rows_in_table = 0;
+      ++stats_.schema_rebuilds;
+    }
   }
   if (table == nullptr) {
     table = &db_.create_table(st.table, conv.schema);

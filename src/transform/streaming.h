@@ -51,7 +51,9 @@ class StreamingTransformer {
                                         ///< mid-document XML prefix)
     std::uint64_t rows_live = 0;        ///< rows currently in dynamic tables
     std::uint64_t rows_inserted = 0;    ///< inserts incl. rebuild re-inserts
-    std::uint64_t schema_rebuilds = 0;  ///< drop+rebuild on widened schema
+    std::uint64_t schema_rebuilds = 0;  ///< schema-change events (in-place
+                                        ///< widen or drop+rebuild)
+    std::uint64_t inplace_widens = 0;   ///< subset applied without a rebuild
     std::uint64_t files = 0;            ///< distinct (node, file) seen
     std::uint64_t unmatched_files = 0;  ///< no declaration: bytes discarded
   };

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "db/segment/snapshot.h"
 #include "transform/csv.h"
 #include "transform/xml_to_csv.h"
 
@@ -47,9 +48,9 @@ void WarehouseIO::save(const db::Database& db, const fs::path& dir) {
     }
     csv << Csv::write_row(header) << '\n';
     std::vector<std::string> cells(table.column_count());
-    for (std::size_t r = 0; r < table.row_count(); ++r) {
+    for (db::RowCursor cur = table.scan(); cur.next();) {
       for (std::size_t c = 0; c < table.column_count(); ++c) {
-        cells[c] = db::value_to_string(table.at(r, c));
+        cells[c] = db::value_to_string(cur.row()[c]);
       }
       csv << Csv::write_row(cells) << '\n';
     }
@@ -99,6 +100,54 @@ std::vector<std::string> WarehouseIO::load(db::Database& db,
         row.push_back(std::move(*v));
       }
       table->insert(std::move(row));
+    }
+    loaded.push_back(name);
+  }
+  return loaded;
+}
+
+void WarehouseIO::save_snapshot(const db::Database& db, const fs::path& dir) {
+  fs::create_directories(dir);
+  for (const auto& name : db.table_names()) {
+    std::ofstream out(dir / (name + ".mseg"),
+                      std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("WarehouseIO: cannot write under " +
+                               dir.string());
+    db::segment::write_table(out, db.get(name));
+  }
+}
+
+std::vector<std::string> WarehouseIO::load_snapshot(db::Database& db,
+                                                    const fs::path& dir) {
+  if (!fs::exists(dir))
+    throw std::invalid_argument("WarehouseIO: no such directory: " +
+                                dir.string());
+  std::vector<fs::path> files;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.is_regular_file() && e.path().extension() == ".mseg") {
+      files.push_back(e.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<std::string> loaded;
+  for (const auto& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+      throw std::runtime_error("WarehouseIO: cannot read " + path.string());
+    db::Table table = db::segment::read_table(in);
+    const std::string name = table.name();
+    if (is_static_table(name)) {
+      db::Table& dst = db.get(name);
+      if (dst.schema() != table.schema())
+        throw std::runtime_error("WarehouseIO: static schema mismatch for " +
+                                 name);
+      for (db::RowCursor cur = table.scan(); cur.next();) {
+        dst.insert(cur.row());
+      }
+    } else {
+      db.adopt_table(std::move(table));
     }
     loaded.push_back(name);
   }

@@ -24,6 +24,20 @@ class WarehouseIO {
   /// must not already exist. Returns the names of the tables loaded.
   static std::vector<std::string> load(db::Database& db,
                                        const std::filesystem::path& dir);
+
+  /// Writes every table as a binary segment snapshot (<table>.mseg): sealed
+  /// columnar segments stream their encoded chunks directly, so saving skips
+  /// CSV rendering and loading skips parsing and re-encoding. The format
+  /// carries a version byte (db::segment::kSnapshotVersion); bit-exact for
+  /// doubles, cell-for-cell equal to the CSV round trip otherwise.
+  static void save_snapshot(const db::Database& db,
+                            const std::filesystem::path& dir);
+
+  /// Loads every <name>.mseg in `dir`. Same merge semantics as load():
+  /// static tables append rows, dynamic tables adopt the sealed storage
+  /// wholesale. Returns the names of the tables loaded.
+  static std::vector<std::string> load_snapshot(
+      db::Database& db, const std::filesystem::path& dir);
 };
 
 }  // namespace mscope::transform

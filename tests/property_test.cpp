@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <map>
 
 #include "core/milliscope.h"
+#include "transform/warehouse_io.h"
 #include "transform/xml.h"
 #include "transform/xml_to_csv.h"
 #include "util/rng.h"
@@ -246,6 +248,59 @@ TEST(TestbedProperty, WarehouseQueueMatchesGroundTruth) {
   }
   std::filesystem::remove_all(cfg.log_dir);
 }
+
+// --- clear() + re-import is byte-identical -----------------------------------
+
+class ClearReimportProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClearReimportProperty, ReimportAfterClearIsByteIdentical) {
+  // clear() must leave no trace: re-inserting the same rows yields the same
+  // warehouse bytes (CSV and binary segment snapshot), i.e. segment seal
+  // points depend only on the insert sequence, never on prior storage state.
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  db::Database db;
+  auto& t = db.create_table("ev_rand_web1", {{"ts_usec", db::DataType::kInt},
+                                             {"url", db::DataType::kText},
+                                             {"dur", db::DataType::kDouble}});
+  std::vector<db::Table::Row> rows;
+  SimTime ts = 0;
+  for (int i = 0; i < 12'000; ++i) {
+    ts += static_cast<SimTime>(rng.next_below(5'000));
+    db::Table::Row row;
+    row.push_back(db::Value{ts});
+    row.push_back(rng.next_below(10) == 0
+                      ? db::Value{}
+                      : db::Value{"/s" + std::to_string(rng.next_below(6))});
+    row.push_back(db::Value{static_cast<double>(rng.next_below(1'000'000)) /
+                            997.0});
+    rows.push_back(std::move(row));
+  }
+  for (const auto& row : rows) t.insert(row);
+
+  const auto base = std::filesystem::temp_directory_path() /
+                    ("mscope_prop_clear_" + std::to_string(GetParam()));
+  std::filesystem::remove_all(base);
+  transform::WarehouseIO::save(db, base / "a");
+  transform::WarehouseIO::save_snapshot(db, base / "a");
+
+  t.clear();
+  EXPECT_EQ(t.row_count(), 0u);
+  for (const auto& row : rows) t.insert(row);
+  transform::WarehouseIO::save(db, base / "b");
+  transform::WarehouseIO::save_snapshot(db, base / "b");
+
+  const auto slurp = [](const std::filesystem::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  };
+  for (const char* f :
+       {"ev_rand_web1.csv", "ev_rand_web1.schema", "ev_rand_web1.mseg"}) {
+    EXPECT_EQ(slurp(base / "a" / f), slurp(base / "b" / f)) << f;
+  }
+  std::filesystem::remove_all(base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClearReimportProperty, ::testing::Range(1, 4));
 
 TEST(TestbedProperty, RunsAreDeterministic) {
   auto run_digest = [] {
