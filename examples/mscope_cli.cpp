@@ -237,9 +237,17 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  if (args->command == "run") return cmd_run(*args);
-  if (args->command == "report") return cmd_report(*args);
-  if (args->command == "query") return cmd_query(*args);
+  // A damaged archive (torn or bit-flipped file) surfaces as a
+  // runtime_error with byte-offset context from the loaders; report it
+  // instead of dying on an uncaught throw.
+  try {
+    if (args->command == "run") return cmd_run(*args);
+    if (args->command == "report") return cmd_report(*args);
+    if (args->command == "query") return cmd_query(*args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mscope_cli: error: %s\n", e.what());
+    return 1;
+  }
   usage();
   return 2;
 }

@@ -69,11 +69,13 @@ int main() {
 
   const auto totals = collection->totals();
   std::printf("\ncollection: %llu records streamed, %llu batches, "
-              "%llu dropped, %llu retries\n",
+              "%llu dropped, %llu abandoned (%llu gaps, %llu bytes lost)\n",
               static_cast<unsigned long long>(totals.records_tailed),
               static_cast<unsigned long long>(totals.batches),
               static_cast<unsigned long long>(totals.dropped),
-              static_cast<unsigned long long>(totals.abandoned));
+              static_cast<unsigned long long>(totals.abandoned),
+              static_cast<unsigned long long>(totals.gaps),
+              static_cast<unsigned long long>(totals.gap_bytes));
 
   // The streamed warehouse is a complete mScopeDB — the offline diagnosis
   // engine runs on it directly, no load_warehouse() pass needed. Its verdict

@@ -28,9 +28,7 @@ void print_table(const db::Table& t, std::size_t limit = 5) {
   }
 }
 
-}  // namespace
-
-int main() {
+int run_explorer() {
   core::TestbedConfig cfg;
   cfg.workload = 800;
   cfg.duration = util::sec(6);
@@ -101,4 +99,17 @@ int main() {
                  restored.get("ev_apache_web1").row_count()
              ? 0
              : 1;
+}
+
+}  // namespace
+
+int main() {
+  // A damaged archive surfaces as a runtime_error with byte-offset context
+  // from the loaders; report it instead of dying on an uncaught throw.
+  try {
+    return run_explorer();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warehouse_explorer: error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -22,6 +22,23 @@ void Aggregator::on_batch(const Batch& batch, bool in_band) {
                        sim::CpuPriority::kNormal, [] {});
   }
   for (const auto& r : batch.records) {
+    // Gap detection: the tailer emits contiguous byte ranges per (file,
+    // generation), so the only way `offset` can jump past what we have seen
+    // is an abandoned batch upstream. Surface the hole to the transformer
+    // before ingesting the bytes after it.
+    StreamPos& pos = positions_[{batch.node, r.file}];
+    if (r.generation != pos.generation) {
+      pos.generation = r.generation;
+      pos.offset = 0;
+    }
+    if (r.offset > pos.offset) {
+      ++stats_.gaps;
+      stats_.gap_bytes += r.offset - pos.offset;
+      transformer_.note_gap(batch.node, r.file, r.offset - pos.offset);
+    }
+    if (r.offset + r.data.size() > pos.offset) {
+      pos.offset = r.offset + r.data.size();
+    }
     transformer_.ingest(batch.node, r.file, r.data);
   }
 }

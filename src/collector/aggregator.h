@@ -1,6 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
 
 #include "collector/record.h"
 #include "sim/node.h"
@@ -25,6 +28,12 @@ class Aggregator {
     std::uint64_t batches = 0;
     std::uint64_t records = 0;
     std::uint64_t bytes = 0;
+    /// Stream gaps: a record arrived whose offset jumps past the bytes seen
+    /// so far for its (node, file, generation) — the signature of a batch
+    /// the shipper abandoned after max_retries. Surfaced here and to the
+    /// transformer (note_gap) so the loss is never silently misparsed.
+    std::uint64_t gaps = 0;
+    std::uint64_t gap_bytes = 0;
     SimTime first_batch_at = -1;  ///< -1 until the first batch lands
     SimTime last_batch_at = -1;
     SimTime cpu_charged = 0;
@@ -43,11 +52,18 @@ class Aggregator {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
+  /// Next expected byte position per stream, for gap detection.
+  struct StreamPos {
+    std::uint64_t generation = 0;
+    std::uint64_t offset = 0;
+  };
+
   sim::Simulation& sim_;
   sim::Node& node_;
   transform::StreamingTransformer& transformer_;
   Config cfg_;
   Stats stats_;
+  std::map<std::pair<std::string, std::string>, StreamPos> positions_;
 };
 
 }  // namespace mscope::collector

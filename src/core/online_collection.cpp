@@ -1,15 +1,30 @@
 #include "core/online_collection.h"
 
 #include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
+
+#include "transform/warehouse_io.h"
 
 namespace mscope::core {
 
 OnlineCollection::OnlineCollection(Testbed& testbed, db::Database& db,
                                    OnlineVsbDetector* detector, Config cfg)
-    : testbed_(testbed), detector_(detector), cfg_(cfg) {
+    : testbed_(testbed), db_(db), detector_(detector), cfg_(cfg) {
   auto& sim = testbed_.simulation();
   auto& net = testbed_.network();
+
+  if (cfg_.durability) {
+    // The journal must be attached before the first mutation (including the
+    // static metadata rows below): recovery replays the WAL into a fresh
+    // Database, so anything that lands unjournaled before the first
+    // checkpoint would be unrecoverable.
+    std::filesystem::create_directories(cfg_.durability->dir);
+    wal_ = std::make_unique<db::wal::WalWriter>(
+        transform::WarehouseIO::wal_path(cfg_.durability->dir));
+    db_.set_journal(wal_.get());
+    sim.schedule(cfg_.durability->commit_interval, [this] { commit_tick(); });
+  }
 
   if (cfg_.record_metadata) {
     // Mirror Experiment::load_warehouse so a streamed warehouse carries the
@@ -68,7 +83,34 @@ OnlineCollection::OnlineCollection(Testbed& testbed, db::Database& db,
   sim.schedule(cfg_.parse_interval, [this] { tick(); });
 }
 
-OnlineCollection::~OnlineCollection() = default;
+OnlineCollection::~OnlineCollection() {
+  // Detach before the WalWriter dies; the Database may outlive us.
+  if (wal_ != nullptr && db_.journal() == wal_.get()) {
+    db_.set_journal(nullptr);
+  }
+}
+
+void OnlineCollection::commit_tick() {
+  if (wal_ == nullptr) return;
+  if (wal_->dirty()) {
+    wal_->commit();
+    ++commits_since_checkpoint_;
+    if (cfg_.durability->checkpoint_every > 0 &&
+        commits_since_checkpoint_ >= cfg_.durability->checkpoint_every) {
+      checkpoint();
+    }
+  }
+  if (!finished_) {
+    testbed_.simulation().schedule(cfg_.durability->commit_interval,
+                                   [this] { commit_tick(); });
+  }
+}
+
+void OnlineCollection::checkpoint() {
+  if (wal_ == nullptr) return;
+  transform::WarehouseIO::checkpoint(db_, cfg_.durability->dir, *wal_);
+  commits_since_checkpoint_ = 0;
+}
 
 void OnlineCollection::tick() {
   transformer_->parse_all();
@@ -133,6 +175,10 @@ void OnlineCollection::finish() {
     } while (ch.tailer->has_pending());
   }
   transformer_->finalize();
+  // Final checkpoint: the finished warehouse (including the load-catalog
+  // rows finalize() just wrote) becomes one durable snapshot and the WAL
+  // shrinks back to an empty header.
+  checkpoint();
 }
 
 OnlineCollection::Totals OnlineCollection::totals() const {
@@ -147,6 +193,8 @@ OnlineCollection::Totals OnlineCollection::totals() const {
     t.abandoned += ch.shipper->stats().abandoned;
     t.shipping_cpu += ch.shipper->stats().cpu_charged;
   }
+  t.gaps = aggregator_->stats().gaps;
+  t.gap_bytes = aggregator_->stats().gap_bytes;
   return t;
 }
 

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <string>
 #include <vector>
@@ -15,6 +17,7 @@
 #include "core/online_detector.h"
 #include "core/testbed.h"
 #include "db/database.h"
+#include "db/wal/wal.h"
 #include "sim/node.h"
 #include "transform/streaming.h"
 
@@ -53,6 +56,23 @@ class OnlineCollection {
     /// Record ms_experiment / ms_node rows (same values as
     /// Experiment::load_warehouse) so a streamed warehouse is complete.
     bool record_metadata = true;
+
+    /// Crash durability for the live warehouse. When set, a write-ahead log
+    /// is opened under `dir` and attached to the Database *before* any
+    /// metadata or streamed row lands, so every mutation on the streaming
+    /// path is journaled; `WarehouseIO::recover(dir)` restores the warehouse
+    /// after a crash. Unset (the default) keeps the pipeline byte-identical
+    /// to the pre-durability behavior — no journal, no I/O.
+    struct Durability {
+      std::filesystem::path dir;
+      /// Group-commit cadence: how often (virtual time) journaled frames
+      /// are made durable with a commit marker + flush.
+      SimTime commit_interval = 1 * util::kSec;
+      /// Checkpoint (snapshot + WAL truncation) every N group commits;
+      /// 0 = checkpoint only in finish().
+      std::uint64_t checkpoint_every = 0;
+    };
+    std::optional<Durability> durability;
   };
 
   /// The collection pipeline of one monitored replica.
@@ -88,6 +108,14 @@ class OnlineCollection {
   [[nodiscard]] collector::Aggregator& aggregator() { return *aggregator_; }
   [[nodiscard]] sim::Node& collector_node() { return *collector_node_; }
 
+  /// The write-ahead log, when durability is configured (else nullptr).
+  [[nodiscard]] db::wal::WalWriter* wal() { return wal_.get(); }
+
+  /// Forces a durability checkpoint now (commit + snapshot + WAL
+  /// truncation). No-op unless durability is configured. finish() ends
+  /// with one, so a cleanly finished run always recovers completely.
+  void checkpoint();
+
   /// Fleet-wide stats, summed over channels.
   struct Totals {
     std::uint64_t records_tailed = 0;
@@ -97,6 +125,8 @@ class OnlineCollection {
     std::uint64_t batches = 0;    ///< batches delivered in band
     std::uint64_t retries = 0;    ///< shipper re-sends
     std::uint64_t abandoned = 0;  ///< batches given up after max_retries
+    std::uint64_t gaps = 0;       ///< stream holes those abandonments left
+    std::uint64_t gap_bytes = 0;  ///< log bytes lost in those holes
     SimTime shipping_cpu = 0;     ///< modeled CPU on monitored nodes
   };
   [[nodiscard]] Totals totals() const;
@@ -105,10 +135,14 @@ class OnlineCollection {
   void on_row(const std::string& table, const db::Schema& schema,
               const std::vector<std::string>& row);
   void tick();
+  void commit_tick();
 
   Testbed& testbed_;
+  db::Database& db_;
   OnlineVsbDetector* detector_;
   Config cfg_;
+  std::unique_ptr<db::wal::WalWriter> wal_;
+  std::uint64_t commits_since_checkpoint_ = 0;
   std::unique_ptr<sim::Node> collector_node_;
   std::uint16_t collector_wire_ = 0;
   std::unique_ptr<transform::StreamingTransformer> transformer_;

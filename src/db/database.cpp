@@ -33,6 +33,10 @@ Table& Database::create_table(const std::string& name, Schema schema) {
   if (tables_.contains(name))
     throw std::invalid_argument("Database: table exists: " + name);
   auto t = std::make_unique<Table>(name, std::move(schema));
+  if (journal_ != nullptr) {
+    journal_->on_create_table(name, t->schema());
+    t->set_journal(journal_);
+  }
   Table& ref = *t;
   tables_.emplace(name, std::move(t));
   return ref;
@@ -46,9 +50,18 @@ Table& Database::adopt_table(Table table) {
     throw std::invalid_argument("Database: cannot adopt static table: " +
                                 name);
   auto t = std::make_unique<Table>(std::move(table));
+  // Adoption (snapshot load) is deliberately not journaled as a create —
+  // the adopted rows are already durable in the snapshot that produced
+  // them; only mutations from here on need the WAL.
+  t->set_journal(journal_);
   Table& ref = *t;
   tables_.emplace(name, std::move(t));
   return ref;
+}
+
+void Database::set_journal(MutationJournal* j) {
+  journal_ = j;
+  for (auto& [name, t] : tables_) t->set_journal(j);
 }
 
 Table* Database::find(const std::string& name) {
@@ -77,7 +90,10 @@ const Table& Database::get(const std::string& name) const {
 
 bool Database::drop(const std::string& name) {
   if (is_static(name)) return false;
-  return tables_.erase(name) > 0;
+  if (!tables_.contains(name)) return false;
+  if (journal_ != nullptr) journal_->on_drop_table(name);
+  tables_.erase(name);
+  return true;
 }
 
 std::vector<std::string> Database::table_names() const {

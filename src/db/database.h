@@ -52,6 +52,16 @@ class Database {
   /// Drops a dynamic table; static tables cannot be dropped.
   bool drop(const std::string& name);
 
+  /// Attaches a mutation journal (the write-ahead log) to the warehouse:
+  /// every create_table/drop and — via Table::set_journal on all present and
+  /// future tables — every insert and in-place widening is reported to `j`
+  /// before it is applied. Pass nullptr to detach. Attach *before*
+  /// populating the warehouse: recovery replays the journal against a fresh
+  /// Database, so rows inserted while no journal was attached (and tables
+  /// installed via adopt_table) are only recoverable from a snapshot.
+  void set_journal(MutationJournal* j);
+  [[nodiscard]] MutationJournal* journal() const { return journal_; }
+
   /// All table names in sorted order.
   [[nodiscard]] std::vector<std::string> table_names() const;
 
@@ -81,6 +91,7 @@ class Database {
   [[nodiscard]] static bool is_static(const std::string& name);
 
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  MutationJournal* journal_ = nullptr;
 };
 
 }  // namespace mscope::db

@@ -90,6 +90,9 @@ void Table::insert(Row row) {
       if (const auto t = as_int(row[col])) idx.append(*t, r);
     }
   }
+  // Journal after validation/conversion, before the row reaches storage
+  // (WAL-before-apply): replaying the journaled row re-runs the same insert.
+  if (journal_ != nullptr) journal_->on_insert(name_, store_.row_count(), row);
   store_.append(std::move(row));
 }
 
@@ -156,6 +159,9 @@ bool Table::try_widen(const Schema& wider) {
       return false;
     }
   }
+  // Every op below applies exactly, so the widening is committed from here
+  // on; journal it before touching storage (WAL-before-apply).
+  if (journal_ != nullptr) journal_->on_widen(name_, wider);
   for (std::size_t i = 0; i < ops.size(); ++i) {
     if (ops[i] == Op::kIntToDouble) {
       store_.retype_int_to_double(i);

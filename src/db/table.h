@@ -24,6 +24,25 @@ using Schema = std::vector<ColumnDef>;
 
 class Table;
 
+/// Observer of warehouse mutations, attached via Database::set_journal —
+/// the seam the write-ahead log hangs off. Callbacks fire *before* the
+/// mutation is applied (standard WAL-before-apply ordering) with the exact
+/// arguments the mutation will use, so replaying the journal against a
+/// fresh Database reproduces the warehouse cell-for-cell.
+class MutationJournal {
+ public:
+  virtual ~MutationJournal() = default;
+
+  virtual void on_create_table(const std::string& name,
+                               const Schema& schema) = 0;
+  virtual void on_drop_table(const std::string& name) = 0;
+  /// `row` is the validated, conversion-applied row (Int cells already
+  /// widened into Double columns); `row_index` is its table-global id.
+  virtual void on_insert(const std::string& table, std::size_t row_index,
+                         const std::vector<Value>& row) = 0;
+  virtual void on_widen(const std::string& table, const Schema& wider) = 0;
+};
+
 /// Forward iterator over a table's rows in insertion order, independent of
 /// physical layout: sealed columnar segments are decoded sequentially (one
 /// pass per column, no per-cell block decodes), the row-major tail is handed
@@ -142,6 +161,12 @@ class Table {
 
   void reserve(std::size_t n) { store_.reserve(n); }
 
+  /// Attaches the mutation journal (Database::set_journal propagates it to
+  /// every table, present and future). Not an ownership transfer. clear()
+  /// is deliberately not journaled: it is a bench/test affordance, not part
+  /// of the append-only warehouse contract.
+  void set_journal(MutationJournal* j) { journal_ = j; }
+
  private:
   friend class RowCursor;
 
@@ -149,6 +174,7 @@ class Table {
 
   std::string name_;
   Schema schema_;
+  MutationJournal* journal_ = nullptr;
   segment::SegmentStore store_;
   /// Lazily built per-column time indexes; mutable so read-only queries can
   /// warm them (logically const: they cache a derived view of the storage).

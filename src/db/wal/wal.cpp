@@ -1,0 +1,439 @@
+#include "db/wal/wal.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/crc32c.h"
+
+namespace mscope::db::wal {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'W', 'A', 'L'};
+constexpr std::size_t kHeaderBytes = 4 + 1 + 8;
+constexpr std::size_t kFrameHeaderBytes = 8;  // u32 len + u32 crc
+constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+
+enum class RecordType : std::uint8_t {
+  kCreateTable = 1,
+  kDropTable = 2,
+  kWiden = 3,
+  kInsert = 4,
+  kCommit = 5,
+};
+
+// --- payload encoding (little-endian, append to a string buffer) -----------
+
+void put_u8(std::string& b, std::uint8_t v) {
+  b.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b.push_back(static_cast<char>((v >> (8 * i))));
+}
+
+void put_u64(std::string& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) b.push_back(static_cast<char>((v >> (8 * i))));
+}
+
+void put_string(std::string& b, const std::string& s) {
+  put_u32(b, static_cast<std::uint32_t>(s.size()));
+  b.append(s);
+}
+
+void put_schema(std::string& b, const Schema& schema) {
+  put_u32(b, static_cast<std::uint32_t>(schema.size()));
+  for (const ColumnDef& c : schema) {
+    put_string(b, c.name);
+    put_u8(b, static_cast<std::uint8_t>(c.type));
+  }
+}
+
+void put_value(std::string& b, const Value& v) {
+  put_u8(b, static_cast<std::uint8_t>(type_of(v)));
+  switch (type_of(v)) {
+    case DataType::kNull:
+      break;
+    case DataType::kInt:
+      put_u64(b, static_cast<std::uint64_t>(std::get<std::int64_t>(v)));
+      break;
+    case DataType::kDouble: {
+      std::uint64_t bits;
+      const double d = std::get<double>(v);
+      std::memcpy(&bits, &d, sizeof(bits));
+      put_u64(b, bits);
+      break;
+    }
+    case DataType::kText:
+      put_string(b, std::get<TextRef>(v).str());
+      break;
+  }
+}
+
+// --- payload decoding (bounds-checked) --------------------------------------
+
+struct DecodeError {};
+
+struct Cursor {
+  const char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  void need(std::size_t n) const {
+    if (pos + n > size) throw DecodeError{};
+  }
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data[pos++]);
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[pos + i]))
+           << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[pos + i]))
+           << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(data + pos, n);
+    pos += n;
+    return s;
+  }
+  Schema schema() {
+    const std::uint32_t n = u32();
+    Schema s;
+    s.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::string name = str();
+      s.push_back({std::move(name), static_cast<DataType>(u8())});
+    }
+    return s;
+  }
+  Value value() {
+    switch (static_cast<DataType>(u8())) {
+      case DataType::kNull:
+        return Value{};
+      case DataType::kInt:
+        return Value{static_cast<std::int64_t>(u64())};
+      case DataType::kDouble: {
+        const std::uint64_t bits = u64();
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        return Value{d};
+      }
+      case DataType::kText:
+        return Value{TextRef(str())};
+      default:
+        throw DecodeError{};
+    }
+  }
+};
+
+/// True when `narrow` is a name-preserving prefix of the table's current
+/// schema — i.e. the widening recorded in the log has already been applied
+/// (mixed-generation replay over a newer snapshot).
+bool already_widened(const Table& t, const Schema& logged) {
+  if (logged.size() > t.schema().size()) return false;
+  for (std::size_t i = 0; i < logged.size(); ++i) {
+    if (logged[i].name != t.schema()[i].name) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// --- WalWriter ---------------------------------------------------------------
+
+WalWriter::WalWriter(std::filesystem::path path, std::uint64_t base_commit_id,
+                     bool append)
+    : path_(std::move(path)), commit_id_(base_commit_id) {
+  if (append && std::filesystem::exists(path_)) {
+    file_.open_append(path_);
+  } else {
+    file_.open(path_);
+    write_header(file_, base_commit_id);
+  }
+}
+
+WalWriter::~WalWriter() { file_.close_quiet(); }
+
+void WalWriter::write_header(util::io::File& f, std::uint64_t base_commit_id) {
+  std::string h(kMagic, 4);
+  h.push_back(static_cast<char>(kWalVersion));
+  put_u64(h, base_commit_id);
+  f.write(h);
+  stats_.bytes += h.size();
+}
+
+void WalWriter::write_frame(const std::string& payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, util::Crc32c::of(payload));
+  frame.append(payload);
+  // One io::File::write per frame: every frame boundary is a crash point
+  // the fault-injection matrix can kill at (including mid-frame via a
+  // torn-write decision).
+  file_.write(frame);
+  stats_.bytes += frame.size();
+}
+
+void WalWriter::on_create_table(const std::string& name, const Schema& schema) {
+  std::string p;
+  put_u8(p, static_cast<std::uint8_t>(RecordType::kCreateTable));
+  put_string(p, name);
+  put_schema(p, schema);
+  write_frame(p);
+  ++stats_.frames;
+  dirty_ = true;
+}
+
+void WalWriter::on_drop_table(const std::string& name) {
+  std::string p;
+  put_u8(p, static_cast<std::uint8_t>(RecordType::kDropTable));
+  put_string(p, name);
+  write_frame(p);
+  ++stats_.frames;
+  dirty_ = true;
+}
+
+void WalWriter::on_insert(const std::string& table, std::size_t row_index,
+                          const std::vector<Value>& row) {
+  std::string p;
+  put_u8(p, static_cast<std::uint8_t>(RecordType::kInsert));
+  put_string(p, table);
+  put_u64(p, row_index);
+  put_u32(p, static_cast<std::uint32_t>(row.size()));
+  for (const Value& v : row) put_value(p, v);
+  write_frame(p);
+  ++stats_.frames;
+  dirty_ = true;
+}
+
+void WalWriter::on_widen(const std::string& table, const Schema& wider) {
+  std::string p;
+  put_u8(p, static_cast<std::uint8_t>(RecordType::kWiden));
+  put_string(p, table);
+  put_schema(p, wider);
+  write_frame(p);
+  ++stats_.frames;
+  dirty_ = true;
+}
+
+std::uint64_t WalWriter::commit() {
+  if (!dirty_) return commit_id_;
+  ++commit_id_;
+  std::string p;
+  put_u8(p, static_cast<std::uint8_t>(RecordType::kCommit));
+  put_u64(p, commit_id_);
+  write_frame(p);
+  file_.flush();
+  ++stats_.commits;
+  dirty_ = false;
+  return commit_id_;
+}
+
+void WalWriter::reset() {
+  file_.close();
+  const std::filesystem::path tmp = path_.string() + ".tmp";
+  {
+    util::io::File fresh;
+    fresh.open(tmp);
+    write_header(fresh, commit_id_);
+    fresh.close();
+  }
+  util::io::File::rename_file(tmp, path_);
+  file_.open_append(path_);
+  dirty_ = false;
+}
+
+// --- replay ------------------------------------------------------------------
+
+ReplayStats replay(const std::filesystem::path& path, Database& db) {
+  ReplayStats stats;
+  std::string buf;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return stats;  // no log: nothing since the snapshot
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    buf = ss.str();
+  }
+  if (buf.size() < kHeaderBytes || std::memcmp(buf.data(), kMagic, 4) != 0 ||
+      static_cast<std::uint8_t>(buf[4]) != kWalVersion) {
+    stats.warnings.push_back("wal: bad or truncated header in " +
+                             path.string() + " — log ignored");
+    return stats;
+  }
+  {
+    Cursor c{buf.data(), buf.size(), 5};
+    stats.last_commit_id = c.u64();
+  }
+  stats.durable_bytes = kHeaderBytes;
+
+  // Pass 1: walk frames, validating length prefix and CRC, to find the last
+  // valid commit marker. The first bad frame is the torn tail — everything
+  // from there on (and any valid-but-uncommitted frames before it) is
+  // discarded, never applied.
+  struct FrameRef {
+    std::size_t payload_pos;
+    std::uint32_t len;
+    RecordType type;
+  };
+  std::vector<FrameRef> frames;
+  std::size_t last_commit_end = 0;  // frame count at the last commit
+  std::uint64_t last_commit_id = stats.last_commit_id;
+  std::size_t pos = kHeaderBytes;
+  while (pos + kFrameHeaderBytes <= buf.size()) {
+    Cursor c{buf.data(), buf.size(), pos};
+    const std::uint32_t len = c.u32();
+    const std::uint32_t crc = c.u32();
+    if (len == 0 || len > kMaxFrameBytes ||
+        pos + kFrameHeaderBytes + len > buf.size()) {
+      break;  // torn length or payload
+    }
+    const char* payload = buf.data() + pos + kFrameHeaderBytes;
+    if (util::Crc32c::of(payload, len) != crc) break;  // bit flip / torn
+    const auto type = static_cast<RecordType>(
+        static_cast<std::uint8_t>(payload[0]));
+    frames.push_back({pos + kFrameHeaderBytes, len, type});
+    pos += kFrameHeaderBytes + len;
+    if (type == RecordType::kCommit && len == 9) {
+      Cursor cc{buf.data(), buf.size(), frames.back().payload_pos + 1};
+      last_commit_id = cc.u64();
+      last_commit_end = frames.size();
+      stats.durable_bytes = pos;
+      ++stats.commits_seen;
+    }
+  }
+  stats.last_commit_id = last_commit_id;
+  stats.torn_bytes = buf.size() - stats.durable_bytes;
+  stats.frames_discarded = frames.size() - last_commit_end;
+  if (stats.torn_bytes > 0 && pos < buf.size()) {
+    stats.warnings.push_back("wal: torn tail at byte offset " +
+                             std::to_string(pos) + " (" +
+                             std::to_string(buf.size() - pos) +
+                             " bytes truncated)");
+  }
+
+  // Pass 2: apply the committed prefix. A journal attached to `db` is
+  // suspended for the duration — replaying must not re-journal.
+  MutationJournal* suspended = db.journal();
+  db.set_journal(nullptr);
+  // Tables whose replay went inconsistent (snapshot lost, gap in row ids):
+  // skip their remaining records instead of aborting the whole warehouse.
+  std::vector<std::string> broken;
+  const auto is_broken = [&](const std::string& t) {
+    for (const auto& b : broken) {
+      if (b == t) return true;
+    }
+    return false;
+  };
+  for (std::size_t fi = 0; fi < last_commit_end; ++fi) {
+    const FrameRef& f = frames[fi];
+    Cursor c{buf.data(), buf.size(), f.payload_pos + 1};
+    try {
+      switch (f.type) {
+        case RecordType::kCreateTable: {
+          const std::string name = c.str();
+          Schema schema = c.schema();
+          if (!db.exists(name)) db.create_table(name, std::move(schema));
+          break;
+        }
+        case RecordType::kDropTable: {
+          const std::string name = c.str();
+          db.drop(name);
+          // A recreate after the drop starts the table afresh.
+          std::erase(broken, name);
+          break;
+        }
+        case RecordType::kWiden: {
+          const std::string name = c.str();
+          const Schema wider = c.schema();
+          Table* t = db.find(name);
+          if (t == nullptr) {
+            if (!is_broken(name)) {
+              stats.warnings.push_back("wal: widen of missing table '" + name +
+                                       "' — table skipped");
+              broken.push_back(name);
+            }
+            break;
+          }
+          if (!t->try_widen(wider) && !already_widened(*t, wider)) {
+            stats.warnings.push_back("wal: widening of '" + name +
+                                     "' no longer applies — table skipped");
+            broken.push_back(name);
+          }
+          break;
+        }
+        case RecordType::kInsert: {
+          const std::string name = c.str();
+          const auto row_index = static_cast<std::size_t>(c.u64());
+          const std::uint32_t arity = c.u32();
+          Table::Row row;
+          row.reserve(arity);
+          for (std::uint32_t i = 0; i < arity; ++i) row.push_back(c.value());
+          if (is_broken(name)) break;
+          Table* t = db.find(name);
+          if (t == nullptr) {
+            stats.warnings.push_back("wal: insert into missing table '" +
+                                     name + "' — table skipped");
+            broken.push_back(name);
+            break;
+          }
+          if (row_index < t->row_count()) {
+            ++stats.inserts_skipped;  // already in the snapshot (idempotent)
+            break;
+          }
+          if (row_index > t->row_count()) {
+            stats.warnings.push_back(
+                "wal: log resumes at row " + std::to_string(row_index) +
+                " of '" + name + "' but only " +
+                std::to_string(t->row_count()) +
+                " rows are present — table skipped");
+            broken.push_back(name);
+            break;
+          }
+          t->insert(std::move(row));
+          ++stats.inserts_applied;
+          break;
+        }
+        case RecordType::kCommit:
+          break;
+        default:
+          // Unknown but CRC-valid record: a newer writer; skip it.
+          break;
+      }
+    } catch (const DecodeError&) {
+      stats.warnings.push_back("wal: malformed frame at byte offset " +
+                               std::to_string(f.payload_pos) +
+                               " — replay stopped");
+      break;
+    } catch (const std::exception& e) {
+      stats.warnings.push_back("wal: replay error at byte offset " +
+                               std::to_string(f.payload_pos) + ": " +
+                               e.what());
+    }
+    if (f.type != RecordType::kCommit) ++stats.frames_applied;
+  }
+  db.set_journal(suspended);
+  return stats;
+}
+
+}  // namespace mscope::db::wal

@@ -37,6 +37,28 @@ void StreamingTransformer::ingest(const std::string& node,
   }
 }
 
+void StreamingTransformer::note_gap(const std::string& node,
+                                    const std::string& file,
+                                    std::uint64_t bytes) {
+  ++stats_.gaps;
+  stats_.gap_bytes += bytes;
+  warnings_.push_back("data loss: " + std::to_string(bytes) + " byte(s) of " +
+                      node + "/" + file +
+                      " lost in transit (batch abandoned after retries)");
+  auto node_it = nodes_.find(node);
+  if (node_it == nodes_.end()) return;
+  auto it = node_it->second.find(file);
+  if (it == node_it->second.end()) return;
+  FileState& st = it->second;
+  // Terminate the dangling partial line: the fragment before the hole and
+  // the fragment after it must not concatenate into one well-formed-looking
+  // record. Each side becomes a malformed stub the parser rejects on its
+  // own, which is loud (row-count deficit + this warning) instead of wrong.
+  if (!st.content.empty() && st.content.back() != '\n') {
+    st.content.push_back('\n');
+  }
+}
+
 void StreamingTransformer::parse_all() {
   for (auto& [node, files] : nodes_) {
     for (auto& [file, st] : files) {

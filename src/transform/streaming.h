@@ -56,6 +56,8 @@ class StreamingTransformer {
     std::uint64_t inplace_widens = 0;   ///< subset applied without a rebuild
     std::uint64_t files = 0;            ///< distinct (node, file) seen
     std::uint64_t unmatched_files = 0;  ///< no declaration: bytes discarded
+    std::uint64_t gaps = 0;             ///< stream holes reported (note_gap)
+    std::uint64_t gap_bytes = 0;        ///< log bytes lost in those holes
   };
 
   /// Fires once per row the moment it becomes visible in a dynamic table
@@ -79,6 +81,20 @@ class StreamingTransformer {
   /// guarantees this) and re-parses if the growth schedule says so.
   void ingest(const std::string& node, const std::string& file,
               std::string_view data);
+
+  /// Reports a hole in `file`'s byte stream (the collector abandoned a
+  /// batch after exhausting retries): `bytes` log bytes between what was
+  /// ingested so far and the next ingest are gone. The current partial line
+  /// is terminated so the bytes on either side of the hole can never splice
+  /// into one plausible-but-wrong row, and the loss is counted in stats()
+  /// and warnings() instead of being silently misparsed.
+  void note_gap(const std::string& node, const std::string& file,
+                std::uint64_t bytes);
+
+  /// One human-readable line per data-loss event (see note_gap).
+  [[nodiscard]] const std::vector<std::string>& warnings() const {
+    return warnings_;
+  }
 
   /// Forces an incremental parse of every file regardless of the growth
   /// schedule (bounds signal staleness for online consumers).
@@ -115,6 +131,7 @@ class StreamingTransformer {
   // the same order as DataTransformer::run.
   std::map<std::string, std::map<std::string, FileState>> nodes_;
   Stats stats_;
+  std::vector<std::string> warnings_;
 };
 
 }  // namespace mscope::transform

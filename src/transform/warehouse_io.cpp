@@ -8,6 +8,7 @@
 #include "db/segment/snapshot.h"
 #include "transform/csv.h"
 #include "transform/xml_to_csv.h"
+#include "util/io_file.h"
 
 namespace mscope::transform {
 
@@ -30,17 +31,57 @@ bool is_static_table(const std::string& name) {
          name == db::Database::kLoadCatalogTable;
 }
 
+/// Writes `bytes` to `<final_path>.tmp`, flushes, and renames into place.
+/// Goes through util::io::File so the fault injector sees every step; a
+/// crash anywhere leaves the previous file under `final_path` untouched.
+void atomic_write(const fs::path& final_path, std::string_view bytes) {
+  fs::path tmp = final_path;
+  tmp += ".tmp";
+  util::io::File f;
+  f.open(tmp);
+  f.write(bytes);
+  f.flush();
+  f.close();
+  util::io::File::rename_file(tmp, final_path);
+}
+
+/// Merges a table decoded from a snapshot into the warehouse: static tables
+/// append rows, dynamic tables are adopted wholesale. Throws on conflicts.
+void merge_loaded_table(db::Database& db, db::Table table) {
+  const std::string name = table.name();
+  if (is_static_table(name)) {
+    db::Table& dst = db.get(name);
+    if (dst.schema() != table.schema())
+      throw std::runtime_error("WarehouseIO: static schema mismatch for " +
+                               name);
+    for (db::RowCursor cur = table.scan(); cur.next();) {
+      dst.insert(cur.row());
+    }
+  } else {
+    db.adopt_table(std::move(table));
+  }
+}
+
+std::vector<fs::path> files_with_extension(const fs::path& dir,
+                                           const char* ext) {
+  std::vector<fs::path> files;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.is_regular_file() && e.path().extension() == ext) {
+      files.push_back(e.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
 }  // namespace
 
 void WarehouseIO::save(const db::Database& db, const fs::path& dir) {
   fs::create_directories(dir);
   for (const auto& name : db.table_names()) {
     const db::Table& table = db.get(name);
-    std::ofstream csv(dir / (name + ".csv"), std::ios::trunc);
-    std::ofstream schema(dir / (name + ".schema"), std::ios::trunc);
-    if (!csv || !schema)
-      throw std::runtime_error("WarehouseIO: cannot write under " +
-                               dir.string());
+    std::ostringstream csv;
+    std::ostringstream schema;
     std::vector<std::string> header;
     for (const auto& col : table.schema()) {
       header.push_back(col.name);
@@ -54,6 +95,10 @@ void WarehouseIO::save(const db::Database& db, const fs::path& dir) {
       }
       csv << Csv::write_row(cells) << '\n';
     }
+    // Sidecar lands before the CSV: load() treats a CSV without its schema
+    // as an error, so a crash between the two renames stays detectable.
+    atomic_write(dir / (name + ".schema"), schema.str());
+    atomic_write(dir / (name + ".csv"), csv.str());
   }
 }
 
@@ -62,16 +107,8 @@ std::vector<std::string> WarehouseIO::load(db::Database& db,
   if (!fs::exists(dir))
     throw std::invalid_argument("WarehouseIO: no such directory: " +
                                 dir.string());
-  std::vector<fs::path> csvs;
-  for (const auto& e : fs::directory_iterator(dir)) {
-    if (e.is_regular_file() && e.path().extension() == ".csv") {
-      csvs.push_back(e.path());
-    }
-  }
-  std::sort(csvs.begin(), csvs.end());
-
   std::vector<std::string> loaded;
-  for (const auto& csv_path : csvs) {
+  for (const auto& csv_path : files_with_extension(dir, ".csv")) {
     const std::string name = csv_path.stem().string();
     fs::path schema_path = csv_path;
     schema_path.replace_extension(".schema");
@@ -109,12 +146,9 @@ std::vector<std::string> WarehouseIO::load(db::Database& db,
 void WarehouseIO::save_snapshot(const db::Database& db, const fs::path& dir) {
   fs::create_directories(dir);
   for (const auto& name : db.table_names()) {
-    std::ofstream out(dir / (name + ".mseg"),
-                      std::ios::binary | std::ios::trunc);
-    if (!out)
-      throw std::runtime_error("WarehouseIO: cannot write under " +
-                               dir.string());
+    std::ostringstream out(std::ios::binary);
     db::segment::write_table(out, db.get(name));
+    atomic_write(dir / (name + ".mseg"), out.str());
   }
 }
 
@@ -123,35 +157,92 @@ std::vector<std::string> WarehouseIO::load_snapshot(db::Database& db,
   if (!fs::exists(dir))
     throw std::invalid_argument("WarehouseIO: no such directory: " +
                                 dir.string());
-  std::vector<fs::path> files;
-  for (const auto& e : fs::directory_iterator(dir)) {
-    if (e.is_regular_file() && e.path().extension() == ".mseg") {
-      files.push_back(e.path());
-    }
-  }
-  std::sort(files.begin(), files.end());
-
   std::vector<std::string> loaded;
-  for (const auto& path : files) {
+  for (const auto& path : files_with_extension(dir, ".mseg")) {
     std::ifstream in(path, std::ios::binary);
     if (!in)
       throw std::runtime_error("WarehouseIO: cannot read " + path.string());
-    db::Table table = db::segment::read_table(in);
-    const std::string name = table.name();
-    if (is_static_table(name)) {
-      db::Table& dst = db.get(name);
-      if (dst.schema() != table.schema())
-        throw std::runtime_error("WarehouseIO: static schema mismatch for " +
-                                 name);
-      for (db::RowCursor cur = table.scan(); cur.next();) {
-        dst.insert(cur.row());
+    db::Table table = [&] {
+      try {
+        return db::segment::read_table(in);
+      } catch (const std::exception& e) {
+        // Re-throw with the file name prepended; read_table knows the byte
+        // offset and chunk but not which file it was handed.
+        throw std::runtime_error(path.string() + ": " + e.what());
       }
-    } else {
-      db.adopt_table(std::move(table));
-    }
-    loaded.push_back(name);
+    }();
+    merge_loaded_table(db, std::move(table));
+    loaded.push_back(path.stem().string());
   }
   return loaded;
+}
+
+void WarehouseIO::checkpoint(const db::Database& db, const fs::path& dir,
+                             db::wal::WalWriter& wal) {
+  // 1. Make everything journaled so far durable in the log.
+  wal.commit();
+  // 2. Publish a snapshot containing that commit (per-table atomic renames).
+  save_snapshot(db, dir);
+  // 3. Only now truncate the log. A crash before this step recovers from
+  //    the new snapshot + old log (idempotent replay); after it, from the
+  //    new snapshot + empty log carrying the commit id in its header.
+  wal.reset();
+}
+
+RecoveryStats WarehouseIO::recover(db::Database& db, const fs::path& dir) {
+  RecoveryStats stats;
+  if (!fs::exists(dir)) {
+    stats.warnings.push_back("recover: no such directory: " + dir.string());
+    return stats;
+  }
+
+  // Phase 1: load every readable snapshot, skipping corrupt files. A
+  // leftover *.mseg.tmp from a mid-snapshot crash is ignored by the
+  // extension filter — the previous good file still sits under the final
+  // name.
+  for (const auto& path : files_with_extension(dir, ".mseg")) {
+    try {
+      std::ifstream in(path, std::ios::binary);
+      if (!in)
+        throw std::runtime_error("cannot open for reading");
+      merge_loaded_table(db, db::segment::read_table(in));
+      ++stats.tables_loaded;
+    } catch (const std::exception& e) {
+      ++stats.tables_skipped;
+      stats.warnings.push_back("recover: skipping snapshot " + path.string() +
+                               ": " + e.what());
+    }
+  }
+
+  // Phase 2: replay the write-ahead log up to its last valid commit.
+  const fs::path wal = wal_path(dir);
+  db::wal::ReplayStats rs = db::wal::replay(wal, db);
+  stats.wal_frames_applied = rs.frames_applied;
+  stats.wal_frames_discarded = rs.frames_discarded;
+  stats.wal_inserts_applied = rs.inserts_applied;
+  stats.wal_inserts_skipped = rs.inserts_skipped;
+  stats.wal_torn_bytes = rs.torn_bytes;
+  stats.last_commit_id = rs.last_commit_id;
+  for (auto& w : rs.warnings) stats.warnings.push_back(std::move(w));
+
+  // Phase 3: physically drop the torn/uncommitted tail so a WalWriter can
+  // resume appending right after the last commit marker.
+  std::error_code ec;
+  if (fs::exists(wal, ec)) {
+    if (rs.durable_bytes == 0) {
+      // Header never landed (or is corrupt): the file is useless as a log.
+      fs::remove(wal, ec);
+      if (ec)
+        stats.warnings.push_back("recover: cannot remove bad WAL " +
+                                 wal.string() + ": " + ec.message());
+    } else if (fs::file_size(wal, ec) > rs.durable_bytes) {
+      fs::resize_file(wal, rs.durable_bytes, ec);
+      if (ec)
+        stats.warnings.push_back("recover: cannot truncate WAL " +
+                                 wal.string() + ": " + ec.message());
+    }
+  }
+  return stats;
 }
 
 }  // namespace mscope::transform

@@ -1,0 +1,107 @@
+#include "util/io_file.h"
+
+namespace mscope::util::io {
+
+namespace {
+
+FaultInjector* g_injector = nullptr;
+bool g_crashed = false;
+
+/// Consults the injector; returns the decision (no-crash when none is
+/// installed). Throws immediately if a previous operation already crashed.
+FaultInjector::Decision consult(FaultInjector::Op op,
+                                const std::filesystem::path& path,
+                                std::size_t bytes) {
+  if (g_crashed) throw CrashError("io: process already crashed");
+  if (g_injector == nullptr) return {};
+  return g_injector->on_op({op, path, bytes});
+}
+
+}  // namespace
+
+void File::set_fault_injector(FaultInjector* f) {
+  g_injector = f;
+  g_crashed = false;
+}
+
+bool File::crashed() { return g_crashed; }
+
+void File::open(const std::filesystem::path& p) {
+  if (g_crashed) throw CrashError("io: process already crashed");
+  path_ = p;
+  out_.open(p, std::ios::binary | std::ios::trunc);
+  if (!out_) throw std::runtime_error("io: cannot open " + p.string());
+}
+
+void File::open_append(const std::filesystem::path& p) {
+  if (g_crashed) throw CrashError("io: process already crashed");
+  path_ = p;
+  out_.open(p, std::ios::binary | std::ios::app);
+  if (!out_) throw std::runtime_error("io: cannot open " + p.string());
+}
+
+void File::write(const void* data, std::size_t n) {
+  const auto d = consult(FaultInjector::Op::kWrite, path_, n);
+  if (d.crash) {
+    // The torn prefix lands (and is flushed, so the post-crash file really
+    // contains it); everything after the kill point is lost.
+    const std::size_t k = d.partial_bytes > n ? n : d.partial_bytes;
+    if (k > 0) {
+      out_.write(static_cast<const char*>(data),
+                 static_cast<std::streamsize>(k));
+    }
+    out_.flush();
+    g_crashed = true;
+    throw CrashError("io: injected crash writing " + path_.string());
+  }
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  if (!out_) throw std::runtime_error("io: write failed on " + path_.string());
+}
+
+void File::flush() {
+  const auto d = consult(FaultInjector::Op::kFlush, path_, 0);
+  if (d.crash) {
+    // Bytes already handed to the stream still reach the file: this models
+    // a kill after the data hit the page cache but the caller never saw the
+    // barrier complete.
+    out_.flush();
+    g_crashed = true;
+    throw CrashError("io: injected crash flushing " + path_.string());
+  }
+  out_.flush();
+  if (!out_) throw std::runtime_error("io: flush failed on " + path_.string());
+}
+
+void File::close() {
+  if (!out_.is_open()) return;
+  if (g_crashed) {
+    close_quiet();
+    throw CrashError("io: process already crashed");
+  }
+  out_.close();
+  if (out_.fail()) {
+    throw std::runtime_error("io: close failed on " + path_.string());
+  }
+}
+
+void File::close_quiet() noexcept {
+  if (out_.is_open()) {
+    try {
+      out_.close();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+    out_.clear();
+  }
+}
+
+void File::rename_file(const std::filesystem::path& from,
+                       const std::filesystem::path& to) {
+  const auto d = consult(FaultInjector::Op::kRename, to, 0);
+  if (d.crash) {
+    g_crashed = true;
+    throw CrashError("io: injected crash renaming to " + to.string());
+  }
+  std::filesystem::rename(from, to);
+}
+
+}  // namespace mscope::util::io

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace mscope::util::io {
+
+/// Thrown when the fault injector "kills the process" at a write boundary.
+/// Everything the File layer was told to persist before the crash point is
+/// on disk; nothing after it is — the crash-point matrix test catches this,
+/// recovers the warehouse from what landed, and checks exactness.
+class CrashError : public std::runtime_error {
+ public:
+  explicit CrashError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Test seam for injecting storage faults into the durability layer. The
+/// injector sees every physical operation (write, flush, rename) the WAL and
+/// snapshot writers perform, in order, and can kill the pipeline at any of
+/// them — optionally after a prefix of a write has landed (a torn write).
+class FaultInjector {
+ public:
+  enum class Op : std::uint8_t { kWrite, kFlush, kRename };
+
+  struct Event {
+    Op op;
+    std::filesystem::path path;  ///< target file (destination for renames)
+    std::size_t bytes = 0;       ///< payload size (writes only)
+  };
+
+  struct Decision {
+    bool crash = false;
+    /// For a kWrite crash: how many payload bytes land before the kill
+    /// (0 = none, `bytes` = all of them — crash strictly after the write).
+    std::size_t partial_bytes = 0;
+  };
+
+  virtual ~FaultInjector() = default;
+  virtual Decision on_op(const Event& ev) = 0;
+};
+
+/// The only way the durability layer touches disk: a thin ofstream wrapper
+/// whose every write/flush/rename consults the installed FaultInjector.
+/// Production runs have no injector and pay one virtual-call-free branch.
+///
+/// Crash semantics are sticky: once the injector kills an operation, every
+/// subsequent File operation in the process throws CrashError immediately
+/// (a dead process writes nothing more) until a new injector is installed
+/// (or cleared), which models the post-crash restart.
+class File {
+ public:
+  File() = default;
+  ~File() { close_quiet(); }
+
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Opens for binary writing, truncating. Throws std::runtime_error if the
+  /// file cannot be opened.
+  void open(const std::filesystem::path& p);
+
+  /// Opens for binary appending (WAL resume).
+  void open_append(const std::filesystem::path& p);
+
+  [[nodiscard]] bool is_open() const { return out_.is_open(); }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+  /// Writes `n` bytes as one injectable operation; throws CrashError on an
+  /// injected kill (after the injected prefix has been flushed to the file)
+  /// and std::runtime_error on a real stream failure.
+  void write(const void* data, std::size_t n);
+  void write(std::string_view s) { write(s.data(), s.size()); }
+
+  /// Pushes buffered bytes to the OS (the WAL's commit barrier; injectable).
+  void flush();
+
+  /// Flush + close; throws on failure (a commit must not pretend to land).
+  void close();
+
+  /// Close without throwing (destructor path).
+  void close_quiet() noexcept;
+
+  /// Atomically renames `from` onto `to` (same directory), the snapshot
+  /// publish step; injectable. On POSIX this is the all-or-nothing boundary:
+  /// after a crash the destination is either the old file or the new one.
+  static void rename_file(const std::filesystem::path& from,
+                          const std::filesystem::path& to);
+
+  /// Installs the process-wide injector (tests only; nullptr to clear).
+  /// Also clears the sticky crashed state, modeling a restart.
+  static void set_fault_injector(FaultInjector* f);
+  [[nodiscard]] static bool crashed();
+
+ private:
+  void check_crash(FaultInjector::Op op, std::size_t bytes);
+
+  std::ofstream out_;
+  std::filesystem::path path_;
+};
+
+}  // namespace mscope::util::io

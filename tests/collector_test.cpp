@@ -565,5 +565,78 @@ TEST(StreamingTransformer, WidensSchemaAcrossChunks) {
   EXPECT_EQ(db.get(db::Database::kLoadCatalogTable).row_count(), 1u);
 }
 
+// --- abandoned batches: the gap must be surfaced, never silently misparsed --
+
+TEST(Aggregator, OffsetJumpSurfacesAsGap) {
+  sim::Simulation sim;
+  sim::Node node(sim, {});
+  db::Database db;
+  transform::StreamingTransformer st(db);
+  collector::Aggregator agg(sim, node, st, {});
+
+  const auto batch = [](std::uint64_t seq, std::uint64_t offset,
+                        const std::string& data) {
+    Batch b;
+    b.node = "web1";
+    b.seq = seq;
+    Record r;
+    r.file = "gap.log";
+    r.offset = offset;
+    r.data = data;
+    b.records.push_back(r);
+    return b;
+  };
+
+  agg.on_batch(batch(0, 0, "line one\n"), /*in_band=*/false);
+  // Batch 1 (bytes 9..17) was abandoned upstream; batch 2 lands next.
+  agg.on_batch(batch(2, 18, "line three\n"), /*in_band=*/false);
+
+  EXPECT_EQ(agg.stats().gaps, 1u);
+  EXPECT_EQ(agg.stats().gap_bytes, 9u);
+  EXPECT_EQ(st.stats().gaps, 1u);
+  EXPECT_EQ(st.stats().gap_bytes, 9u);
+  ASSERT_EQ(st.warnings().size(), 1u);
+  EXPECT_NE(st.warnings().front().find("web1/gap.log"), std::string::npos);
+  EXPECT_NE(st.warnings().front().find("9 byte(s)"), std::string::npos);
+
+  // In-order delivery reports nothing.
+  agg.on_batch(batch(3, 29, "line four\n"), /*in_band=*/false);
+  EXPECT_EQ(agg.stats().gaps, 1u);
+}
+
+TEST(OnlineCollectionLoss, AbandonedBatchShowsUpInRunTotals) {
+  core::TestbedConfig cfg;
+  cfg.workload = 600;
+  cfg.duration = sec(5);
+  cfg.log_dir = fs::temp_directory_path() / "mscope_collector_abandon";
+  cfg.capture_messages = false;
+
+  core::Testbed testbed(cfg);
+  db::Database db;
+  core::OnlineCollection::Config oc;
+  oc.shipper.max_retries = 1;
+  oc.shipper.backoff_base = msec(1);
+  core::OnlineCollection online(testbed, db, nullptr, oc);
+  // Batch #3 of every channel is undeliverable: after max_retries the
+  // shipper abandons it and the stream continues with a hole.
+  for (const auto& ch : online.channels()) {
+    ch.shipper->set_fault_injector(
+        [](SimTime, std::uint64_t seq, int) { return seq == 3; });
+  }
+  testbed.run();
+  online.finish();
+  fs::remove_all(cfg.log_dir);
+
+  const auto t = online.totals();
+  EXPECT_GT(t.abandoned, 0u);          // the shipper admits the loss...
+  EXPECT_GT(t.gaps, 0u);               // ...the aggregator locates it...
+  EXPECT_GT(t.gap_bytes, 0u);
+  EXPECT_LE(t.gaps, t.abandoned * 4);  // one abandoned batch, few files
+  // ...and the transformer reports instead of silently misparsing.
+  EXPECT_GE(online.transformer().warnings().size(), t.gaps);
+  EXPECT_GT(online.transformer().stats().rows_live, 100u)
+      << "the pipeline keeps working on what survived";
+}
+
 }  // namespace
 }  // namespace mscope
