@@ -9,7 +9,10 @@
 // `run` simulates the RUBBoS testbed, transforms the logs into mScopeDB,
 // prints the diagnosis report, and optionally archives the warehouse.
 // `report` re-analyzes a previously archived warehouse without re-running;
-// `query` runs ad-hoc SQL against it.
+// `query` runs ad-hoc SQL against it; `stats` surfaces mScopeMeta — the
+// pipeline's self-observability metrics — either live (streaming a short
+// run with observability on) or from the `mscope_meta_*` tables of an
+// archived warehouse.
 
 #include <cstdio>
 #include <cstring>
@@ -18,7 +21,9 @@
 
 #include "core/milliscope.h"
 #include "core/report.h"
+#include "db/query.h"
 #include "db/sql.h"
+#include "obs/metrics.h"
 #include "transform/warehouse_io.h"
 
 using namespace mscope;
@@ -46,7 +51,10 @@ void usage() {
       "                 [--log-dir DIR] [--no-monitors] [--seed N]\n"
       "                 [--archive DIR] [--no-report]\n"
       "  mscope_cli report --archive DIR\n"
-      "  mscope_cli query --archive DIR \"SELECT ...\"\n");
+      "  mscope_cli query --archive DIR \"SELECT ...\"\n"
+      "  mscope_cli stats [--archive DIR] [run flags]\n"
+      "      live metrics registry + mscope_meta_* tables; with --archive,\n"
+      "      reads the meta tables of a previously archived warehouse\n");
 }
 
 std::optional<Args> parse(int argc, char** argv) {
@@ -229,6 +237,87 @@ int cmd_query(const Args& a) {
   return 0;
 }
 
+void print_registry(const std::vector<obs::MetricSample>& snap) {
+  std::printf("%-44s %-9s %s\n", "metric", "kind", "value");
+  for (const auto& s : snap) {
+    if (s.kind == obs::MetricSample::Kind::kHistogram) {
+      std::printf("%-44s %-9s count=%llu mean=%.1f p50=%lld p95=%lld "
+                  "p99=%lld max=%lld\n",
+                  s.name.c_str(), to_string(s.kind),
+                  static_cast<unsigned long long>(s.count), s.value,
+                  static_cast<long long>(s.p50), static_cast<long long>(s.p95),
+                  static_cast<long long>(s.p99), static_cast<long long>(s.max));
+    } else {
+      std::printf("%-44s %-9s %.0f\n", s.name.c_str(), to_string(s.kind),
+                  s.value);
+    }
+  }
+}
+
+/// Prints the meta tables a warehouse carries: for the metrics series, just
+/// the final export tick (the end-of-run state); for the others, row counts.
+void print_meta_tables(const db::Database& db) {
+  bool any = false;
+  for (const auto& name : db.table_names()) {
+    if (name.rfind("mscope_meta_", 0) != 0) continue;
+    any = true;
+    const db::Table& t = db.get(name);
+    std::printf("%s: %zu rows\n", name.c_str(), t.row_count());
+  }
+  if (!any) {
+    std::printf("no mscope_meta_* tables (run collection with observability "
+                "enabled to record them)\n");
+    return;
+  }
+  if (const db::Table* metrics = db.find("mscope_meta_metrics")) {
+    const auto last = static_cast<std::int64_t>(
+        db::Query(*metrics).aggregate(db::Query::AggKind::kMax, "ts_usec"));
+    std::printf("\nfinal export tick (t=%.2fs):\n", util::to_sec(last));
+    const db::Table result = db::Query(*metrics)
+                                 .where_eq_int("ts_usec", last)
+                                 .project({"name", "kind", "value"})
+                                 .run("last_tick");
+    std::printf("%s", db::Sql::format(result).c_str());
+  }
+}
+
+int cmd_stats(const Args& a) {
+  if (!a.archive.empty()) {
+    db::Database db;
+    transform::WarehouseIO::load(db, a.archive);
+    std::printf("meta tables of %s:\n", a.archive.c_str());
+    print_meta_tables(db);
+    return 0;
+  }
+
+  // No archive: stream a run with mScopeMeta on and show what it recorded.
+  core::TestbedConfig cfg;
+  cfg.workload = a.workload;
+  cfg.duration = util::secf(a.duration_sec);
+  cfg.log_dir = a.log_dir;
+  cfg.event_monitors = a.monitors;
+  cfg.seed = a.seed;
+  if (a.scenario == "a") cfg.scenario_a = core::ScenarioA{};
+  else if (a.scenario == "b") cfg.scenario_b = core::ScenarioB::figure8();
+  else if (a.scenario == "c") cfg.scenario_c = core::ScenarioC{};
+
+  std::printf("streaming %d users for %.1f s with observability on...\n\n",
+              cfg.workload, a.duration_sec);
+  core::Experiment exp(cfg);
+  db::Database db;
+  core::OnlineCollection::Config ccfg;
+  ccfg.observability.emplace();
+  auto collection = exp.start_online(db, nullptr, ccfg);
+  exp.run();
+  collection->finish();
+
+  std::printf("live metrics registry:\n");
+  print_registry(obs::Registry::global().snapshot());
+  std::printf("\ndogfooded into the warehouse:\n");
+  print_meta_tables(db);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -244,6 +333,7 @@ int main(int argc, char** argv) {
     if (args->command == "run") return cmd_run(*args);
     if (args->command == "report") return cmd_report(*args);
     if (args->command == "query") return cmd_query(*args);
+    if (args->command == "stats") return cmd_stats(*args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mscope_cli: error: %s\n", e.what());
     return 1;

@@ -10,6 +10,7 @@
 #include <map>
 
 #include "core/milliscope.h"
+#include "db/query.h"
 
 using namespace mscope;
 
@@ -32,9 +33,13 @@ int main() {
           [&](const sim::RequestPtr& r) { detector.on_complete(r); });
 
   // ...and mScopeCollector feeds it a queue-depth signal computed from the
-  // event tables as they stream into the warehouse.
+  // event tables as they stream into the warehouse — with mScopeMeta on, so
+  // the pipeline's own health streams into the same warehouse and every
+  // stage lands on a Chrome-trace timeline.
   db::Database db;
-  auto collection = exp.start_online(db, &detector);
+  core::OnlineCollection::Config ccfg;
+  ccfg.observability.emplace();
+  auto collection = exp.start_online(db, &detector, ccfg);
 
   detector.set_callback([&](const core::OnlineVsbDetector::Alarm& a) {
     if (a.closed_at < 0) {
@@ -89,5 +94,27 @@ int main() {
                 d.bottleneck_node.c_str());
   }
   if (diagnoses.empty()) std::printf("  (no VSB window found)\n");
+
+  // mScopeMeta artifacts: the run's pipeline spans as a Chrome trace (load
+  // in about://tracing or ui.perfetto.dev), and the monitor's own health
+  // series queryable inside the very warehouse it monitored.
+  collection->tracer()->save_chrome_json("online_diagnosis_trace.json");
+  std::printf("\nmScopeMeta: %zu pipeline spans -> online_diagnosis_trace.json\n",
+              collection->tracer()->spans().size());
+  const auto& meta = *collection->exporter();
+  std::printf("  %s: %zu rows over %llu export ticks; %s: %zu rows\n",
+              meta.metrics_table().c_str(),
+              db.exists(meta.metrics_table())
+                  ? db.get(meta.metrics_table()).row_count()
+                  : 0,
+              static_cast<unsigned long long>(meta.stats().exports),
+              meta.spans_table().c_str(),
+              db.exists(meta.spans_table())
+                  ? db.get(meta.spans_table()).row_count()
+                  : 0);
+  const double lag = db::Query(db.get(meta.metrics_table()))
+                         .where_eq_str("name", "collector.db1.tailer.lag_bytes")
+                         .aggregate(db::Query::AggKind::kMax, "value");
+  std::printf("  e.g. max tailer lag on db1 during the run: %.0f bytes\n", lag);
   return 0;
 }

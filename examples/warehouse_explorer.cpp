@@ -7,6 +7,8 @@
 
 #include "core/milliscope.h"
 #include "db/query.h"
+#include "obs/meta_exporter.h"
+#include "obs/metrics.h"
 #include "transform/warehouse_io.h"
 
 using namespace mscope;
@@ -84,6 +86,24 @@ int run_explorer() {
                                             "slow_join");
   std::printf("20 slowest apache requests joined to %zu mysql visits\n",
               joined.row_count());
+
+  // Self-observability panel: everything above bumped the process-wide
+  // metrics registry (inserts, query plans, zone-map skips). Dogfood it —
+  // export the registry into this very warehouse and query the monitor's
+  // own health with the same Query engine it measures.
+  std::printf("\n=== mScopeMeta: the warehouse observing itself ===\n");
+  obs::MetaExporter meta(db, obs::Registry::global());
+  meta.export_metrics(cfg.duration);
+  print_table(db.get(meta.metrics_table()), 12);
+  const double skips =
+      db::Query(db.get(meta.metrics_table()))
+          .where_eq_str("name", "db.query.segments_skipped")
+          .aggregate(db::Query::AggKind::kMax, "value");
+  const double scans = db::Query(db.get(meta.metrics_table()))
+                           .where_eq_str("name", "db.query.segments_scanned")
+                           .aggregate(db::Query::AggKind::kMax, "value");
+  std::printf("zone maps skipped %.0f of %.0f sealed segments so far\n",
+              skips, skips + scans);
 
   // Archive the warehouse and restore it into a fresh database.
   const std::filesystem::path archive = "warehouse_archive";

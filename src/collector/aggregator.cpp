@@ -20,6 +20,13 @@ void Aggregator::on_batch(const Batch& batch, bool in_band) {
     stats_.cpu_charged += cpu;
     node_.cpu().submit(cpu, sim::CpuCategory::kSystem,
                        sim::CpuPriority::kNormal, [] {});
+    if (tracer_ != nullptr) {
+      // The ingest itself happens at one frozen instant; the batch's real
+      // virtual extent is its modeled decode CPU charge.
+      tracer_->record("aggregate " + batch.node + "#" +
+                          std::to_string(batch.seq),
+                      "aggregate", sim_.now(), sim_.now() + cpu);
+    }
   }
   for (const auto& r : batch.records) {
     // Gap detection: the tailer emits contiguous byte ranges per (file,

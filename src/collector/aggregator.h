@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "collector/record.h"
+#include "obs/trace.h"
 #include "sim/node.h"
 #include "sim/simulation.h"
 #include "transform/streaming.h"
@@ -49,6 +50,10 @@ class Aggregator {
   /// (virtual time has stopped, so no CPU is modeled for it).
   void on_batch(const Batch& batch, bool in_band = true);
 
+  /// Optional span tracer: each in-band batch becomes one span spanning its
+  /// modeled decode/ingest CPU charge on the collector node. Not owned.
+  void set_tracer(obs::Tracer* t) { tracer_ = t; }
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
@@ -62,6 +67,7 @@ class Aggregator {
   sim::Node& node_;
   transform::StreamingTransformer& transformer_;
   Config cfg_;
+  obs::Tracer* tracer_ = nullptr;
   Stats stats_;
   std::map<std::pair<std::string, std::string>, StreamPos> positions_;
 };

@@ -58,6 +58,17 @@ class LogTailer {
   /// True while any file still has unshipped bytes buffered here.
   [[nodiscard]] bool has_pending() const;
 
+  /// Bytes buffered here and not yet accepted by the ring buffer (complete
+  /// lines held back by backpressure plus trailing partial lines) — the
+  /// tailer's lag behind the log files it is following.
+  [[nodiscard]] std::uint64_t pending_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& [file, st] : files_) {
+      n += st.complete.size() + st.partial.size();
+    }
+    return n;
+  }
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const std::string& node() const { return node_; }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/log.h"
+
 namespace mscope::collector {
 
 Shipper::Shipper(sim::Simulation& sim, sim::Network& net, sim::Node& src_node,
@@ -42,6 +44,7 @@ void Shipper::tick() {
       src_node_.cpu().submit(cpu, sim::CpuCategory::kSystem,
                              sim::CpuPriority::kNormal, [] {});
       pending_ = std::make_shared<Batch>(std::move(batch));
+      pending_since_ = sim_.now();
       try_send(0);
     }
   }
@@ -68,6 +71,15 @@ void Shipper::try_send(int attempt) {
     ++stats_.send_failures;
     if (attempt >= cfg_.max_retries) {
       ++stats_.abandoned;
+      obs::Log::warn("shipper " + node_name_ + ": abandoning batch #" +
+                     std::to_string(pending_->seq) + " after " +
+                     std::to_string(attempt + 1) + " attempts (" +
+                     std::to_string(pending_->records.size()) + " records, " +
+                     std::to_string(pending_->bytes()) + " bytes lost)");
+      if (tracer_ != nullptr) {
+        tracer_->record("ship.abandon", "ship:" + node_name_, pending_since_,
+                        sim_.now());
+      }
       pending_.reset();
       return;
     }
@@ -85,6 +97,12 @@ void Shipper::try_send(int attempt) {
       wire_bytes,
       [this, p = pending_] {
         if (p != pending_) return;  // recovered by flush_now meanwhile
+        if (tracer_ != nullptr) {
+          // Assembly -> acknowledgement: backoffs and the wire flight are
+          // real virtual-time intervals, so this span has true duration.
+          tracer_->record("ship#" + std::to_string(p->seq),
+                          "ship:" + node_name_, pending_since_, sim_.now());
+        }
         deliver(*p, true);
         pending_.reset();
       },

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "collector/ring_buffer.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/node.h"
 #include "sim/simulation.h"
@@ -74,6 +75,9 @@ class Shipper {
   void stop() { running_ = false; }
 
   void set_fault_injector(FaultInjector f) { fault_ = std::move(f); }
+  /// Optional span tracer: each delivered batch becomes one span covering
+  /// assembly -> acknowledgement (includes retry backoff). Not owned.
+  void set_tracer(obs::Tracer* t) { tracer_ = t; }
   /// Invoked after each drain frees buffer space (lets a blocked tailer
   /// push its held-back records).
   void set_on_drain(std::function<void()> cb) { on_drain_ = std::move(cb); }
@@ -104,7 +108,9 @@ class Shipper {
   std::string node_name_;
   Config cfg_;
   FaultInjector fault_;
+  obs::Tracer* tracer_ = nullptr;
   std::function<void()> on_drain_;
+  SimTime pending_since_ = 0;  ///< when the in-flight batch was assembled
   std::uint64_t conn_id_ = 0;
   std::uint64_t next_seq_ = 0;
   bool running_ = false;

@@ -14,6 +14,21 @@ OnlineCollection::OnlineCollection(Testbed& testbed, db::Database& db,
   auto& sim = testbed_.simulation();
   auto& net = testbed_.network();
 
+  if (cfg_.observability) {
+    if (cfg_.observability->trace) {
+      obs::Tracer::Config tc;
+      tc.max_spans = cfg_.observability->max_spans;
+      tracer_ = std::make_unique<obs::Tracer>(
+          [&sim]() -> util::SimTime { return sim.now(); }, tc);
+    }
+    obs::MetaExporter::Config mc;
+    mc.prefix = cfg_.observability->table_prefix;
+    exporter_ = std::make_unique<obs::MetaExporter>(
+        db_, obs::Registry::global(), mc);
+    sim.schedule(cfg_.observability->export_interval,
+                 [this] { export_tick(); });
+  }
+
   if (cfg_.durability) {
     // The journal must be attached before the first mutation (including the
     // static metadata rows below): recovery replays the WAL into a fresh
@@ -58,6 +73,7 @@ OnlineCollection::OnlineCollection(Testbed& testbed, db::Database& db,
       });
   aggregator_ = std::make_unique<collector::Aggregator>(
       sim, *collector_node_, *transformer_, cfg_.aggregator);
+  aggregator_->set_tracer(tracer_.get());
 
   for (int tier = 0; tier < Testbed::kTiers; ++tier) {
     for (int r = 0; r < testbed_.replicas(tier); ++r) {
@@ -75,6 +91,7 @@ OnlineCollection::OnlineCollection(Testbed& testbed, db::Database& db,
           },
           ch.node, cfg_.shipper);
       ch.shipper->set_on_drain([t = ch.tailer.get()] { t->pump(); });
+      ch.shipper->set_tracer(tracer_.get());
       ch.shipper->start();
       channels_.push_back(std::move(ch));
     }
@@ -112,8 +129,61 @@ void OnlineCollection::checkpoint() {
   commits_since_checkpoint_ = 0;
 }
 
+void OnlineCollection::scrape_gauges() {
+  obs::Registry& reg = obs::Registry::global();
+  for (const auto& ch : channels_) {
+    const std::string p = "collector." + ch.node + ".";
+    const auto& buf = *ch.buffer;
+    reg.gauge(p + "ring.depth").set(static_cast<std::int64_t>(buf.size()));
+    reg.gauge(p + "ring.dropped")
+        .set(static_cast<std::int64_t>(buf.stats().dropped()));
+    reg.gauge(p + "ring.blocked")
+        .set(static_cast<std::int64_t>(buf.stats().blocked));
+    reg.gauge(p + "ring.peak_depth")
+        .set(static_cast<std::int64_t>(buf.stats().peak_depth));
+    reg.gauge(p + "tailer.lag_bytes")
+        .set(static_cast<std::int64_t>(ch.tailer->pending_bytes()));
+    const auto& ship = ch.shipper->stats();
+    reg.gauge(p + "shipper.batches")
+        .set(static_cast<std::int64_t>(ship.batches));
+    reg.gauge(p + "shipper.retries")
+        .set(static_cast<std::int64_t>(ship.retries));
+    reg.gauge(p + "shipper.abandoned")
+        .set(static_cast<std::int64_t>(ship.abandoned));
+  }
+  const auto& agg = aggregator_->stats();
+  reg.gauge("collector.aggregator.gap_bytes")
+      .set(static_cast<std::int64_t>(agg.gap_bytes));
+  const auto& tr = transformer_->stats();
+  reg.gauge("transform.rows_live").set(tr.rows_live);
+  reg.gauge("transform.files").set(static_cast<std::int64_t>(tr.files));
+  if (tracer_ != nullptr) {
+    reg.gauge("obs.trace.spans")
+        .set(static_cast<std::int64_t>(tracer_->spans().size()));
+    reg.gauge("obs.trace.dropped")
+        .set(static_cast<std::int64_t>(tracer_->dropped()));
+  }
+}
+
+void OnlineCollection::export_tick() {
+  scrape_gauges();
+  exporter_->export_metrics(testbed_.simulation().now());
+  if (!finished_) {
+    testbed_.simulation().schedule(cfg_.observability->export_interval,
+                                   [this] { export_tick(); });
+  }
+}
+
 void OnlineCollection::tick() {
-  transformer_->parse_all();
+  if (tracer_ != nullptr) {
+    // Scoped: marks *where* on the run timeline the parse pass happened and
+    // what it cost the host (wall_us); the virtual instant is frozen.
+    auto s = tracer_->span("parse_all", "transform");
+    transformer_->parse_all();
+    s.close();
+  } else {
+    transformer_->parse_all();
+  }
 
   for (auto& [table, q] : queues_) {
     const std::int64_t t_eval = q.max_ud - cfg_.queue_watermark;
@@ -174,7 +244,20 @@ void OnlineCollection::finish() {
       ch.shipper->flush_now();
     } while (ch.tailer->has_pending());
   }
-  transformer_->finalize();
+  if (tracer_ != nullptr) {
+    auto s = tracer_->span("finalize", "transform");
+    transformer_->finalize();
+  } else {
+    transformer_->finalize();
+  }
+  if (exporter_ != nullptr) {
+    // Final export: the registry's end-of-run snapshot plus every span the
+    // run recorded (all scopes are closed by now) land in the warehouse
+    // before the final checkpoint snapshots it.
+    scrape_gauges();
+    exporter_->export_metrics(testbed_.simulation().now());
+    if (tracer_ != nullptr) exporter_->export_spans(*tracer_);
+  }
   // Final checkpoint: the finished warehouse (including the load-catalog
   // rows finalize() just wrote) becomes one durable snapshot and the WAL
   // shrinks back to an empty header.

@@ -18,6 +18,9 @@
 #include "core/testbed.h"
 #include "db/database.h"
 #include "db/wal/wal.h"
+#include "obs/meta_exporter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/node.h"
 #include "transform/streaming.h"
 
@@ -73,6 +76,24 @@ class OnlineCollection {
       std::uint64_t checkpoint_every = 0;
     };
     std::optional<Durability> durability;
+
+    /// mScopeMeta: the pipeline monitoring itself. When set, a periodic
+    /// export tick scrapes per-channel health (ring depth/drops, tailer lag,
+    /// shipper retries) into the process-wide metrics registry and snapshots
+    /// the registry into `<table_prefix>*` tables of the *same* warehouse,
+    /// and (when `trace` is on) a span tracer on the simulation clock covers
+    /// collect -> ship -> transform -> import, exportable as Chrome
+    /// trace-event JSON. Unset (the default) adds nothing to the warehouse —
+    /// fig2/fig6 outputs stay byte-identical.
+    struct Observability {
+      /// Cadence of the scrape + registry -> warehouse export tick.
+      SimTime export_interval = 1 * util::kSec;
+      /// Record pipeline spans (ship/aggregate/parse) for trace export.
+      bool trace = true;
+      std::size_t max_spans = 1 << 20;
+      std::string table_prefix = "mscope_meta_";
+    };
+    std::optional<Observability> observability;
   };
 
   /// The collection pipeline of one monitored replica.
@@ -111,6 +132,14 @@ class OnlineCollection {
   /// The write-ahead log, when durability is configured (else nullptr).
   [[nodiscard]] db::wal::WalWriter* wal() { return wal_.get(); }
 
+  /// The pipeline span tracer, when observability with tracing is configured
+  /// (else nullptr). Save a Chrome trace with tracer()->save_chrome_json().
+  [[nodiscard]] obs::Tracer* tracer() { return tracer_.get(); }
+
+  /// The registry -> warehouse exporter, when observability is configured
+  /// (else nullptr).
+  [[nodiscard]] obs::MetaExporter* exporter() { return exporter_.get(); }
+
   /// Forces a durability checkpoint now (commit + snapshot + WAL
   /// truncation). No-op unless durability is configured. finish() ends
   /// with one, so a cleanly finished run always recovers completely.
@@ -136,6 +165,10 @@ class OnlineCollection {
               const std::vector<std::string>& row);
   void tick();
   void commit_tick();
+  /// Scrapes channel/pipeline health into registry gauges, then exports the
+  /// registry into the warehouse's meta tables.
+  void export_tick();
+  void scrape_gauges();
 
   Testbed& testbed_;
   db::Database& db_;
@@ -143,6 +176,8 @@ class OnlineCollection {
   Config cfg_;
   std::unique_ptr<db::wal::WalWriter> wal_;
   std::uint64_t commits_since_checkpoint_ = 0;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::MetaExporter> exporter_;
   std::unique_ptr<sim::Node> collector_node_;
   std::uint16_t collector_wire_ = 0;
   std::unique_ptr<transform::StreamingTransformer> transformer_;

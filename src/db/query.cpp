@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+
 namespace mscope::db {
 
 bool QueryFilter::matches(const Value& v) const {
@@ -231,6 +233,10 @@ void apply_filter(const segment::ColumnChunk& ch, const QueryFilter& f,
 
 std::vector<std::size_t> Query::matching_rows() const {
   std::vector<std::size_t> out;
+  // Per-plan tallies accumulate locally and hit the registry once per query
+  // (not per row/segment), keeping the scan loops allocation- and atomic-free.
+  std::uint64_t segs_scanned = 0;
+  std::uint64_t segs_skipped = 0;
 
   // Plan: serve the most selective indexable filter from its sorted index,
   // then test only that slice against the remaining filters. Falls back to
@@ -248,7 +254,15 @@ std::vector<std::size_t> Query::matching_rows() const {
     }
   }
 
+  static obs::Counter& plans_index =
+      obs::Registry::global().counter("db.query.plans_index");
+  static obs::Counter& plans_columnar =
+      obs::Registry::global().counter("db.query.plans_columnar");
+  static obs::Counter& plans_scan =
+      obs::Registry::global().counter("db.query.plans_scan");
+
   if (via_index < filters_.size()) {
+    plans_index.inc();
     out.reserve(slice.size());
     for (const auto& e : slice) out.push_back(e.row);
     // Index order is (time, row); results contract with insertion order.
@@ -276,6 +290,7 @@ std::vector<std::size_t> Query::matching_rows() const {
       if (f.kind == QueryFilter::Kind::kPred) columnar = false;
     }
     if (columnar) {
+      plans_columnar.inc();
       // Sealed segments: column-at-a-time over the encoded chunks, whole
       // segments skipped via zone maps. Row ids come out ascending, exactly
       // like the row-at-a-time scan.
@@ -288,7 +303,11 @@ std::vector<std::size_t> Query::matching_rows() const {
             break;
           }
         }
-        if (skip) continue;
+        if (skip) {
+          ++segs_skipped;
+          continue;
+        }
+        ++segs_scanned;
         match.assign(seg.row_count(), 1);
         for (const auto& f : filters_) {
           apply_filter(seg.column(f.col), f, match);
@@ -310,6 +329,7 @@ std::vector<std::size_t> Query::matching_rows() const {
         if (ok) out.push_back(base + i);
       }
     } else {
+      plans_scan.inc();
       for (std::size_t r = 0; r < table_.row_count(); ++r) {
         bool ok = true;
         for (const auto& f : filters_) {
@@ -347,6 +367,16 @@ std::vector<std::size_t> Query::matching_rows() const {
     out = std::move(sorted);
   }
   if (has_limit_ && out.size() > limit_) out.resize(limit_);
+
+  static obs::Counter& rows_matched =
+      obs::Registry::global().counter("db.query.rows_matched");
+  static obs::Counter& scanned =
+      obs::Registry::global().counter("db.query.segments_scanned");
+  static obs::Counter& skipped =
+      obs::Registry::global().counter("db.query.segments_skipped");
+  rows_matched.add(out.size());
+  if (segs_scanned > 0) scanned.add(segs_scanned);
+  if (segs_skipped > 0) skipped.add(segs_skipped);
   return out;
 }
 

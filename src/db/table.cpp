@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "util/strings.h"
 
 namespace mscope::db {
@@ -93,7 +94,14 @@ void Table::insert(Row row) {
   // Journal after validation/conversion, before the row reaches storage
   // (WAL-before-apply): replaying the journaled row re-runs the same insert.
   if (journal_ != nullptr) journal_->on_insert(name_, store_.row_count(), row);
+  static obs::Counter& inserts =
+      obs::Registry::global().counter("db.table.inserts");
+  static obs::Counter& seals =
+      obs::Registry::global().counter("db.table.seals");
+  const std::size_t sealed_before = store_.segments().size();
   store_.append(std::move(row));
+  inserts.inc();
+  if (store_.segments().size() != sealed_before) seals.inc();
 }
 
 Value Table::at(std::size_t row, std::size_t col) const {
@@ -162,6 +170,9 @@ bool Table::try_widen(const Schema& wider) {
   // Every op below applies exactly, so the widening is committed from here
   // on; journal it before touching storage (WAL-before-apply).
   if (journal_ != nullptr) journal_->on_widen(name_, wider);
+  static obs::Counter& widens =
+      obs::Registry::global().counter("db.table.widens");
+  widens.inc();
   for (std::size_t i = 0; i < ops.size(); ++i) {
     if (ops[i] == Op::kIntToDouble) {
       store_.retype_int_to_double(i);

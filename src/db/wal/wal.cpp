@@ -1,10 +1,13 @@
 #include "db/wal/wal.h"
 
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "util/crc32c.h"
 
 namespace mscope::db::wal {
@@ -192,6 +195,12 @@ void WalWriter::write_frame(const std::string& payload) {
   // torn-write decision).
   file_.write(frame);
   stats_.bytes += frame.size();
+  static obs::Counter& frames_c =
+      obs::Registry::global().counter("db.wal.frames");
+  static obs::Counter& bytes_c =
+      obs::Registry::global().counter("db.wal.bytes");
+  frames_c.inc();
+  bytes_c.add(frame.size());
 }
 
 void WalWriter::on_create_table(const std::string& name, const Schema& schema) {
@@ -243,7 +252,19 @@ std::uint64_t WalWriter::commit() {
   put_u8(p, static_cast<std::uint8_t>(RecordType::kCommit));
   put_u64(p, commit_id_);
   write_frame(p);
+  // The flush is the WAL's durability point — its host-side latency is the
+  // "fsync cost" a deployment would pay per commit.
+  const auto t0 = std::chrono::steady_clock::now();
   file_.flush();
+  const auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  static obs::Counter& commits_c =
+      obs::Registry::global().counter("db.wal.commits");
+  static obs::Histogram& fsync_h =
+      obs::Registry::global().histogram("db.wal.fsync_usec");
+  commits_c.inc();
+  fsync_h.record(dt);
   ++stats_.commits;
   dirty_ = false;
   return commit_id_;
@@ -267,6 +288,12 @@ void WalWriter::reset() {
 
 ReplayStats replay(const std::filesystem::path& path, Database& db) {
   ReplayStats stats;
+  // Every replay anomaly lands in stats.warnings (the API surface) *and* on
+  // the leveled log, so interactive runs see it without plumbing the stats.
+  const auto warn = [&stats](std::string msg) {
+    obs::Log::warn(msg);
+    stats.warnings.push_back(std::move(msg));
+  };
   std::string buf;
   {
     std::ifstream in(path, std::ios::binary);
@@ -277,7 +304,7 @@ ReplayStats replay(const std::filesystem::path& path, Database& db) {
   }
   if (buf.size() < kHeaderBytes || std::memcmp(buf.data(), kMagic, 4) != 0 ||
       static_cast<std::uint8_t>(buf[4]) != kWalVersion) {
-    stats.warnings.push_back("wal: bad or truncated header in " +
+    warn("wal: bad or truncated header in " +
                              path.string() + " — log ignored");
     return stats;
   }
@@ -326,7 +353,7 @@ ReplayStats replay(const std::filesystem::path& path, Database& db) {
   stats.torn_bytes = buf.size() - stats.durable_bytes;
   stats.frames_discarded = frames.size() - last_commit_end;
   if (stats.torn_bytes > 0 && pos < buf.size()) {
-    stats.warnings.push_back("wal: torn tail at byte offset " +
+    warn("wal: torn tail at byte offset " +
                              std::to_string(pos) + " (" +
                              std::to_string(buf.size() - pos) +
                              " bytes truncated)");
@@ -369,14 +396,14 @@ ReplayStats replay(const std::filesystem::path& path, Database& db) {
           Table* t = db.find(name);
           if (t == nullptr) {
             if (!is_broken(name)) {
-              stats.warnings.push_back("wal: widen of missing table '" + name +
+              warn("wal: widen of missing table '" + name +
                                        "' — table skipped");
               broken.push_back(name);
             }
             break;
           }
           if (!t->try_widen(wider) && !already_widened(*t, wider)) {
-            stats.warnings.push_back("wal: widening of '" + name +
+            warn("wal: widening of '" + name +
                                      "' no longer applies — table skipped");
             broken.push_back(name);
           }
@@ -392,7 +419,7 @@ ReplayStats replay(const std::filesystem::path& path, Database& db) {
           if (is_broken(name)) break;
           Table* t = db.find(name);
           if (t == nullptr) {
-            stats.warnings.push_back("wal: insert into missing table '" +
+            warn("wal: insert into missing table '" +
                                      name + "' — table skipped");
             broken.push_back(name);
             break;
@@ -402,7 +429,7 @@ ReplayStats replay(const std::filesystem::path& path, Database& db) {
             break;
           }
           if (row_index > t->row_count()) {
-            stats.warnings.push_back(
+            warn(
                 "wal: log resumes at row " + std::to_string(row_index) +
                 " of '" + name + "' but only " +
                 std::to_string(t->row_count()) +
@@ -421,12 +448,12 @@ ReplayStats replay(const std::filesystem::path& path, Database& db) {
           break;
       }
     } catch (const DecodeError&) {
-      stats.warnings.push_back("wal: malformed frame at byte offset " +
+      warn("wal: malformed frame at byte offset " +
                                std::to_string(f.payload_pos) +
                                " — replay stopped");
       break;
     } catch (const std::exception& e) {
-      stats.warnings.push_back("wal: replay error at byte offset " +
+      warn("wal: replay error at byte offset " +
                                std::to_string(f.payload_pos) + ": " +
                                e.what());
     }

@@ -1,0 +1,72 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace mscope::obs {
+
+namespace {
+
+// The level gate is the hot path (checked on every emit); keep it a relaxed
+// atomic so instrumented code never takes a lock just to discover the
+// message is below threshold.
+std::atomic<int> g_level{static_cast<int>(Log::Level::kWarn)};
+
+std::mutex g_mu;
+Log::Sink g_sink;                     // guarded by g_mu
+std::deque<std::string> g_recent;     // guarded by g_mu
+
+}  // namespace
+
+void Log::set_level(Level min_level) {
+  g_level.store(static_cast<int>(min_level), std::memory_order_relaxed);
+}
+
+Log::Level Log::level() {
+  return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+void Log::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_sink = std::move(sink);
+}
+
+const char* Log::name(Level l) {
+  switch (l) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kSilent: return "SILENT";
+  }
+  return "?";
+}
+
+std::vector<std::string> Log::recent() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return {g_recent.begin(), g_recent.end()};
+}
+
+void Log::clear_recent() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_recent.clear();
+}
+
+void Log::emit(Level l, std::string msg) {
+  const bool visible = static_cast<int>(l) >=
+                       g_level.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_recent.push_back(std::string(name(l)) + ": " + msg);
+  if (g_recent.size() > kRecentCap) g_recent.pop_front();
+  if (!visible) return;
+  if (g_sink) {
+    g_sink(l, msg);
+  } else {
+    std::fprintf(stderr, "[mscope] %s: %s\n", name(l), msg.c_str());
+  }
+}
+
+}  // namespace mscope::obs

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mscope::obs {
+
+/// Leveled diagnostic logging for the monitoring pipeline itself.
+///
+/// Before mScopeMeta, degradation notices (recovery skips, stream gaps,
+/// abandoned batches) were either silent or scattered across per-component
+/// warning vectors the caller had to remember to read. Log is the one
+/// process-wide choke point: every component reports through it, tests run
+/// it in quiet mode (kSilent), and the CLI surfaces the recent ring without
+/// re-plumbing each component's warnings() accessor.
+///
+/// The default sink writes "[mscope] LEVEL: message" lines to stderr. A
+/// custom sink (tests, the CLI's capture panel) replaces stderr entirely;
+/// the bounded ring of recent messages is kept either way, so "what went
+/// wrong lately" is answerable after the fact even in quiet mode.
+class Log {
+ public:
+  enum class Level : int {
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+    kError = 3,
+    kSilent = 4,  ///< threshold-only value: suppresses every message
+  };
+
+  using Sink = std::function<void(Level, std::string_view)>;
+
+  /// Minimum level that reaches the sink (kWarn by default: the pipeline is
+  /// quiet unless something degrades). kSilent mutes everything.
+  static void set_level(Level min_level);
+  [[nodiscard]] static Level level();
+
+  /// Replaces the stderr sink (nullptr restores it). The sink sees only
+  /// messages at or above the configured level.
+  static void set_sink(Sink sink);
+
+  static void debug(std::string msg) { emit(Level::kDebug, std::move(msg)); }
+  static void info(std::string msg) { emit(Level::kInfo, std::move(msg)); }
+  static void warn(std::string msg) { emit(Level::kWarn, std::move(msg)); }
+  static void error(std::string msg) { emit(Level::kError, std::move(msg)); }
+
+  /// The most recent messages (any level, capped at kRecentCap), oldest
+  /// first — kept even in quiet mode so a CLI panel or a test can inspect
+  /// what the pipeline reported without having subscribed beforehand.
+  [[nodiscard]] static std::vector<std::string> recent();
+
+  /// Drops the recent-message ring (test isolation).
+  static void clear_recent();
+
+  [[nodiscard]] static const char* name(Level l);
+
+  static constexpr std::size_t kRecentCap = 128;
+
+ private:
+  static void emit(Level l, std::string msg);
+};
+
+}  // namespace mscope::obs

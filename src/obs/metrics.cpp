@@ -1,0 +1,126 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace mscope::obs {
+
+Histogram::Histogram(std::int64_t max_value, double precision)
+    : max_value_(max_value), precision_(precision) {
+  shards_.reserve(kShards);
+  for (std::size_t i = 0; i < kShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(max_value_, precision_));
+  }
+}
+
+void Histogram::record(std::int64_t value) {
+  // Stable per-thread shard choice: recorders spread across shards, so the
+  // mutex below is contended only when more threads than shards record into
+  // the *same* histogram simultaneously.
+  static thread_local const std::size_t shard =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.h.record(value);
+}
+
+util::LatencyHistogram Histogram::merged() const {
+  util::LatencyHistogram out(max_value_, precision_);
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    out.merge(s->h);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->h.clear();
+  }
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  std::vector<MetricSample> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kCounter;
+    s.value = static_cast<double>(c->get());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kGauge;
+    s.value = static_cast<double>(g->get());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    const util::LatencyHistogram m = h->merged();
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.count = m.count();
+    if (m.count() > 0) {
+      s.value = m.mean();
+      s.p50 = m.percentile(50);
+      s.p95 = m.percentile(95);
+      s.p99 = m.percentile(99);
+      s.max = m.max();
+    }
+    out.push_back(std::move(s));
+  }
+  // The three kind-maps are each sorted; one merge-sort pass keeps the whole
+  // snapshot name-ordered for stable exporter/CLI output.
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: outlives static destructors
+  return *r;
+}
+
+}  // namespace mscope::obs

@@ -1,0 +1,157 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace mscope::obs {
+
+/// mScopeMeta's metrics substrate: the monitoring pipeline measuring itself.
+///
+/// Design constraints, in order:
+///   1. the hot paths (Table::insert, WAL framing, ring-buffer pushes) must
+///      stay nanoseconds — one relaxed atomic RMW, no locks, no allocation;
+///   2. registration is rare and cached — call sites hold a `Counter&`
+///      resolved once (typically a function-local static), so the name map
+///      is never consulted per event;
+///   3. everything is process-wide and additive, like the paper's own
+///      overhead accounting: the registry is a flat name -> instrument map
+///      whose snapshot the MetaExporter periodically writes into mScopeDB.
+///
+/// Counters/gauges use relaxed ordering: each metric is an independent
+/// statistical cell, not a synchronization edge, and the exporter's snapshot
+/// only needs per-metric atomicity (which single loads give it).
+
+/// Monotonic event count. Cacheline-aligned so two hot counters incremented
+/// by different threads never false-share.
+class alignas(64) Counter {
+ public:
+  void inc() { add(1); }
+  void add(std::uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t get() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time level (queue depth, lag bytes, live rows).
+class alignas(64) Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t get() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Latency distribution on the util::histogram substrate, sharded to keep
+/// concurrent record() calls off one lock: a thread hashes to a shard and
+/// takes that shard's (almost always uncontended) mutex. merged() folds the
+/// shards into one LatencyHistogram — exact counts, bounded-error quantiles.
+class Histogram {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  explicit Histogram(std::int64_t max_value = 3'600'000'000LL,
+                     double precision = 0.01);
+
+  void record(std::int64_t value);
+
+  /// All shards folded together (same geometry, exact merge).
+  [[nodiscard]] util::LatencyHistogram merged() const;
+
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    util::LatencyHistogram h;
+    explicit Shard(std::int64_t max_value, double precision)
+        : h(max_value, precision) {}
+  };
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::int64_t max_value_;
+  double precision_;
+};
+
+/// One row of Registry::snapshot() — flattened so the exporter can write it
+/// straight into a table and the CLI can print it without dispatch.
+struct MetricSample {
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  /// Counter/gauge value; histogram mean.
+  double value = 0;
+  /// Histogram-only fields (0 for counters/gauges).
+  std::uint64_t count = 0;
+  std::int64_t p50 = 0;
+  std::int64_t p95 = 0;
+  std::int64_t p99 = 0;
+  std::int64_t max = 0;
+};
+
+[[nodiscard]] constexpr const char* to_string(MetricSample::Kind k) {
+  switch (k) {
+    case MetricSample::Kind::kCounter: return "counter";
+    case MetricSample::Kind::kGauge: return "gauge";
+    case MetricSample::Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+/// Name -> instrument map. Instruments are created on first use and never
+/// move or die for the registry's lifetime, so references handed out are
+/// permanently valid — the static-registration idiom at instrumentation
+/// sites is
+///
+///   static obs::Counter& c =
+///       obs::Registry::global().counter("db.table.inserts");
+///   c.inc();
+///
+/// which pays the name lookup once per process, then one relaxed RMW per
+/// event.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  /// Consistent-enough snapshot of every instrument, sorted by name (each
+  /// metric is read atomically; the set is whatever was registered when the
+  /// call started).
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  /// Zeroes every instrument (bench/test isolation). Registered names and
+  /// handed-out references stay valid.
+  void reset();
+
+  /// The process-wide registry every built-in instrumentation site uses.
+  [[nodiscard]] static Registry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace mscope::obs

@@ -1,0 +1,141 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace mscope::obs {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// JSON string escape (quotes, backslashes, control bytes).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Tracer::Span::close() {
+  if (tracer_ == nullptr) return;
+  if (idx_ != kNpos) tracer_->close_span(idx_, wall_begin_);
+  tracer_ = nullptr;
+}
+
+Tracer::Span Tracer::span(std::string name, std::string track) {
+  if (spans_.size() >= cfg_.max_spans) {
+    ++dropped_;
+    return Span(this, kNpos);
+  }
+  SpanRecord r;
+  r.name = std::move(name);
+  r.track = std::move(track);
+  r.begin = clock_();
+  r.depth = static_cast<int>(open_.size());
+  const std::size_t idx = spans_.size();
+  spans_.push_back(std::move(r));
+  open_.push_back(idx);
+  return Span(this, idx);
+}
+
+void Tracer::close_span(std::size_t idx,
+                        std::chrono::steady_clock::time_point wall_begin) {
+  SpanRecord& r = spans_[idx];
+  r.end = clock_();
+  r.wall_usec = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - wall_begin)
+                    .count();
+  // Scoped spans close LIFO in practice; erase handles a moved handle that
+  // outlived its parent without corrupting the depth bookkeeping.
+  const auto it = std::find(open_.rbegin(), open_.rend(), idx);
+  if (it != open_.rend()) open_.erase(std::next(it).base());
+}
+
+void Tracer::record(std::string name, std::string track, util::SimTime begin,
+                    util::SimTime end) {
+  if (spans_.size() >= cfg_.max_spans) {
+    ++dropped_;
+    return;
+  }
+  SpanRecord r;
+  r.name = std::move(name);
+  r.track = std::move(track);
+  r.begin = begin;
+  r.end = end < begin ? begin : end;
+  r.depth = 0;
+  spans_.push_back(std::move(r));
+}
+
+std::string Tracer::to_chrome_json() const {
+  // Stable track -> tid assignment in first-seen order; tid 0 is reserved
+  // so tracks read 1..N in the viewer.
+  std::map<std::string, int> tids;
+  for (const SpanRecord& s : spans_) {
+    if (s.end < 0) continue;
+    tids.emplace(s.track, 0);
+  }
+  int next = 1;
+  for (const SpanRecord& s : spans_) {
+    if (s.end < 0) continue;
+    auto it = tids.find(s.track);
+    if (it->second == 0) it->second = next++;
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [track, tid] : tids) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":\"" +
+           json_escape(track) + "\"}}";
+  }
+  for (const SpanRecord& s : spans_) {
+    if (s.end < 0) continue;  // still open: nothing truthful to export
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + json_escape(s.name) +
+           "\",\"cat\":\"mscope\",\"ph\":\"X\",\"ts\":" +
+           std::to_string(s.begin) +
+           ",\"dur\":" + std::to_string(s.end - s.begin) +
+           ",\"pid\":1,\"tid\":" + std::to_string(tids.at(s.track));
+    if (s.wall_usec >= 0) {
+      out += ",\"args\":{\"wall_us\":" + std::to_string(s.wall_usec) + "}";
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+void Tracer::save_chrome_json(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("Tracer: cannot write " + path.string());
+  }
+  out << to_chrome_json();
+}
+
+}  // namespace mscope::obs

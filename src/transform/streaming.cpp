@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "transform/importer.h"
 #include "transform/parsers.h"
 #include "transform/xml_to_csv.h"
@@ -42,9 +44,17 @@ void StreamingTransformer::note_gap(const std::string& node,
                                     std::uint64_t bytes) {
   ++stats_.gaps;
   stats_.gap_bytes += bytes;
-  warnings_.push_back("data loss: " + std::to_string(bytes) + " byte(s) of " +
-                      node + "/" + file +
-                      " lost in transit (batch abandoned after retries)");
+  static obs::Counter& gaps_c =
+      obs::Registry::global().counter("transform.gaps");
+  static obs::Counter& gap_bytes_c =
+      obs::Registry::global().counter("transform.gap_bytes");
+  gaps_c.inc();
+  gap_bytes_c.add(bytes);
+  std::string msg = "data loss: " + std::to_string(bytes) + " byte(s) of " +
+                    node + "/" + file +
+                    " lost in transit (batch abandoned after retries)";
+  obs::Log::warn(msg);
+  warnings_.push_back(std::move(msg));
   auto node_it = nodes_.find(node);
   if (node_it == nodes_.end()) return;
   auto it = node_it->second.find(file);
@@ -99,9 +109,15 @@ bool StreamingTransformer::parse_into_table(const std::string& node,
     // backpressure policies can punch holes in a document), keep the rows
     // from the last good parse rather than losing the file.
     ++stats_.parse_deferrals;
+    static obs::Counter& deferrals =
+        obs::Registry::global().counter("transform.parse_deferrals");
+    deferrals.inc();
     return false;
   }
   ++stats_.parse_passes;
+  static obs::Counter& passes =
+      obs::Registry::global().counter("transform.parse_passes");
+  passes.inc();
   st.parsed_bytes = prefix;
   if (conv.schema.empty()) return true;  // no rows yet
 
@@ -117,6 +133,9 @@ bool StreamingTransformer::parse_into_table(const std::string& node,
     // sealed row. Inexact changes (e.g. "042" re-typed to Text) fall back
     // to drop + rebuild. Rows already announced to the observer stay
     // announced (rows_notified survives either path).
+    static obs::Counter& widens_c =
+        obs::Registry::global().counter("transform.schema_widenings");
+    widens_c.inc();
     if (table->try_widen(conv.schema)) {
       ++stats_.schema_rebuilds;  // counts schema-change events of both kinds
       ++stats_.inplace_widens;
@@ -156,6 +175,11 @@ bool StreamingTransformer::parse_into_table(const std::string& node,
     table->insert(std::move(row));
     ++stats_.rows_inserted;
     ++stats_.rows_live;
+  }
+  static obs::Counter& rows_c =
+      obs::Registry::global().counter("transform.rows_inserted");
+  if (conv.rows.size() > st.rows_in_table) {
+    rows_c.add(conv.rows.size() - st.rows_in_table);
   }
   st.rows_in_table = conv.rows.size();
   if (observer_) {

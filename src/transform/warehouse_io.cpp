@@ -1,11 +1,15 @@
 #include "transform/warehouse_io.h"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
+#include <type_traits>
 #include <sstream>
 #include <stdexcept>
 
 #include "db/segment/snapshot.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "transform/csv.h"
 #include "transform/xml_to_csv.h"
 #include "util/io_file.h"
@@ -59,6 +63,26 @@ void merge_loaded_table(db::Database& db, db::Table table) {
     }
   } else {
     db.adopt_table(std::move(table));
+  }
+}
+
+/// Host-side duration of `fn`, recorded into the named histogram.
+template <typename Fn>
+auto timed(const char* hist_name, Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto done = [&t0, hist_name] {
+    const auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    obs::Registry::global().histogram(hist_name).record(dt);
+  };
+  if constexpr (std::is_void_v<decltype(fn())>) {
+    fn();
+    done();
+  } else {
+    auto r = fn();
+    done();
+    return r;
   }
 }
 
@@ -144,12 +168,15 @@ std::vector<std::string> WarehouseIO::load(db::Database& db,
 }
 
 void WarehouseIO::save_snapshot(const db::Database& db, const fs::path& dir) {
-  fs::create_directories(dir);
-  for (const auto& name : db.table_names()) {
-    std::ostringstream out(std::ios::binary);
-    db::segment::write_table(out, db.get(name));
-    atomic_write(dir / (name + ".mseg"), out.str());
-  }
+  timed("db.snapshot.save_usec", [&] {
+    fs::create_directories(dir);
+    for (const auto& name : db.table_names()) {
+      std::ostringstream out(std::ios::binary);
+      db::segment::write_table(out, db.get(name));
+      atomic_write(dir / (name + ".mseg"), out.str());
+    }
+  });
+  obs::Registry::global().counter("db.snapshot.saves").inc();
 }
 
 std::vector<std::string> WarehouseIO::load_snapshot(db::Database& db,
@@ -158,22 +185,25 @@ std::vector<std::string> WarehouseIO::load_snapshot(db::Database& db,
     throw std::invalid_argument("WarehouseIO: no such directory: " +
                                 dir.string());
   std::vector<std::string> loaded;
-  for (const auto& path : files_with_extension(dir, ".mseg")) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-      throw std::runtime_error("WarehouseIO: cannot read " + path.string());
-    db::Table table = [&] {
-      try {
-        return db::segment::read_table(in);
-      } catch (const std::exception& e) {
-        // Re-throw with the file name prepended; read_table knows the byte
-        // offset and chunk but not which file it was handed.
-        throw std::runtime_error(path.string() + ": " + e.what());
-      }
-    }();
-    merge_loaded_table(db, std::move(table));
-    loaded.push_back(path.stem().string());
-  }
+  timed("db.snapshot.load_usec", [&] {
+    for (const auto& path : files_with_extension(dir, ".mseg")) {
+      std::ifstream in(path, std::ios::binary);
+      if (!in)
+        throw std::runtime_error("WarehouseIO: cannot read " + path.string());
+      db::Table table = [&] {
+        try {
+          return db::segment::read_table(in);
+        } catch (const std::exception& e) {
+          // Re-throw with the file name prepended; read_table knows the byte
+          // offset and chunk but not which file it was handed.
+          throw std::runtime_error(path.string() + ": " + e.what());
+        }
+      }();
+      merge_loaded_table(db, std::move(table));
+      loaded.push_back(path.stem().string());
+    }
+  });
+  obs::Registry::global().counter("db.snapshot.loads").inc();
   return loaded;
 }
 
@@ -191,8 +221,15 @@ void WarehouseIO::checkpoint(const db::Database& db, const fs::path& dir,
 
 RecoveryStats WarehouseIO::recover(db::Database& db, const fs::path& dir) {
   RecoveryStats stats;
+  // Recovery degradations go to both the stats (API) and the leveled log —
+  // a skipped snapshot is exactly the kind of quiet data loss an operator
+  // should hear about without reading RecoveryStats.
+  const auto warn = [&stats](std::string msg) {
+    obs::Log::warn(msg);
+    stats.warnings.push_back(std::move(msg));
+  };
   if (!fs::exists(dir)) {
-    stats.warnings.push_back("recover: no such directory: " + dir.string());
+    warn("recover: no such directory: " + dir.string());
     return stats;
   }
 
@@ -209,8 +246,7 @@ RecoveryStats WarehouseIO::recover(db::Database& db, const fs::path& dir) {
       ++stats.tables_loaded;
     } catch (const std::exception& e) {
       ++stats.tables_skipped;
-      stats.warnings.push_back("recover: skipping snapshot " + path.string() +
-                               ": " + e.what());
+      warn("recover: skipping snapshot " + path.string() + ": " + e.what());
     }
   }
 
@@ -233,13 +269,13 @@ RecoveryStats WarehouseIO::recover(db::Database& db, const fs::path& dir) {
       // Header never landed (or is corrupt): the file is useless as a log.
       fs::remove(wal, ec);
       if (ec)
-        stats.warnings.push_back("recover: cannot remove bad WAL " +
-                                 wal.string() + ": " + ec.message());
+        warn("recover: cannot remove bad WAL " + wal.string() + ": " +
+             ec.message());
     } else if (fs::file_size(wal, ec) > rs.durable_bytes) {
       fs::resize_file(wal, rs.durable_bytes, ec);
       if (ec)
-        stats.warnings.push_back("recover: cannot truncate WAL " +
-                                 wal.string() + ": " + ec.message());
+        warn("recover: cannot truncate WAL " + wal.string() + ": " +
+             ec.message());
     }
   }
   return stats;
