@@ -5,24 +5,32 @@
 //              [--archive DIR] [--report]
 //   mscope report --archive DIR
 //   mscope query  --archive DIR "SELECT ... FROM ... [WHERE ...]"
+//   mscope sql    --archive DIR ["SELECT ..."] [--file F] [--explain]
 //
 // `run` simulates the RUBBoS testbed, transforms the logs into mScopeDB,
 // prints the diagnosis report, and optionally archives the warehouse.
 // `report` re-analyzes a previously archived warehouse without re-running;
-// `query` runs ad-hoc SQL against it; `stats` surfaces mScopeMeta — the
+// `query` runs ad-hoc SQL against it; `sql` is the full-featured front end
+// to the vectorized engine (query from argument, file or stdin, EXPLAIN
+// plans, caret-annotated syntax errors); `stats` surfaces mScopeMeta — the
 // pipeline's self-observability metrics — either live (streaming a short
 // run with observability on) or from the `mscope_meta_*` tables of an
 // archived warehouse.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "core/milliscope.h"
 #include "core/report.h"
 #include "db/query.h"
 #include "db/sql.h"
+#include "db/sqlengine/engine.h"
+#include "db/sqlengine/token.h"
 #include "obs/metrics.h"
 #include "transform/warehouse_io.h"
 
@@ -33,6 +41,8 @@ namespace {
 struct Args {
   std::string command;
   std::string sql;
+  std::string sql_file;
+  bool explain = false;
   int workload = 2000;
   double duration_sec = 20.0;
   std::string scenario = "a";
@@ -52,6 +62,10 @@ void usage() {
       "                 [--archive DIR] [--no-report]\n"
       "  mscope_cli report --archive DIR\n"
       "  mscope_cli query --archive DIR \"SELECT ...\"\n"
+      "  mscope_cli sql --archive DIR [\"SELECT ...\"] [--file F] "
+      "[--explain]\n"
+      "      reads the query from the argument, --file, or stdin;\n"
+      "      --explain prints the physical plan with row counts\n"
       "  mscope_cli stats [--archive DIR] [run flags]\n"
       "      live metrics registry + mscope_meta_* tables; with --archive,\n"
       "      reads the meta tables of a previously archived warehouse\n");
@@ -90,11 +104,18 @@ std::optional<Args> parse(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       a.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (flag == "--file") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.sql_file = v;
+    } else if (flag == "--explain") {
+      a.explain = true;
     } else if (flag == "--no-monitors") {
       a.monitors = false;
     } else if (flag == "--no-report") {
       a.want_report = false;
-    } else if (flag.rfind("--", 0) != 0 && a.command == "query") {
+    } else if (flag.rfind("--", 0) != 0 &&
+               (a.command == "query" || a.command == "sql")) {
       a.sql = flag;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
@@ -237,6 +258,55 @@ int cmd_query(const Args& a) {
   return 0;
 }
 
+/// Full-featured SQL front end: query from the argument, a file, or stdin;
+/// EXPLAIN via flag or inline; syntax errors rendered with a caret under
+/// the offending token.
+int cmd_sql(const Args& a) {
+  if (a.archive.empty()) {
+    usage();
+    return 2;
+  }
+  std::string sql = a.sql;
+  if (sql.empty() && !a.sql_file.empty()) {
+    std::ifstream in(a.sql_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", a.sql_file.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    sql = buf.str();
+  }
+  if (sql.empty()) {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    sql = buf.str();
+  }
+  if (sql.find_first_not_of(" \t\r\n") == std::string::npos) {
+    std::fprintf(stderr, "empty query\n");
+    return 2;
+  }
+  if (a.explain) sql = "EXPLAIN " + sql;
+
+  db::Database db;
+  transform::WarehouseIO::load(db, a.archive);
+  try {
+    const db::Table result = db::Sql::execute(db, sql);
+    std::printf("%s", db::Sql::format(result).c_str());
+    if (result.name() != "plan") {
+      std::printf("(%zu rows)\n", result.row_count());
+    }
+  } catch (const db::sqlengine::SqlError& e) {
+    std::fprintf(stderr, "%s\n%s\n", e.what(),
+                 db::sqlengine::error_snippet(sql, e.pos()).c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
 void print_registry(const std::vector<obs::MetricSample>& snap) {
   std::printf("%-44s %-9s %s\n", "metric", "kind", "value");
   for (const auto& s : snap) {
@@ -333,6 +403,7 @@ int main(int argc, char** argv) {
     if (args->command == "run") return cmd_run(*args);
     if (args->command == "report") return cmd_report(*args);
     if (args->command == "query") return cmd_query(*args);
+    if (args->command == "sql") return cmd_sql(*args);
     if (args->command == "stats") return cmd_stats(*args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mscope_cli: error: %s\n", e.what());

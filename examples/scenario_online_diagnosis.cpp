@@ -10,7 +10,7 @@
 #include <map>
 
 #include "core/milliscope.h"
-#include "db/query.h"
+#include "db/sql.h"
 
 using namespace mscope;
 
@@ -95,6 +95,27 @@ int main() {
   }
   if (diagnoses.empty()) std::printf("  (no VSB window found)\n");
 
+  // The same confirmation, phrased as SQL over the streamed warehouse: the
+  // per-second apache tail locates the stall, and a cross-tier join of the
+  // front-end requests slower than 100 ms onto their MySQL visits names the tier that
+  // held them. This is the paper's diagnosis loop as two queries.
+  if (db.exists("ev_apache_web1") && db.exists("ev_mysql_db1")) {
+    std::printf("\ndiagnosis as SQL:\n");
+    const db::Table tail = db::Sql::execute(
+        db,
+        "SELECT BUCKET(ua_usec, 1000000) AS sec, COUNT(*) AS n, "
+        "MAX(duration_usec) AS peak_usec FROM ev_apache_web1 "
+        "GROUP BY BUCKET(ua_usec, 1000000) ORDER BY peak_usec DESC LIMIT 3");
+    std::printf("%s", db::Sql::format(tail).c_str());
+    const db::Table blame = db::Sql::execute(
+        db,
+        "SELECT COUNT(*) AS slow_visits, AVG(m.ud_usec - m.ua_usec) AS "
+        "avg_mysql_usec, MAX(m.ud_usec - m.ua_usec) AS peak_mysql_usec "
+        "FROM ev_apache_web1 AS a JOIN ev_mysql_db1 AS m "
+        "ON a.req_id = m.req_id WHERE a.duration_usec > 100000");
+    std::printf("%s", db::Sql::format(blame).c_str());
+  }
+
   // mScopeMeta artifacts: the run's pipeline spans as a Chrome trace (load
   // in about://tracing or ui.perfetto.dev), and the monitor's own health
   // series queryable inside the very warehouse it monitored.
@@ -112,9 +133,10 @@ int main() {
               db.exists(meta.spans_table())
                   ? db.get(meta.spans_table()).row_count()
                   : 0);
-  const double lag = db::Query(db.get(meta.metrics_table()))
-                         .where_eq_str("name", "collector.db1.tailer.lag_bytes")
-                         .aggregate(db::Query::AggKind::kMax, "value");
-  std::printf("  e.g. max tailer lag on db1 during the run: %.0f bytes\n", lag);
+  const db::Table lag = db::Sql::execute(
+      db, "SELECT MAX(value) FROM " + meta.metrics_table() +
+              " WHERE name = 'collector.db1.tailer.lag_bytes'");
+  std::printf("  e.g. max tailer lag on db1 during the run: %.0f bytes\n",
+              db::as_double(lag.at(0, 0)).value_or(0.0));
   return 0;
 }

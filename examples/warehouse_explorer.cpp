@@ -1,12 +1,14 @@
 // Exploring mScopeDB the way a researcher would (paper Section III-C):
 // inspect the static metadata tables, list the dynamically created tables,
 // run ad-hoc queries across monitors, join event tables on the request ID,
-// and archive the warehouse to disk for later re-analysis.
+// interrogate everything through mScopeSQL, and archive the warehouse to
+// disk for later re-analysis.
 
 #include <cstdio>
 
 #include "core/milliscope.h"
 #include "db/query.h"
+#include "db/sql.h"
 #include "obs/meta_exporter.h"
 #include "obs/metrics.h"
 #include "transform/warehouse_io.h"
@@ -87,6 +89,24 @@ int run_explorer() {
   std::printf("20 slowest apache requests joined to %zu mysql visits\n",
               joined.row_count());
 
+  // SQL panel: the same questions, phrased through mScopeSQL. The engine
+  // reaches every table in the warehouse — event monitors, resource
+  // monitors, and (below) the meta tables mScopeMeta exports.
+  std::printf("\n=== SQL panel ===\n");
+  const auto panel = [&db](const char* title, const std::string& sql) {
+    std::printf("-- %s\n   sql> %s\n%s", title, sql.c_str(),
+                db::Sql::format(db::Sql::execute(db, sql), 8).c_str());
+  };
+  panel("events: slowest servlets (apache tier)",
+        "SELECT url, COUNT(*) AS n, AVG(duration_usec) AS avg_usec, "
+        "MAX(duration_usec) AS peak_usec "
+        "FROM ev_apache_web1 GROUP BY url ORDER BY peak_usec DESC LIMIT 5");
+  panel("resources: db disk in the hottest second",
+        "SELECT BUCKET(ts_usec, 1000000) AS sec, MAX(dsk_pctutil) AS util, "
+        "MAX(dsk_quelen) AS quelen "
+        "FROM res_collectl_db1 GROUP BY BUCKET(ts_usec, 1000000) "
+        "ORDER BY util DESC LIMIT 3");
+
   // Self-observability panel: everything above bumped the process-wide
   // metrics registry (inserts, query plans, zone-map skips). Dogfood it —
   // export the registry into this very warehouse and query the monitor's
@@ -104,6 +124,12 @@ int run_explorer() {
                            .aggregate(db::Query::AggKind::kMax, "value");
   std::printf("zone maps skipped %.0f of %.0f sealed segments so far\n",
               skips, skips + scans);
+
+  // The SQL engine can interrogate the meta tables too — including the
+  // counters its own panels above just bumped, exported by mScopeMeta.
+  panel("meta: what did SQL execution itself cost?",
+        "SELECT name, MAX(value) AS total FROM mscope_meta_metrics "
+        "WHERE name LIKE 'db.sql.%' GROUP BY name ORDER BY name");
 
   // Archive the warehouse and restore it into a fresh database.
   const std::filesystem::path archive = "warehouse_archive";

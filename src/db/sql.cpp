@@ -1,393 +1,18 @@
 #include "db/sql.h"
 
 #include <algorithm>
-#include <cctype>
-#include <stdexcept>
 
-#include "db/query.h"
-#include "util/strings.h"
+#include "db/sqlengine/engine.h"
+#include "db/sqlengine/expr_eval.h"
 
 namespace mscope::db {
 
-namespace {
-
-// ---------------------------- tokenizer -------------------------------------
-
-enum class TokKind { kIdent, kNumber, kString, kOp, kPunct, kEnd };
-
-struct Token {
-  TokKind kind = TokKind::kEnd;
-  std::string text;   ///< identifier/operator text (identifiers upper-cased
-                      ///< copy in `upper`)
-  std::string upper;  ///< upper-cased form for keyword matching
-  std::size_t pos = 0;
-};
-
-class Lexer {
- public:
-  explicit Lexer(std::string_view s) : s_(s) { advance(); }
-
-  [[nodiscard]] const Token& peek() const { return cur_; }
-
-  Token take() {
-    Token t = cur_;
-    advance();
-    return t;
-  }
-
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::invalid_argument("SQL error at position " +
-                                std::to_string(cur_.pos) + ": " + why);
-  }
-
- private:
-  void advance() {
-    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_])))
-      ++i_;
-    cur_ = Token{};
-    cur_.pos = i_;
-    if (i_ >= s_.size()) {
-      cur_.kind = TokKind::kEnd;
-      return;
-    }
-    const char c = s_[i_];
-    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-      const std::size_t start = i_;
-      while (i_ < s_.size() &&
-             (std::isalnum(static_cast<unsigned char>(s_[i_])) ||
-              s_[i_] == '_')) {
-        ++i_;
-      }
-      cur_.kind = TokKind::kIdent;
-      cur_.text = std::string(s_.substr(start, i_ - start));
-      cur_.upper = util::to_upper(cur_.text);
-      return;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c)) ||
-        (c == '-' && i_ + 1 < s_.size() &&
-         std::isdigit(static_cast<unsigned char>(s_[i_ + 1])))) {
-      const std::size_t start = i_;
-      ++i_;
-      while (i_ < s_.size() &&
-             (std::isdigit(static_cast<unsigned char>(s_[i_])) ||
-              s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E' ||
-              s_[i_] == '+' || s_[i_] == '-')) {
-        // Allow exponent signs only right after e/E.
-        if ((s_[i_] == '+' || s_[i_] == '-') &&
-            !(s_[i_ - 1] == 'e' || s_[i_ - 1] == 'E')) {
-          break;
-        }
-        ++i_;
-      }
-      cur_.kind = TokKind::kNumber;
-      cur_.text = std::string(s_.substr(start, i_ - start));
-      return;
-    }
-    if (c == '\'') {
-      ++i_;
-      std::string out;
-      for (;;) {
-        if (i_ >= s_.size())
-          throw std::invalid_argument("SQL error: unterminated string");
-        if (s_[i_] == '\'') {
-          if (i_ + 1 < s_.size() && s_[i_ + 1] == '\'') {
-            out += '\'';
-            i_ += 2;
-            continue;
-          }
-          ++i_;
-          break;
-        }
-        out += s_[i_++];
-      }
-      cur_.kind = TokKind::kString;
-      cur_.text = std::move(out);
-      return;
-    }
-    // Operators and punctuation.
-    static const char* kTwo[] = {"!=", "<>", "<=", ">="};
-    for (const char* op : kTwo) {
-      if (s_.substr(i_, 2) == op) {
-        cur_.kind = TokKind::kOp;
-        cur_.text = op;
-        i_ += 2;
-        return;
-      }
-    }
-    if (c == '=' || c == '<' || c == '>') {
-      cur_.kind = TokKind::kOp;
-      cur_.text = std::string(1, c);
-      ++i_;
-      return;
-    }
-    if (c == ',' || c == '(' || c == ')' || c == '*') {
-      cur_.kind = TokKind::kPunct;
-      cur_.text = std::string(1, c);
-      ++i_;
-      return;
-    }
-    throw std::invalid_argument(std::string("SQL error: unexpected '") + c +
-                                "'");
-  }
-
-  std::string_view s_;
-  std::size_t i_ = 0;
-  Token cur_;
-};
-
-// ------------------------------ parser --------------------------------------
-
-struct AggSpec {
-  Query::AggKind kind;
-  std::string column;  ///< empty for COUNT(*)
-};
-
-struct Statement {
-  bool star = false;
-  std::vector<std::string> columns;
-  std::vector<AggSpec> aggregates;
-  std::string table;
-  struct Pred {
-    std::string column;
-    std::string op;
-    Value literal;
-    bool is_like = false;
-    std::string pattern;
-  };
-  std::vector<Pred> predicates;
-  std::string order_column;
-  bool order_asc = true;
-  bool has_order = false;
-  std::size_t limit = 0;
-  bool has_limit = false;
-};
-
-bool is_keyword(const Token& t, std::string_view kw) {
-  return t.kind == TokKind::kIdent && t.upper == kw;
-}
-
-std::optional<Query::AggKind> agg_kind(const std::string& upper) {
-  if (upper == "COUNT") return Query::AggKind::kCount;
-  if (upper == "MIN") return Query::AggKind::kMin;
-  if (upper == "MAX") return Query::AggKind::kMax;
-  if (upper == "AVG") return Query::AggKind::kMean;
-  if (upper == "SUM") return Query::AggKind::kSum;
-  return std::nullopt;
-}
-
-Statement parse(std::string_view text) {
-  Lexer lex(text);
-  Statement st;
-  if (!is_keyword(lex.peek(), "SELECT")) lex.fail("expected SELECT");
-  lex.take();
-
-  // Select list.
-  if (lex.peek().kind == TokKind::kPunct && lex.peek().text == "*") {
-    st.star = true;
-    lex.take();
-  } else {
-    for (;;) {
-      Token t = lex.take();
-      if (t.kind != TokKind::kIdent) lex.fail("expected a column or aggregate");
-      const auto kind = agg_kind(t.upper);
-      if (kind && lex.peek().kind == TokKind::kPunct &&
-          lex.peek().text == "(") {
-        lex.take();  // (
-        AggSpec agg{*kind, ""};
-        if (lex.peek().kind == TokKind::kPunct && lex.peek().text == "*") {
-          if (*kind != Query::AggKind::kCount)
-            lex.fail("only COUNT accepts *");
-          lex.take();
-        } else {
-          Token col = lex.take();
-          if (col.kind != TokKind::kIdent) lex.fail("expected a column name");
-          agg.column = col.text;
-        }
-        if (!(lex.peek().kind == TokKind::kPunct && lex.peek().text == ")"))
-          lex.fail("expected )");
-        lex.take();
-        st.aggregates.push_back(std::move(agg));
-      } else {
-        st.columns.push_back(t.text);
-      }
-      if (lex.peek().kind == TokKind::kPunct && lex.peek().text == ",") {
-        lex.take();
-        continue;
-      }
-      break;
-    }
-    if (!st.columns.empty() && !st.aggregates.empty())
-      lex.fail("cannot mix plain columns and aggregates");
-  }
-
-  if (!is_keyword(lex.peek(), "FROM")) lex.fail("expected FROM");
-  lex.take();
-  Token table = lex.take();
-  if (table.kind != TokKind::kIdent) lex.fail("expected a table name");
-  st.table = table.text;
-
-  if (is_keyword(lex.peek(), "WHERE")) {
-    lex.take();
-    for (;;) {
-      Statement::Pred p;
-      Token col = lex.take();
-      if (col.kind != TokKind::kIdent) lex.fail("expected a column name");
-      p.column = col.text;
-      if (is_keyword(lex.peek(), "LIKE")) {
-        lex.take();
-        Token pat = lex.take();
-        if (pat.kind != TokKind::kString)
-          lex.fail("LIKE expects a string pattern");
-        p.is_like = true;
-        p.pattern = pat.text;
-      } else {
-        Token op = lex.take();
-        if (op.kind != TokKind::kOp) lex.fail("expected a comparison operator");
-        p.op = op.text == "<>" ? "!=" : op.text;
-        Token lit = lex.take();
-        if (lit.kind == TokKind::kNumber) {
-          if (const auto i = util::parse_int(lit.text)) {
-            p.literal = Value{*i};
-          } else if (const auto d = util::parse_double(lit.text)) {
-            p.literal = Value{*d};
-          } else {
-            lex.fail("bad numeric literal");
-          }
-        } else if (lit.kind == TokKind::kString) {
-          p.literal = Value{lit.text};
-        } else if (is_keyword(lit, "NULL")) {
-          p.literal = Value{};
-        } else {
-          lex.fail("expected a literal");
-        }
-      }
-      st.predicates.push_back(std::move(p));
-      if (is_keyword(lex.peek(), "AND")) {
-        lex.take();
-        continue;
-      }
-      break;
-    }
-  }
-
-  if (is_keyword(lex.peek(), "ORDER")) {
-    lex.take();
-    if (!is_keyword(lex.peek(), "BY")) lex.fail("expected BY");
-    lex.take();
-    Token col = lex.take();
-    if (col.kind != TokKind::kIdent) lex.fail("expected a column name");
-    st.order_column = col.text;
-    st.has_order = true;
-    if (is_keyword(lex.peek(), "ASC")) {
-      lex.take();
-    } else if (is_keyword(lex.peek(), "DESC")) {
-      lex.take();
-      st.order_asc = false;
-    }
-  }
-
-  if (is_keyword(lex.peek(), "LIMIT")) {
-    lex.take();
-    Token n = lex.take();
-    const auto v = util::parse_int(n.text);
-    if (n.kind != TokKind::kNumber || !v || *v < 0)
-      lex.fail("LIMIT expects a non-negative integer");
-    st.limit = static_cast<std::size_t>(*v);
-    st.has_limit = true;
-  }
-
-  if (lex.peek().kind != TokKind::kEnd) lex.fail("trailing input");
-  return st;
-}
-
-}  // namespace
-
 bool Sql::like(std::string_view text, std::string_view pattern) {
-  // Iterative wildcard match with backtracking on '%'.
-  std::size_t t = 0, p = 0;
-  std::size_t star_p = std::string_view::npos, star_t = 0;
-  while (t < text.size()) {
-    if (p < pattern.size() &&
-        (pattern[p] == '_' || pattern[p] == text[t])) {
-      ++t;
-      ++p;
-    } else if (p < pattern.size() && pattern[p] == '%') {
-      star_p = p++;
-      star_t = t;
-    } else if (star_p != std::string_view::npos) {
-      p = star_p + 1;
-      t = ++star_t;
-    } else {
-      return false;
-    }
-  }
-  while (p < pattern.size() && pattern[p] == '%') ++p;
-  return p == pattern.size();
+  return sqlengine::like_match(text, pattern);
 }
 
 Table Sql::execute(const Database& db, std::string_view query) {
-  const Statement st = parse(query);
-  const Table& table = db.get(st.table);
-  Query q(table);
-
-  for (const auto& p : st.predicates) {
-    if (p.is_like) {
-      q.where(p.column, [pattern = p.pattern](const Value& v) {
-        return !is_null(v) && like(value_to_string(v), pattern);
-      });
-    } else if (p.op == "=") {
-      q.where(p.column, [lit = p.literal](const Value& v) {
-        if (is_null(lit)) return is_null(v);
-        return !is_null(v) && compare(v, lit) == 0;
-      });
-    } else if (p.op == "!=") {
-      q.where(p.column, [lit = p.literal](const Value& v) {
-        if (is_null(lit)) return !is_null(v);
-        return !is_null(v) && compare(v, lit) != 0;
-      });
-    } else {
-      const std::string op = p.op;
-      q.where(p.column, [lit = p.literal, op](const Value& v) {
-        if (is_null(v) || is_null(lit)) return false;
-        const int c = compare(v, lit);
-        if (op == "<") return c < 0;
-        if (op == "<=") return c <= 0;
-        if (op == ">") return c > 0;
-        return c >= 0;  // ">="
-      });
-    }
-  }
-
-  if (!st.aggregates.empty()) {
-    Schema schema;
-    Table::Row row;
-    for (const auto& agg : st.aggregates) {
-      std::string name;
-      switch (agg.kind) {
-        case Query::AggKind::kCount: name = "count"; break;
-        case Query::AggKind::kMin: name = "min_" + agg.column; break;
-        case Query::AggKind::kMax: name = "max_" + agg.column; break;
-        case Query::AggKind::kMean: name = "avg_" + agg.column; break;
-        case Query::AggKind::kSum: name = "sum_" + agg.column; break;
-      }
-      const double v = q.aggregate(agg.kind, agg.column);
-      if (agg.kind == Query::AggKind::kCount) {
-        schema.push_back({name, DataType::kInt});
-        row.push_back(Value{static_cast<std::int64_t>(v)});
-      } else {
-        schema.push_back({name, DataType::kDouble});
-        row.push_back(Value{v});
-      }
-    }
-    Table result("result", std::move(schema));
-    result.insert(std::move(row));
-    return result;
-  }
-
-  if (st.has_order) q.order_by(st.order_column, st.order_asc);
-  if (st.has_limit) q.limit(st.limit);
-  if (!st.star) q.project(st.columns);
-  return q.run();
+  return sqlengine::execute(db, query);
 }
 
 std::string Sql::format(const Table& table, std::size_t max_rows) {

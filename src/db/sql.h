@@ -8,26 +8,41 @@
 
 namespace mscope::db {
 
-/// A small SQL dialect over mScopeDB — the textual face of the "uniform
+/// The SQL dialect over mScopeDB — the textual face of the "uniform
 /// interface" the paper gives researchers for interrogating the warehouse.
+/// Since mScopeSQL, queries compile through the vectorized engine in
+/// db/sqlengine/ (lexer -> parser -> planner -> batch operators over the
+/// columnar segment store); this class is the stable facade.
 ///
 /// Supported grammar (keywords case-insensitive):
 ///
-///   SELECT select_list FROM table
-///     [WHERE predicate [AND predicate]...]
-///     [ORDER BY column [ASC|DESC]]
+///   [EXPLAIN] SELECT select_list
+///     FROM table [AS alias]
+///     [JOIN table [AS alias] ON join_cond]...
+///     [WHERE expr]
+///     [GROUP BY expr [, expr]...]
+///     [ORDER BY expr [ASC|DESC] [, ...]]
 ///     [LIMIT n]
 ///
-///   select_list := '*' | column [, column]...
-///                | aggregate [, aggregate]...
-///   aggregate   := COUNT(*) | COUNT(col) | MIN(col) | MAX(col)
-///                | AVG(col) | SUM(col)
-///   predicate   := column op literal
-///   op          := = | != | <> | < | <= | > | >= | LIKE
+///   select_list := '*' | item [, item]...
+///   item        := expr [AS alias]
+///   expr        := literals, [table.]column, arithmetic (+ - /), unary -,
+///                  comparisons (= != <> < <= > >=), AND, OR, NOT,
+///                  expr [NOT] BETWEEN lo AND hi, expr [NOT] IN (list),
+///                  expr [NOT] LIKE 'pattern', BUCKET(expr, width),
+///                  aggregates COUNT(*) COUNT(c) MIN(c) MAX(c) AVG(c) SUM(c)
+///   join_cond   := l.col = r.col              (hash join)
+///                | ALIGN(l.ts, r.ts, tol)     (time-alignment band join:
+///                                              |l.ts - r.ts| <= tol)
 ///   literal     := number | 'string' ('' escapes a quote) | NULL
 ///
-/// LIKE uses SQL wildcards (% = any run, _ = one char). Comparisons against
-/// NULL match only NULL cells with `=` / `!=`.
+/// BUCKET(ts, n) floors a timestamp to its n-unit bucket — GROUP BY
+/// BUCKET(ts_usec, 1000000) is the per-second roll-up of the paper's
+/// figures. LIKE uses SQL wildcards (% = any run, _ = one char).
+/// Comparisons against NULL match only NULL cells with `=` / `!=`; ordered
+/// comparisons never match NULL. EXPLAIN runs the query and returns the
+/// physical plan (pushed-down predicates, per-operator row counts) as a
+/// one-column table.
 class Sql {
  public:
   /// Parses and executes; returns the result table. Throws

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/value.h"
+
+namespace mscope::db::sqlengine {
+
+/// Expression AST. One tagged struct instead of a class hierarchy: the node
+/// set is small and the planner pattern-matches on `kind` anyway.
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : std::uint8_t {
+  kLiteral,  ///< `literal`
+  kColumn,   ///< `table` (optional qualifier) + `column`
+  kUnary,    ///< op in {"-", "NOT"}; operand in lhs
+  kBinary,   ///< op in {=, !=, <, <=, >, >=, +, -, /, AND, OR}; lhs, rhs
+  kBetween,  ///< lhs BETWEEN args[0] AND args[1] (inclusive), `negated`
+  kIn,       ///< lhs IN (args...), `negated`
+  kLike,     ///< lhs LIKE pattern, `negated`
+  kCall,     ///< func(args...): BUCKET(col, n), ALIGN(l, r, tol)
+  kAgg,      ///< COUNT/MIN/MAX/AVG/SUM; args empty for COUNT(*)
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+  std::size_t pos = 0;  ///< byte offset in the query (error anchoring)
+
+  Value literal;                ///< kLiteral
+  std::string table;            ///< kColumn qualifier ("" = unqualified)
+  std::string column;           ///< kColumn
+  std::string op;               ///< kUnary / kBinary
+  std::string func;             ///< kCall / kAgg (upper-case)
+  std::string pattern;          ///< kLike
+  bool negated = false;         ///< kBetween / kIn / kLike
+  ExprPtr lhs, rhs;             ///< operands
+  std::vector<ExprPtr> args;    ///< kBetween / kIn / kCall / kAgg
+
+  /// Filled by the planner: physical column index in the input batch of the
+  /// operator this expression runs in (-1 = unresolved / not a column).
+  int col = -1;
+  /// Filled by the planner for kColumn nodes: owning table ordinal and the
+  /// column's index in that table's schema.
+  int tbl = -1;
+  int orig = -1;
+};
+
+/// One SELECT-list entry: expression plus optional `AS alias`.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+  bool star = false;  ///< bare `*` (or `t.*` is not supported)
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  ///< "" = use the table name
+  std::size_t pos = 0;
+};
+
+/// `JOIN t [AS a] ON <cond>`. The condition is either an equality between
+/// two column refs (hash join) or ALIGN(l.col, r.col, tol) (interval join).
+struct JoinClause {
+  TableRef table;
+  ExprPtr on;
+};
+
+struct OrderKey {
+  ExprPtr expr;
+  bool asc = true;
+};
+
+/// A parsed SELECT statement (the only statement kind the dialect has).
+struct SelectStmt {
+  bool explain = false;
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;  ///< null when absent
+  std::vector<ExprPtr> group_by;
+  std::vector<OrderKey> order_by;
+  std::optional<std::size_t> limit;
+};
+
+}  // namespace mscope::db::sqlengine

@@ -1,0 +1,90 @@
+#include "db/sqlengine/engine.h"
+
+#include <algorithm>
+
+#include "db/sqlengine/exec.h"
+#include "db/sqlengine/parser.h"
+#include "db/sqlengine/plan.h"
+#include "obs/metrics.h"
+
+namespace mscope::db::sqlengine {
+
+namespace {
+
+/// Drains the pipeline into a result table.
+Table materialize_result(Operator& root) {
+  Schema schema;
+  for (std::size_t i = 0; i < root.out_names.size(); ++i) {
+    schema.push_back({root.out_names[i], root.out_types[i]});
+  }
+  Table result("result", std::move(schema));
+  Batch b;
+  Table::Row row;
+  while (root.next(b)) {
+    for (std::size_t k = 0; k < b.active(); ++k) {
+      const std::uint32_t r = b.row_at(k);
+      row.clear();
+      row.reserve(b.cols.size());
+      for (const auto& c : b.cols) row.push_back(c.get(r));
+      result.insert(row);
+    }
+  }
+  return result;
+}
+
+void render(const Operator& op, int depth, std::vector<std::string>& out) {
+  std::string line(static_cast<std::size_t>(depth) * 2, ' ');
+  line += op.describe();
+  line += "  (rows=" + std::to_string(op.stat_rows_out) +
+          ", batches=" + std::to_string(op.stat_batches) + ")";
+  out.push_back(std::move(line));
+  if (const auto* scan = dynamic_cast<const ScanOp*>(&op)) {
+    for (const std::string& d : scan->detail()) {
+      out.push_back(std::string(static_cast<std::size_t>(depth) * 2 + 2, ' ') +
+                    d);
+    }
+  }
+  for (std::size_t i = 0; i < op.child_count(); ++i) {
+    render(*op.child(i), depth + 1, out);
+  }
+}
+
+}  // namespace
+
+Table execute(const Database& db, std::string_view sql) {
+  static obs::Counter& queries =
+      obs::Registry::global().counter("db.sql.queries");
+  queries.inc();
+
+  Plan plan = build_plan(db, parse(sql));
+  if (!plan.explain) return materialize_result(*plan.root);
+
+  // EXPLAIN: run the query (discarding rows) so the rendered tree carries
+  // real per-operator row and batch counts, then emit the plan as a table.
+  Batch b;
+  while (plan.root->next(b)) {
+  }
+  std::vector<std::string> lines;
+  render(*plan.root, 0, lines);
+  Table result("plan", Schema{{"plan", DataType::kText}});
+  for (std::string& line : lines) {
+    result.insert({Value{TextRef{std::move(line)}}});
+  }
+  return result;
+}
+
+std::string error_snippet(std::string_view sql, std::size_t pos) {
+  pos = std::min(pos, sql.size());
+  const std::size_t begin =
+      pos == 0 ? std::string_view::npos : sql.rfind('\n', pos - 1);
+  const std::size_t start = begin == std::string_view::npos ? 0 : begin + 1;
+  std::size_t end = sql.find('\n', pos);
+  if (end == std::string_view::npos) end = sql.size();
+  std::string out(sql.substr(start, end - start));
+  out += '\n';
+  out.append(pos - start, ' ');
+  out += '^';
+  return out;
+}
+
+}  // namespace mscope::db::sqlengine

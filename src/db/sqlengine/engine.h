@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "db/database.h"
+#include "db/table.h"
+
+namespace mscope::db::sqlengine {
+
+/// Parses, plans and executes one SELECT statement, returning the result
+/// table. EXPLAIN SELECT ... executes the query and instead returns a
+/// one-column table ("plan") holding the physical plan tree annotated with
+/// pushed-down predicates and per-operator row/batch counts.
+///
+/// Throws SqlError (a std::invalid_argument carrying the byte offset) on
+/// syntax and semantic errors, std::out_of_range on unknown tables/columns.
+[[nodiscard]] Table execute(const Database& db, std::string_view sql);
+
+/// Renders the offending line of `sql` with a caret under byte `pos` —
+/// CLI-grade syntax error display:
+///
+///   SELECT * FORM ev
+///            ^
+[[nodiscard]] std::string error_snippet(std::string_view sql,
+                                        std::size_t pos);
+
+}  // namespace mscope::db::sqlengine

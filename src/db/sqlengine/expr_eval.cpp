@@ -1,0 +1,274 @@
+#include "db/sqlengine/expr_eval.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace mscope::db::sqlengine {
+
+bool like_match(std::string_view text, std::string_view pattern) {
+  // Iterative wildcard match with backtracking on '%'.
+  std::size_t t = 0, p = 0;
+  std::size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+namespace {
+
+bool is_predicate(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kBetween:
+    case ExprKind::kIn:
+    case ExprKind::kLike:
+      return true;
+    case ExprKind::kUnary:
+      return e.op == "NOT";
+    case ExprKind::kBinary:
+      return e.op == "AND" || e.op == "OR" || e.op == "=" || e.op == "!=" ||
+             e.op == "<" || e.op == "<=" || e.op == ">" || e.op == ">=";
+    default:
+      return false;
+  }
+}
+
+/// Old-dialect comparison semantics (see db::Sql): a NULL *operand on the
+/// right* turns `=` into an is-NULL test and `!=` into is-not-NULL; ordered
+/// comparisons never match when either side is NULL.
+bool compare_semantics(const std::string& op, const Value& l, const Value& r) {
+  const bool ln = is_null(l);
+  const bool rn = is_null(r);
+  if (rn) {
+    if (op == "=") return ln;
+    if (op == "!=") return !ln;
+    return false;
+  }
+  if (ln) return false;
+  const int c = compare(l, r);
+  if (op == "=") return c == 0;
+  if (op == "!=") return c != 0;
+  if (op == "<") return c < 0;
+  if (op == "<=") return c <= 0;
+  if (op == ">") return c > 0;
+  return c >= 0;  // ">="
+}
+
+}  // namespace
+
+Value eval_value(const Expr& e, const Batch& b, std::size_t row) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kColumn:
+      return b.cols[static_cast<std::size_t>(e.col)].get(row);
+    case ExprKind::kUnary: {
+      if (e.op == "NOT") {
+        return Value{static_cast<std::int64_t>(eval_pred(e, b, row))};
+      }
+      const Value v = eval_value(*e.lhs, b, row);
+      if (is_null(v)) return Value{};
+      if (type_of(v) == DataType::kInt) {
+        return Value{-std::get<std::int64_t>(v)};
+      }
+      if (const auto d = as_double(v)) return Value{-*d};
+      return Value{};
+    }
+    case ExprKind::kBinary: {
+      if (e.op == "+" || e.op == "-" || e.op == "/") {
+        const Value l = eval_value(*e.lhs, b, row);
+        const Value r = eval_value(*e.rhs, b, row);
+        const auto ld = as_double(l);
+        const auto rd = as_double(r);
+        if (!ld || !rd) return Value{};  // NULL / text operand -> NULL
+        if (e.op == "/") {
+          return *rd == 0.0 ? Value{} : Value{*ld / *rd};
+        }
+        const double out = e.op == "+" ? *ld + *rd : *ld - *rd;
+        if (type_of(l) == DataType::kInt && type_of(r) == DataType::kInt) {
+          return Value{static_cast<std::int64_t>(out)};
+        }
+        return Value{out};
+      }
+      return Value{static_cast<std::int64_t>(eval_pred(e, b, row))};
+    }
+    case ExprKind::kCall: {
+      if (e.func == "BUCKET") {
+        const auto t = as_int(eval_value(*e.args[0], b, row));
+        const auto w = as_int(e.args[1]->literal);
+        if (!t || !w || *w <= 0) return Value{};
+        // Floor division so negative times land in the right bucket.
+        std::int64_t q = *t / *w;
+        if (*t % *w != 0 && *t < 0) --q;
+        return Value{q * *w};
+      }
+      return Value{};
+    }
+    default:
+      if (is_predicate(e)) {
+        return Value{static_cast<std::int64_t>(eval_pred(e, b, row))};
+      }
+      return Value{};
+  }
+}
+
+bool eval_pred(const Expr& e, const Batch& b, std::size_t row) {
+  switch (e.kind) {
+    case ExprKind::kUnary:
+      if (e.op == "NOT") return !eval_pred(*e.lhs, b, row);
+      break;
+    case ExprKind::kBinary: {
+      if (e.op == "AND") {
+        return eval_pred(*e.lhs, b, row) && eval_pred(*e.rhs, b, row);
+      }
+      if (e.op == "OR") {
+        return eval_pred(*e.lhs, b, row) || eval_pred(*e.rhs, b, row);
+      }
+      if (e.op == "+" || e.op == "-" || e.op == "/") break;  // truthiness
+      return compare_semantics(e.op, eval_value(*e.lhs, b, row),
+                               eval_value(*e.rhs, b, row));
+    }
+    case ExprKind::kBetween: {
+      const Value v = eval_value(*e.lhs, b, row);
+      if (is_null(v)) return false;  // NULL never matches, negated or not
+      const Value lo = eval_value(*e.args[0], b, row);
+      const Value hi = eval_value(*e.args[1], b, row);
+      if (is_null(lo) || is_null(hi)) return false;
+      const bool in = compare(v, lo) >= 0 && compare(v, hi) <= 0;
+      return e.negated ? !in : in;
+    }
+    case ExprKind::kIn: {
+      const Value v = eval_value(*e.lhs, b, row);
+      bool any = false;
+      for (const auto& item : e.args) {
+        if (compare_semantics("=", v, eval_value(*item, b, row))) {
+          any = true;
+          break;
+        }
+      }
+      return e.negated ? !any : any;
+    }
+    case ExprKind::kLike: {
+      const Value v = eval_value(*e.lhs, b, row);
+      if (is_null(v)) return false;  // NULL never matches, negated or not
+      const bool ok = like_match(value_to_string(v), e.pattern);
+      return e.negated ? !ok : ok;
+    }
+    default:
+      break;
+  }
+  // Truthiness of a value expression: non-NULL and numerically non-zero.
+  const Value v = eval_value(e, b, row);
+  const auto d = as_double(v);
+  return d.has_value() && *d != 0.0;
+}
+
+DataType infer_expr_type(const Expr& e, const std::vector<DataType>& cols) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return type_of(e.literal);
+    case ExprKind::kColumn:
+      return cols[static_cast<std::size_t>(e.col)];
+    case ExprKind::kUnary:
+      if (e.op == "NOT") return DataType::kInt;
+      return infer_expr_type(*e.lhs, cols) == DataType::kInt ? DataType::kInt
+                                                             : DataType::kDouble;
+    case ExprKind::kBinary: {
+      if (e.op == "+" || e.op == "-") {
+        const DataType l = infer_expr_type(*e.lhs, cols);
+        const DataType r = infer_expr_type(*e.rhs, cols);
+        return (l == DataType::kInt && r == DataType::kInt) ? DataType::kInt
+                                                            : DataType::kDouble;
+      }
+      if (e.op == "/") return DataType::kDouble;
+      return DataType::kInt;  // comparisons / AND / OR -> 0/1
+    }
+    case ExprKind::kCall:
+      return DataType::kInt;  // BUCKET
+    case ExprKind::kAgg:
+      return e.func == "COUNT" ? DataType::kInt : DataType::kDouble;
+    default:
+      return DataType::kInt;
+  }
+}
+
+std::string render_expr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      if (is_null(e.literal)) return "NULL";
+      if (type_of(e.literal) == DataType::kText) {
+        return "'" + value_to_string(e.literal) + "'";
+      }
+      return value_to_string(e.literal);
+    case ExprKind::kColumn:
+      return e.table.empty() ? e.column : e.table + "." + e.column;
+    case ExprKind::kUnary:
+      if (e.op == "NOT") return "NOT " + render_expr(*e.lhs);
+      return "-" + render_expr(*e.lhs);
+    case ExprKind::kBinary:
+      return render_expr(*e.lhs) + " " + e.op + " " + render_expr(*e.rhs);
+    case ExprKind::kBetween:
+      return render_expr(*e.lhs) + (e.negated ? " NOT BETWEEN " : " BETWEEN ") +
+             render_expr(*e.args[0]) + " AND " + render_expr(*e.args[1]);
+    case ExprKind::kIn: {
+      std::string out =
+          render_expr(*e.lhs) + (e.negated ? " NOT IN (" : " IN (");
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i) out += ", ";
+        out += render_expr(*e.args[i]);
+      }
+      return out + ")";
+    }
+    case ExprKind::kLike:
+      return render_expr(*e.lhs) + (e.negated ? " NOT LIKE '" : " LIKE '") +
+             e.pattern + "'";
+    case ExprKind::kCall:
+    case ExprKind::kAgg: {
+      if (e.kind == ExprKind::kAgg && e.args.empty()) return e.func + "(*)";
+      std::string out = e.func + "(";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i) out += ", ";
+        out += render_expr(*e.args[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+std::string default_name(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kColumn:
+      return e.column;
+    case ExprKind::kAgg: {
+      const std::string arg =
+          e.args.empty() ? "" : (e.args[0]->kind == ExprKind::kColumn
+                                     ? e.args[0]->column
+                                     : render_expr(*e.args[0]));
+      if (e.func == "COUNT") return "count";
+      return util::to_lower(e.func) + "_" + arg;
+    }
+    case ExprKind::kCall:
+      if (e.func == "BUCKET" && e.args[0]->kind == ExprKind::kColumn) {
+        return "bucket_" + e.args[0]->column;
+      }
+      return render_expr(e);
+    default:
+      return render_expr(e);
+  }
+}
+
+}  // namespace mscope::db::sqlengine

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "db/sqlengine/ast.h"
+#include "db/sqlengine/vec.h"
+
+namespace mscope::db::sqlengine {
+
+/// SQL LIKE wildcard match (% = any run, _ = one char). The engine-level
+/// implementation behind db::Sql::like.
+[[nodiscard]] bool like_match(std::string_view text, std::string_view pattern);
+
+/// Row-at-a-time *value* evaluation of a resolved expression over a batch
+/// (columns, literals, BUCKET, arithmetic). The slow-path complement of the
+/// vectorized kernels — Project uses it for computed columns, the kernels
+/// fall back to it for shapes they cannot vectorize. Predicate nodes
+/// (comparisons, AND/OR/NOT, BETWEEN, IN, LIKE) evaluate to Int 0/1.
+[[nodiscard]] Value eval_value(const Expr& e, const Batch& b, std::size_t row);
+
+/// Row-at-a-time *predicate* evaluation (old-dialect NULL semantics:
+/// `= NULL` matches NULL cells, `!= NULL` matches non-NULL, ordered
+/// comparisons never match NULL).
+[[nodiscard]] bool eval_pred(const Expr& e, const Batch& b, std::size_t row);
+
+/// Result type of a resolved expression given its input batch column types
+/// (planner-side: uses a schema of DataTypes indexed like Expr::col).
+[[nodiscard]] DataType infer_expr_type(const Expr& e,
+                                       const std::vector<DataType>& cols);
+
+/// Compact rendering for EXPLAIN output and default output-column names.
+[[nodiscard]] std::string render_expr(const Expr& e);
+
+/// Default output-column name for a select item without an AS alias
+/// (matches the old dialect: count, min_<col>, avg_<col>, ...).
+[[nodiscard]] std::string default_name(const Expr& e);
+
+}  // namespace mscope::db::sqlengine

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/sqlengine/ast.h"
+#include "db/sqlengine/vec.h"
+
+namespace mscope::db::sqlengine {
+
+/// A compiled predicate: evaluates over a whole batch at once, writing one
+/// byte per physical row. The planner compiles WHERE conjuncts into kernels
+/// and pushes table-local ones into the scan, where they also drive zone-map
+/// segment skipping and TimeIndex row-bound pruning; anything the compiler
+/// cannot vectorize falls back to a row-at-a-time kernel over the same
+/// interface, so pushdown never loses generality.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// mask[i] = 1 iff physical row i matches (mask is resized/overwritten).
+  virtual void eval(const Batch& b, std::vector<std::uint8_t>& mask) const = 0;
+
+  /// Zone-map pruning: false when *no* row of the sealed segment can match.
+  /// Conservative by one unit to cover the zone map's llround semantics
+  /// against this engine's exact double comparisons.
+  [[nodiscard]] virtual bool may_match(const segment::Segment&) const {
+    return true;
+  }
+
+  /// Candidate as_int range for a TimeIndex probe on `index_col()`; false
+  /// when the kernel cannot bound its matches. [lo, hi) half-open,
+  /// conservative (a row outside the range can never match).
+  virtual bool index_range(std::int64_t&, std::int64_t&) const {
+    return false;
+  }
+
+  /// Original table column the index/zone hints refer to (-1: none).
+  [[nodiscard]] virtual int index_col() const { return -1; }
+
+  /// One-line rendering for EXPLAIN.
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+using KernelPtr = std::unique_ptr<Kernel>;
+
+/// Compiles a resolved predicate expression into a kernel. `orig_cols` maps
+/// batch-local column index -> original table column (for zone/index hints);
+/// empty when the batch is not a base-table scan. The expression must
+/// outlive the kernel (row-wise fallbacks keep a pointer into it).
+[[nodiscard]] KernelPtr compile_kernel(const Expr& e,
+                                       const std::vector<int>& orig_cols);
+
+}  // namespace mscope::db::sqlengine

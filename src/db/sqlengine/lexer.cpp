@@ -1,0 +1,122 @@
+#include "db/sqlengine/lexer.h"
+
+namespace mscope::db::sqlengine {
+
+Lexer::Lexer(std::string_view sql) : s_(sql) {
+  ahead_[0] = scan();
+  ahead_[1] = scan();
+}
+
+Token Lexer::take() {
+  Token t = ahead_[0];
+  ahead_[0] = ahead_[1];
+  ahead_[1] = scan();
+  return t;
+}
+
+Token Lexer::scan() {
+  while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) {
+    ++i_;
+  }
+  Token t;
+  t.pos = i_;
+  t.begin = t.end = s_.data() + i_;
+  if (i_ >= s_.size()) return t;  // kEnd
+
+  const char c = s_[i_];
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    const std::size_t start = i_;
+    while (i_ < s_.size() && (std::isalnum(static_cast<unsigned char>(s_[i_])) ||
+                              s_[i_] == '_')) {
+      ++i_;
+    }
+    t.kind = TokKind::kIdent;
+    t.begin = s_.data() + start;
+    t.end = s_.data() + i_;
+    return t;
+  }
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && i_ + 1 < s_.size() &&
+       std::isdigit(static_cast<unsigned char>(s_[i_ + 1])))) {
+    const std::size_t start = i_;
+    ++i_;
+    while (i_ < s_.size()) {
+      const char d = s_[i_];
+      if (std::isdigit(static_cast<unsigned char>(d)) || d == '.' ||
+          d == 'e' || d == 'E') {
+        ++i_;
+        continue;
+      }
+      // Exponent signs are part of the number only right after e/E.
+      if ((d == '+' || d == '-') &&
+          (s_[i_ - 1] == 'e' || s_[i_ - 1] == 'E')) {
+        ++i_;
+        continue;
+      }
+      break;
+    }
+    t.kind = TokKind::kNumber;
+    t.begin = s_.data() + start;
+    t.end = s_.data() + i_;
+    return t;
+  }
+  if (c == '\'') {
+    const std::size_t start = ++i_;  // span excludes the quotes
+    for (;;) {
+      if (i_ >= s_.size()) {
+        throw SqlError("unterminated string literal", t.pos);
+      }
+      if (s_[i_] == '\'') {
+        if (i_ + 1 < s_.size() && s_[i_ + 1] == '\'') {
+          i_ += 2;  // escaped quote, keep scanning
+          continue;
+        }
+        break;
+      }
+      ++i_;
+    }
+    t.kind = TokKind::kString;
+    t.begin = s_.data() + start;
+    t.end = s_.data() + i_;
+    ++i_;  // closing quote
+    return t;
+  }
+  // Two-character operators first.
+  static constexpr std::string_view kTwo[] = {"!=", "<>", "<=", ">="};
+  for (const std::string_view op : kTwo) {
+    if (s_.substr(i_, 2) == op) {
+      t.kind = TokKind::kOp;
+      t.begin = s_.data() + i_;
+      t.end = t.begin + 2;
+      i_ += 2;
+      return t;
+    }
+  }
+  if (c == '=' || c == '<' || c == '>' || c == '+' || c == '-' || c == '/') {
+    t.kind = TokKind::kOp;
+    t.begin = s_.data() + i_;
+    t.end = t.begin + 1;
+    ++i_;
+    return t;
+  }
+  if (c == ',' || c == '(' || c == ')' || c == '*' || c == '.') {
+    t.kind = TokKind::kPunct;
+    t.begin = s_.data() + i_;
+    t.end = t.begin + 1;
+    ++i_;
+    return t;
+  }
+  throw SqlError(std::string("unexpected '") + c + "'", i_);
+}
+
+std::string decode_string(const Token& t) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(t.end - t.begin));
+  for (const char* p = t.begin; p != t.end; ++p) {
+    out += *p;
+    if (*p == '\'') ++p;  // collapse the '' escape (second quote skipped)
+  }
+  return out;
+}
+
+}  // namespace mscope::db::sqlengine

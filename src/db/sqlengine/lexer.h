@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string_view>
+
+#include "db/sqlengine/token.h"
+
+namespace mscope::db::sqlengine {
+
+/// Zero-copy SQL lexer: tokens are pointer pairs into the query text, which
+/// must outlive the lexer and every token it hands out. Two tokens of
+/// lookahead (peek(0)/peek(1)) — enough to tell `MIN(` from a column named
+/// `min`, and `t.col` from a bare identifier.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view sql);
+
+  /// k-th upcoming token without consuming it (k in {0, 1}).
+  [[nodiscard]] const Token& peek(std::size_t k = 0) const {
+    return ahead_[k];
+  }
+
+  /// Consumes and returns the current token.
+  Token take();
+
+  /// Throws SqlError anchored at the current token.
+  [[noreturn]] void fail(const std::string& why) const {
+    throw SqlError(why, ahead_[0].pos);
+  }
+
+  [[nodiscard]] std::string_view input() const { return s_; }
+
+ private:
+  Token scan();
+
+  std::string_view s_;
+  std::size_t i_ = 0;
+  Token ahead_[2];
+};
+
+/// Unescapes a kString token ('' -> '). Copies only the payload.
+[[nodiscard]] std::string decode_string(const Token& t);
+
+}  // namespace mscope::db::sqlengine

@@ -1,0 +1,417 @@
+#include "db/sqlengine/parser.h"
+
+#include "db/sqlengine/lexer.h"
+#include "util/strings.h"
+
+namespace mscope::db::sqlengine {
+
+namespace {
+
+bool is_agg_name(std::string_view upper) {
+  return upper == "COUNT" || upper == "MIN" || upper == "MAX" ||
+         upper == "AVG" || upper == "SUM";
+}
+
+/// Keywords that terminate an expression / select item — an identifier in
+/// expression position that matches one of these is never a column name.
+bool is_clause_keyword(const Token& t) {
+  static constexpr std::string_view kClauses[] = {
+      "FROM", "WHERE", "GROUP",  "ORDER", "LIMIT", "JOIN", "ON",
+      "AND",  "OR",    "NOT",    "AS",    "ASC",   "DESC", "BY",
+      "IN",   "LIKE",  "BETWEEN"};
+  for (const std::string_view kw : kClauses) {
+    if (t.is_kw(kw)) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view sql) : lex_(sql) {}
+
+  SelectStmt parse_statement() {
+    SelectStmt st;
+    if (lex_.peek().is_kw("EXPLAIN")) {
+      st.explain = true;
+      lex_.take();
+    }
+    expect_kw("SELECT", "expected SELECT");
+
+    // Select list.
+    for (;;) {
+      SelectItem item;
+      if (lex_.peek().is("*")) {
+        item.star = true;
+        item.expr = nullptr;
+        lex_.take();
+      } else {
+        item.expr = parse_expr();
+        if (lex_.peek().is_kw("AS")) {
+          lex_.take();
+          Token a = lex_.take();
+          if (a.kind != TokKind::kIdent) lex_.fail("expected an alias name");
+          item.alias = std::string(a.text());
+        }
+      }
+      st.items.push_back(std::move(item));
+      if (lex_.peek().is(",")) {
+        lex_.take();
+        continue;
+      }
+      break;
+    }
+
+    expect_kw("FROM", "expected FROM");
+    st.from = parse_table_ref();
+
+    while (lex_.peek().is_kw("JOIN")) {
+      lex_.take();
+      JoinClause j;
+      j.table = parse_table_ref();
+      expect_kw("ON", "expected ON after JOIN table");
+      j.on = parse_expr();
+      st.joins.push_back(std::move(j));
+    }
+
+    if (lex_.peek().is_kw("WHERE")) {
+      lex_.take();
+      st.where = parse_expr();
+    }
+
+    if (lex_.peek().is_kw("GROUP")) {
+      lex_.take();
+      expect_kw("BY", "expected BY");
+      for (;;) {
+        st.group_by.push_back(parse_expr());
+        if (lex_.peek().is(",")) {
+          lex_.take();
+          continue;
+        }
+        break;
+      }
+    }
+
+    if (lex_.peek().is_kw("ORDER")) {
+      lex_.take();
+      expect_kw("BY", "expected BY");
+      for (;;) {
+        OrderKey k;
+        k.expr = parse_expr();
+        if (lex_.peek().is_kw("ASC")) {
+          lex_.take();
+        } else if (lex_.peek().is_kw("DESC")) {
+          lex_.take();
+          k.asc = false;
+        }
+        st.order_by.push_back(std::move(k));
+        if (lex_.peek().is(",")) {
+          lex_.take();
+          continue;
+        }
+        break;
+      }
+    }
+
+    if (lex_.peek().is_kw("LIMIT")) {
+      lex_.take();
+      Token n = lex_.take();
+      const auto v = n.kind == TokKind::kNumber
+                         ? util::parse_int(n.text())
+                         : std::nullopt;
+      if (!v || *v < 0) {
+        throw SqlError("LIMIT expects a non-negative integer", n.pos);
+      }
+      st.limit = static_cast<std::size_t>(*v);
+    }
+
+    if (lex_.peek().kind != TokKind::kEnd) lex_.fail("trailing input");
+    return st;
+  }
+
+ private:
+  void expect_kw(std::string_view kw, const std::string& why) {
+    if (!lex_.peek().is_kw(kw)) lex_.fail(why);
+    lex_.take();
+  }
+
+  ExprPtr make(ExprKind kind, std::size_t pos) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->pos = pos;
+    return e;
+  }
+
+  TableRef parse_table_ref() {
+    Token t = lex_.take();
+    if (t.kind != TokKind::kIdent || is_clause_keyword(t)) {
+      throw SqlError("expected a table name", t.pos);
+    }
+    TableRef ref;
+    ref.table = std::string(t.text());
+    ref.pos = t.pos;
+    if (lex_.peek().is_kw("AS")) {
+      lex_.take();
+      Token a = lex_.take();
+      if (a.kind != TokKind::kIdent) lex_.fail("expected an alias name");
+      ref.alias = std::string(a.text());
+    }
+    return ref;
+  }
+
+  // expr := or_expr
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr e = parse_and();
+    while (lex_.peek().is_kw("OR")) {
+      const std::size_t pos = lex_.take().pos;
+      ExprPtr r = parse_and();
+      ExprPtr n = make(ExprKind::kBinary, pos);
+      n->op = "OR";
+      n->lhs = std::move(e);
+      n->rhs = std::move(r);
+      e = std::move(n);
+    }
+    return e;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr e = parse_not();
+    while (lex_.peek().is_kw("AND")) {
+      const std::size_t pos = lex_.take().pos;
+      ExprPtr r = parse_not();
+      ExprPtr n = make(ExprKind::kBinary, pos);
+      n->op = "AND";
+      n->lhs = std::move(e);
+      n->rhs = std::move(r);
+      e = std::move(n);
+    }
+    return e;
+  }
+
+  ExprPtr parse_not() {
+    if (lex_.peek().is_kw("NOT")) {
+      const std::size_t pos = lex_.take().pos;
+      ExprPtr n = make(ExprKind::kUnary, pos);
+      n->op = "NOT";
+      n->lhs = parse_not();
+      return n;
+    }
+    return parse_comparison();
+  }
+
+  ExprPtr parse_comparison() {
+    ExprPtr e = parse_additive();
+
+    bool negated = false;
+    std::size_t not_pos = 0;
+    if (lex_.peek().is_kw("NOT") &&
+        (lex_.peek(1).is_kw("BETWEEN") || lex_.peek(1).is_kw("IN") ||
+         lex_.peek(1).is_kw("LIKE"))) {
+      negated = true;
+      not_pos = lex_.take().pos;
+      (void)not_pos;
+    }
+
+    if (lex_.peek().is_kw("BETWEEN")) {
+      const std::size_t pos = lex_.take().pos;
+      ExprPtr lo = parse_additive();
+      expect_kw("AND", "expected AND in BETWEEN");
+      ExprPtr hi = parse_additive();
+      ExprPtr n = make(ExprKind::kBetween, pos);
+      n->lhs = std::move(e);
+      n->args.push_back(std::move(lo));
+      n->args.push_back(std::move(hi));
+      n->negated = negated;
+      return n;
+    }
+    if (lex_.peek().is_kw("IN")) {
+      const std::size_t pos = lex_.take().pos;
+      if (!lex_.peek().is("(")) lex_.fail("expected ( after IN");
+      lex_.take();
+      ExprPtr n = make(ExprKind::kIn, pos);
+      n->lhs = std::move(e);
+      n->negated = negated;
+      for (;;) {
+        n->args.push_back(parse_expr());
+        if (lex_.peek().is(",")) {
+          lex_.take();
+          continue;
+        }
+        break;
+      }
+      if (!lex_.peek().is(")")) lex_.fail("expected )");
+      lex_.take();
+      return n;
+    }
+    if (lex_.peek().is_kw("LIKE")) {
+      const std::size_t pos = lex_.take().pos;
+      Token pat = lex_.take();
+      if (pat.kind != TokKind::kString) {
+        throw SqlError("LIKE expects a string pattern", pat.pos);
+      }
+      ExprPtr n = make(ExprKind::kLike, pos);
+      n->lhs = std::move(e);
+      n->pattern = decode_string(pat);
+      n->negated = negated;
+      return n;
+    }
+    if (negated) lex_.fail("expected BETWEEN, IN or LIKE after NOT");
+
+    const Token& op = lex_.peek();
+    if (op.kind == TokKind::kOp &&
+        (op.is("=") || op.is("!=") || op.is("<>") || op.is("<") ||
+         op.is("<=") || op.is(">") || op.is(">="))) {
+      Token t = lex_.take();
+      ExprPtr r = parse_additive();
+      ExprPtr n = make(ExprKind::kBinary, t.pos);
+      n->op = t.is("<>") ? "!=" : std::string(t.text());
+      n->lhs = std::move(e);
+      n->rhs = std::move(r);
+      return n;
+    }
+    return e;
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr e = parse_multiplicative();
+    for (;;) {
+      const Token& t = lex_.peek();
+      if (!(t.is("+") || t.is("-"))) break;
+      Token op = lex_.take();
+      ExprPtr r = parse_multiplicative();
+      ExprPtr n = make(ExprKind::kBinary, op.pos);
+      n->op = std::string(op.text());
+      n->lhs = std::move(e);
+      n->rhs = std::move(r);
+      e = std::move(n);
+    }
+    return e;
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr e = parse_unary();
+    for (;;) {
+      if (!lex_.peek().is("/")) break;
+      Token op = lex_.take();
+      ExprPtr r = parse_unary();
+      ExprPtr n = make(ExprKind::kBinary, op.pos);
+      n->op = "/";
+      n->lhs = std::move(e);
+      n->rhs = std::move(r);
+      e = std::move(n);
+    }
+    return e;
+  }
+
+  ExprPtr parse_unary() {
+    if (lex_.peek().is("-")) {
+      const std::size_t pos = lex_.take().pos;
+      ExprPtr n = make(ExprKind::kUnary, pos);
+      n->op = "-";
+      n->lhs = parse_unary();
+      return n;
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const Token& t = lex_.peek();
+    if (t.kind == TokKind::kNumber) {
+      Token n = lex_.take();
+      ExprPtr e = make(ExprKind::kLiteral, n.pos);
+      if (const auto i = util::parse_int(n.text())) {
+        e->literal = Value{*i};
+      } else if (const auto d = util::parse_double(n.text())) {
+        e->literal = Value{*d};
+      } else {
+        throw SqlError("bad numeric literal", n.pos);
+      }
+      return e;
+    }
+    if (t.kind == TokKind::kString) {
+      Token s = lex_.take();
+      ExprPtr e = make(ExprKind::kLiteral, s.pos);
+      e->literal = Value{TextRef{decode_string(s)}};
+      return e;
+    }
+    if (t.is("(")) {
+      lex_.take();
+      ExprPtr e = parse_expr();
+      if (!lex_.peek().is(")")) lex_.fail("expected )");
+      lex_.take();
+      return e;
+    }
+    if (t.kind == TokKind::kIdent) {
+      if (t.is_kw("NULL")) {
+        Token n = lex_.take();
+        ExprPtr e = make(ExprKind::kLiteral, n.pos);
+        e->literal = Value{};
+        return e;
+      }
+      if (is_clause_keyword(t)) {
+        lex_.fail("expected an expression");
+      }
+      // Function call or aggregate?
+      if (lex_.peek(1).is("(")) {
+        Token name = lex_.take();
+        const std::string upper = name.upper();
+        lex_.take();  // (
+        if (is_agg_name(upper)) {
+          ExprPtr e = make(ExprKind::kAgg, name.pos);
+          e->func = upper;
+          if (lex_.peek().is("*")) {
+            if (upper != "COUNT") {
+              throw SqlError("only COUNT accepts *", lex_.peek().pos);
+            }
+            lex_.take();
+          } else {
+            e->args.push_back(parse_expr());
+          }
+          if (!lex_.peek().is(")")) lex_.fail("expected )");
+          lex_.take();
+          return e;
+        }
+        ExprPtr e = make(ExprKind::kCall, name.pos);
+        e->func = upper;
+        if (!lex_.peek().is(")")) {
+          for (;;) {
+            e->args.push_back(parse_expr());
+            if (lex_.peek().is(",")) {
+              lex_.take();
+              continue;
+            }
+            break;
+          }
+        }
+        if (!lex_.peek().is(")")) lex_.fail("expected )");
+        lex_.take();
+        return e;
+      }
+      // Column reference, possibly qualified.
+      Token first = lex_.take();
+      ExprPtr e = make(ExprKind::kColumn, first.pos);
+      if (lex_.peek().is(".")) {
+        lex_.take();
+        Token col = lex_.take();
+        if (col.kind != TokKind::kIdent) lex_.fail("expected a column name");
+        e->table = std::string(first.text());
+        e->column = std::string(col.text());
+      } else {
+        e->column = std::string(first.text());
+      }
+      return e;
+    }
+    lex_.fail("expected an expression");
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+SelectStmt parse(std::string_view sql) {
+  return Parser(sql).parse_statement();
+}
+
+}  // namespace mscope::db::sqlengine

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string_view>
+
+#include "db/sqlengine/ast.h"
+
+namespace mscope::db::sqlengine {
+
+/// Recursive-descent parser for the mScopeSQL dialect:
+///
+///   [EXPLAIN] SELECT select_list FROM table [AS alias]
+///     [JOIN table [AS alias] ON join_cond]...
+///     [WHERE expr]
+///     [GROUP BY expr [, expr]...]
+///     [ORDER BY expr [ASC|DESC] [, ...]]
+///     [LIMIT n]
+///
+///   select_list := '*' | item [, item]...
+///   item        := expr [AS alias]
+///   join_cond   := col = col | ALIGN(col, col, tolerance)
+///   expr        := OR / AND / NOT over comparisons; comparisons are
+///                  =, !=, <>, <, <=, >, >=, BETWEEN..AND, IN (...), LIKE
+///                  over additive (+ -) and multiplicative (/) arithmetic;
+///                  primaries are literals, [table.]column, BUCKET(col, n),
+///                  aggregates (COUNT/MIN/MAX/AVG/SUM) and ( expr ).
+///
+/// Throws SqlError (a std::invalid_argument carrying the byte position) on
+/// any syntax problem. Name resolution is the planner's job.
+[[nodiscard]] SelectStmt parse(std::string_view sql);
+
+}  // namespace mscope::db::sqlengine

@@ -1,0 +1,688 @@
+#include "db/sqlengine/plan.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "db/sqlengine/expr_eval.h"
+#include "db/sqlengine/token.h"
+
+namespace mscope::db::sqlengine {
+
+namespace {
+
+bool contains_agg(const Expr& e) {
+  if (e.kind == ExprKind::kAgg) return true;
+  if (e.lhs && contains_agg(*e.lhs)) return true;
+  if (e.rhs && contains_agg(*e.rhs)) return true;
+  for (const auto& a : e.args) {
+    if (a && contains_agg(*a)) return true;
+  }
+  return false;
+}
+
+/// Splits an AND tree into its conjuncts (left-deep from the parser).
+void split_conjuncts(Expr& e, std::vector<Expr*>& out) {
+  if (e.kind == ExprKind::kBinary && e.op == "AND") {
+    split_conjuncts(*e.lhs, out);
+    split_conjuncts(*e.rhs, out);
+    return;
+  }
+  out.push_back(&e);
+}
+
+class Planner {
+ public:
+  Planner(const Database& db, Plan& plan)
+      : db_(db), plan_(plan), st_(plan.stmt) {}
+
+  void run() {
+    resolve_tables();
+    expand_stars();
+
+    has_agg_ = !st_.group_by.empty();
+    for (const auto& item : st_.items) {
+      if (item.expr && contains_agg(*item.expr)) has_agg_ = true;
+    }
+
+    bind_clauses();
+    fold_where();
+    classify_where();
+    collect_needed();
+    build_combined_schema();
+    assign_columns();
+    build_pipeline();
+  }
+
+ private:
+  struct TableSlot {
+    const Table* table = nullptr;
+    std::string label;
+    std::size_t pos = 0;  ///< byte offset of the table ref (errors)
+    std::set<std::size_t> needed;
+    std::vector<std::size_t> cols;  ///< sorted needed set
+    std::vector<Expr*> pushed;      ///< conjuncts pushed into the scan
+  };
+
+  // ---- tables ---------------------------------------------------------------
+
+  void resolve_tables() {
+    add_table(st_.from);
+    for (const auto& j : st_.joins) add_table(j.table);
+    qualify_ = tables_.size() > 1;
+  }
+
+  void add_table(const TableRef& ref) {
+    TableSlot slot;
+    slot.table = &db_.get(ref.table);  // throws std::out_of_range if absent
+    slot.label = ref.alias.empty() ? ref.table : ref.alias;
+    slot.pos = ref.pos;
+    for (const auto& t : tables_) {
+      if (t.label == slot.label) {
+        throw SqlError("duplicate table name or alias '" + slot.label + "'",
+                       ref.pos);
+      }
+    }
+    tables_.push_back(std::move(slot));
+  }
+
+  // ---- star expansion -------------------------------------------------------
+
+  void expand_stars() {
+    std::vector<SelectItem> items;
+    for (auto& item : st_.items) {
+      if (!item.star) {
+        items.push_back(std::move(item));
+        continue;
+      }
+      for (std::size_t t = 0; t < tables_.size(); ++t) {
+        const Schema& schema = tables_[t].table->schema();
+        for (std::size_t c = 0; c < schema.size(); ++c) {
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kColumn;
+          if (qualify_) e->table = tables_[t].label;
+          e->column = schema[c].name;
+          SelectItem out;
+          out.expr = std::move(e);
+          items.push_back(std::move(out));
+        }
+      }
+    }
+    st_.items = std::move(items);
+  }
+
+  // ---- name resolution ------------------------------------------------------
+
+  [[nodiscard]] std::size_t table_of_label(const std::string& label,
+                                           std::size_t pos) const {
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      if (tables_[t].label == label) return t;
+    }
+    throw SqlError("unknown table or alias '" + label + "'", pos);
+  }
+
+  void bind_column(Expr& e) {
+    if (!e.table.empty()) {
+      const std::size_t t = table_of_label(e.table, e.pos);
+      const auto c = tables_[t].table->column_index(e.column);
+      if (!c) {
+        throw std::out_of_range("unknown column: " + e.table + "." + e.column);
+      }
+      e.tbl = static_cast<int>(t);
+      e.orig = static_cast<int>(*c);
+      return;
+    }
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      if (const auto c = tables_[t].table->column_index(e.column)) {
+        e.tbl = static_cast<int>(t);
+        e.orig = static_cast<int>(*c);
+        return;
+      }
+    }
+    throw std::out_of_range("unknown column: " + e.column);
+  }
+
+  /// Binds column refs and validates calls, recursively.
+  void bind(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kColumn:
+        bind_column(e);
+        return;
+      case ExprKind::kCall: {
+        if (e.func == "BUCKET") {
+          if (e.args.size() != 2 ||
+              e.args[1]->kind != ExprKind::kLiteral ||
+              !as_int(e.args[1]->literal) || *as_int(e.args[1]->literal) <= 0) {
+            throw SqlError(
+                "BUCKET expects (expr, width) with a positive integer width",
+                e.pos);
+          }
+          bind(*e.args[0]);
+          return;
+        }
+        if (e.func == "ALIGN") {
+          throw SqlError("ALIGN(...) is only valid as a JOIN condition",
+                         e.pos);
+        }
+        throw SqlError("unknown function " + e.func, e.pos);
+      }
+      default:
+        if (e.lhs) bind(*e.lhs);
+        if (e.rhs) bind(*e.rhs);
+        for (auto& a : e.args) {
+          if (a) bind(*a);
+        }
+        return;
+    }
+  }
+
+  void bind_clauses() {
+    for (auto& item : st_.items) bind(*item.expr);
+    if (st_.where) {
+      if (contains_agg(*st_.where)) {
+        throw SqlError("aggregates are not allowed in WHERE", st_.where->pos);
+      }
+      bind(*st_.where);
+    }
+    for (auto& g : st_.group_by) {
+      if (contains_agg(*g)) {
+        throw SqlError("aggregates are not allowed in GROUP BY", g->pos);
+      }
+      bind(*g);
+    }
+    for (std::size_t j = 0; j < st_.joins.size(); ++j) {
+      bind_join(j, *st_.joins[j].on);
+    }
+    if (!has_agg_) {
+      for (auto& k : st_.order_by) order_exprs_.push_back(bind_order(*k.expr));
+    }
+  }
+
+  /// Non-aggregated ORDER BY: a bare name that is no table's column but
+  /// matches a select alias orders by that item's expression.
+  Expr* bind_order(Expr& e) {
+    if (e.kind == ExprKind::kColumn && e.table.empty()) {
+      bool exists = false;
+      for (const auto& t : tables_) {
+        if (t.table->column_index(e.column)) {
+          exists = true;
+          break;
+        }
+      }
+      if (!exists) {
+        for (auto& item : st_.items) {
+          if (item.alias == e.column) return item.expr.get();
+        }
+      }
+    }
+    if (contains_agg(e)) {
+      throw SqlError("aggregates in ORDER BY require GROUP BY", e.pos);
+    }
+    bind(e);
+    return &e;
+  }
+
+  struct JoinKeys {
+    bool align = false;
+    Expr* left = nullptr;   ///< column on the already-joined side
+    Expr* right = nullptr;  ///< column on the newly joined table
+    std::int64_t tol = 0;
+  };
+
+  void bind_join(std::size_t j, Expr& on) {
+    JoinKeys keys;
+    const std::size_t new_tbl = j + 1;
+    if (on.kind == ExprKind::kBinary && on.op == "=") {
+      bind(*on.lhs);
+      bind(*on.rhs);
+      if (on.lhs->kind != ExprKind::kColumn ||
+          on.rhs->kind != ExprKind::kColumn) {
+        throw SqlError(
+            "JOIN ... ON expects column = column or ALIGN(l.ts, r.ts, tol)",
+            on.pos);
+      }
+      keys.left = on.lhs.get();
+      keys.right = on.rhs.get();
+    } else if (on.kind == ExprKind::kCall && on.func == "ALIGN") {
+      if (on.args.size() != 3 || on.args[2]->kind != ExprKind::kLiteral ||
+          !as_int(on.args[2]->literal) || *as_int(on.args[2]->literal) < 0) {
+        throw SqlError(
+            "ALIGN expects (left.ts, right.ts, tolerance) with a "
+            "non-negative integer tolerance",
+            on.pos);
+      }
+      bind(*on.args[0]);
+      bind(*on.args[1]);
+      if (on.args[0]->kind != ExprKind::kColumn ||
+          on.args[1]->kind != ExprKind::kColumn) {
+        throw SqlError("ALIGN arguments must be columns", on.pos);
+      }
+      keys.align = true;
+      keys.tol = *as_int(on.args[2]->literal);
+      keys.left = on.args[0].get();
+      keys.right = on.args[1].get();
+    } else {
+      throw SqlError(
+          "JOIN ... ON expects column = column or ALIGN(l.ts, r.ts, tol)",
+          on.pos);
+    }
+    // Orient: one side must be the newly joined table, the other an
+    // earlier one.
+    if (static_cast<std::size_t>(keys.left->tbl) == new_tbl) {
+      std::swap(keys.left, keys.right);
+    }
+    if (static_cast<std::size_t>(keys.right->tbl) != new_tbl ||
+        static_cast<std::size_t>(keys.left->tbl) >= new_tbl) {
+      throw SqlError(
+          "join condition must relate the joined table to an earlier one",
+          on.pos);
+    }
+    join_keys_.push_back(keys);
+  }
+
+  // ---- constant folding -----------------------------------------------------
+
+  /// Folds literal-only arithmetic bottom-up (`ts < 1000 + 500` pushes as
+  /// `ts < 1500`, which the zone/index hints can use).
+  void fold(ExprPtr& e) {
+    if (!e) return;
+    fold(e->lhs);
+    fold(e->rhs);
+    for (auto& a : e->args) fold(a);
+    const bool arith =
+        (e->kind == ExprKind::kBinary &&
+         (e->op == "+" || e->op == "-" || e->op == "/")) ||
+        (e->kind == ExprKind::kUnary && e->op == "-");
+    if (!arith) return;
+    if (e->lhs->kind != ExprKind::kLiteral) return;
+    if (e->kind == ExprKind::kBinary && e->rhs->kind != ExprKind::kLiteral) {
+      return;
+    }
+    static const Batch kEmpty;
+    Value v = eval_value(*e, kEmpty, 0);
+    auto lit = std::make_unique<Expr>();
+    lit->kind = ExprKind::kLiteral;
+    lit->pos = e->pos;
+    lit->literal = std::move(v);
+    e = std::move(lit);
+  }
+
+  void fold_where() {
+    if (!st_.where) return;
+    // Fold inside the tree (the conjunct structure itself is preserved).
+    fold(st_.where);
+  }
+
+  // ---- WHERE classification -------------------------------------------------
+
+  void tables_referenced(const Expr& e, std::set<int>& out) const {
+    if (e.kind == ExprKind::kColumn) out.insert(e.tbl);
+    if (e.lhs) tables_referenced(*e.lhs, out);
+    if (e.rhs) tables_referenced(*e.rhs, out);
+    for (const auto& a : e.args) {
+      if (a) tables_referenced(*a, out);
+    }
+  }
+
+  void classify_where() {
+    if (!st_.where) return;
+    std::vector<Expr*> conjuncts;
+    split_conjuncts(*st_.where, conjuncts);
+    for (Expr* c : conjuncts) {
+      std::set<int> tbls;
+      tables_referenced(*c, tbls);
+      if (tbls.size() <= 1) {
+        const std::size_t t =
+            tbls.empty() ? 0 : static_cast<std::size_t>(*tbls.begin());
+        tables_[t].pushed.push_back(c);
+      } else {
+        residual_.push_back(c);
+      }
+    }
+  }
+
+  // ---- projection pruning ---------------------------------------------------
+
+  void collect(const Expr& e) {
+    if (e.kind == ExprKind::kColumn && e.tbl >= 0) {
+      tables_[static_cast<std::size_t>(e.tbl)].needed.insert(
+          static_cast<std::size_t>(e.orig));
+    }
+    if (e.lhs) collect(*e.lhs);
+    if (e.rhs) collect(*e.rhs);
+    for (const auto& a : e.args) {
+      if (a) collect(*a);
+    }
+  }
+
+  void collect_needed() {
+    for (const auto& item : st_.items) collect(*item.expr);
+    if (st_.where) collect(*st_.where);
+    for (const auto& g : st_.group_by) collect(*g);
+    for (const Expr* e : order_exprs_) collect(*e);
+    for (const auto& k : join_keys_) {
+      collect(*k.left);
+      collect(*k.right);
+    }
+    for (auto& t : tables_) {
+      t.cols.assign(t.needed.begin(), t.needed.end());
+    }
+  }
+
+  // ---- combined (post-join) schema ------------------------------------------
+
+  void build_combined_schema() {
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      for (const std::size_t c : tables_[t].cols) {
+        const ColumnDef& def = tables_[t].table->schema()[c];
+        combined_pos_[{static_cast<int>(t), static_cast<int>(c)}] =
+            static_cast<int>(combined_names_.size());
+        combined_names_.push_back(
+            qualify_ ? tables_[t].label + "." + def.name : def.name);
+        combined_types_.push_back(def.type);
+      }
+    }
+  }
+
+  [[nodiscard]] int combined_of(const Expr& e) const {
+    return combined_pos_.at({e.tbl, e.orig});
+  }
+
+  /// Assigns batch-local column slots for expressions that run over the
+  /// combined (post-join) schema.
+  void assign_combined(Expr& e) {
+    if (e.kind == ExprKind::kColumn) e.col = combined_of(e);
+    if (e.lhs) assign_combined(*e.lhs);
+    if (e.rhs) assign_combined(*e.rhs);
+    for (auto& a : e.args) {
+      if (a) assign_combined(*a);
+    }
+  }
+
+  /// Assigns slots for a conjunct pushed into table t's scan (batch = that
+  /// scan's pruned column set).
+  void assign_local(Expr& e, const TableSlot& slot) {
+    if (e.kind == ExprKind::kColumn) {
+      const auto it = std::find(slot.cols.begin(), slot.cols.end(),
+                                static_cast<std::size_t>(e.orig));
+      e.col = static_cast<int>(it - slot.cols.begin());
+    }
+    if (e.lhs) assign_local(*e.lhs, slot);
+    if (e.rhs) assign_local(*e.rhs, slot);
+    for (auto& a : e.args) {
+      if (a) assign_local(*a, slot);
+    }
+  }
+
+  void assign_columns() {
+    for (auto& t : tables_) {
+      for (Expr* c : t.pushed) assign_local(*c, t);
+    }
+    for (auto& item : st_.items) assign_combined(*item.expr);
+    for (Expr* c : residual_) assign_combined(*c);
+    for (auto& g : st_.group_by) assign_combined(*g);
+    for (Expr* e : order_exprs_) assign_combined(*e);
+    // Join keys keep (tbl, orig); the join operators take integer slots
+    // computed in build_pipeline.
+  }
+
+  // ---- physical plan --------------------------------------------------------
+
+  OpPtr make_scan(std::size_t t) {
+    TableSlot& slot = tables_[t];
+    std::vector<int> orig_cols(slot.cols.begin(), slot.cols.end());
+    std::vector<KernelPtr> kernels;
+    for (Expr* c : slot.pushed) {
+      kernels.push_back(compile_kernel(*c, orig_cols));
+    }
+    auto scan = std::make_unique<ScanOp>(*slot.table, slot.cols,
+                                         std::move(kernels));
+    for (const std::size_t c : slot.cols) {
+      const ColumnDef& def = slot.table->schema()[c];
+      scan->out_names.push_back(qualify_ ? slot.label + "." + def.name
+                                         : def.name);
+      scan->out_types.push_back(def.type);
+    }
+    return scan;
+  }
+
+  [[nodiscard]] static int local_of(const TableSlot& slot, int orig) {
+    const auto it = std::find(slot.cols.begin(), slot.cols.end(),
+                              static_cast<std::size_t>(orig));
+    return static_cast<int>(it - slot.cols.begin());
+  }
+
+  ExprPtr make_col_ref(int col) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kColumn;
+    e->col = col;
+    return e;
+  }
+
+  void build_pipeline() {
+    OpPtr op = make_scan(0);
+    for (std::size_t j = 0; j < st_.joins.size(); ++j) {
+      OpPtr right = make_scan(j + 1);
+      const JoinKeys& k = join_keys_[j];
+      // Left key: position in the accumulated (prefix of combined) schema;
+      // right key: position in the new scan's local schema.
+      const int lk = combined_of(*k.left);
+      const int rk = local_of(tables_[j + 1], k.right->orig);
+      const std::string desc =
+          render_expr(*k.left) +
+          (k.align ? (" ~ " + render_expr(*k.right) + " tol=" +
+                      std::to_string(k.tol))
+                   : (" = " + render_expr(*k.right)));
+      if (k.align) {
+        op = std::make_unique<AlignJoinOp>(std::move(op), std::move(right),
+                                           lk, rk, k.tol, desc);
+      } else {
+        op = std::make_unique<HashJoinOp>(std::move(op), std::move(right),
+                                          lk, rk, desc);
+      }
+    }
+    for (Expr* c : residual_) {
+      op = std::make_unique<FilterOp>(std::move(op), compile_kernel(*c, {}));
+    }
+
+    if (has_agg_) {
+      build_aggregate(op);
+    } else {
+      build_simple(op);
+    }
+    plan_.root = std::move(op);
+    plan_.explain = st_.explain;
+  }
+
+  /// Non-aggregated tail: Sort -> Limit -> Project.
+  void build_simple(OpPtr& op) {
+    if (!order_exprs_.empty()) {
+      std::vector<const Expr*> keys(order_exprs_.begin(), order_exprs_.end());
+      std::vector<bool> asc;
+      std::string desc;
+      for (std::size_t i = 0; i < st_.order_by.size(); ++i) {
+        asc.push_back(st_.order_by[i].asc);
+        if (i) desc += ", ";
+        desc += render_expr(*order_exprs_[i]);
+        desc += st_.order_by[i].asc ? " asc" : " desc";
+      }
+      op = std::make_unique<SortOp>(std::move(op), std::move(keys),
+                                    std::move(asc), desc);
+    }
+    if (st_.limit) op = std::make_unique<LimitOp>(std::move(op), *st_.limit);
+
+    std::vector<ProjectOp::Item> items;
+    std::vector<std::string> names;
+    std::vector<DataType> types;
+    for (const auto& item : st_.items) {
+      ProjectOp::Item out;
+      std::string name =
+          item.alias.empty() ? default_name(*item.expr) : item.alias;
+      if (item.expr->kind == ExprKind::kColumn) {
+        out.col = item.expr->col;
+        out.type = combined_types_[static_cast<std::size_t>(out.col)];
+        // Unaliased column refs take the combined-schema name, which is
+        // table-qualified under joins — SELECT a.id, b.id must not emit two
+        // columns both named "id".
+        if (item.alias.empty()) {
+          name = combined_names_[static_cast<std::size_t>(out.col)];
+        }
+      } else {
+        out.expr = item.expr.get();
+        out.type = infer_expr_type(*item.expr, combined_types_);
+      }
+      names.push_back(std::move(name));
+      types.push_back(out.type);
+      items.push_back(out);
+    }
+    auto proj = std::make_unique<ProjectOp>(std::move(op), std::move(items));
+    proj->out_names = std::move(names);
+    proj->out_types = std::move(types);
+    op = std::move(proj);
+  }
+
+  /// Aggregated tail: HashAggregate -> Sort -> Limit -> Project, with select
+  /// items rewritten into references into the aggregate's output schema.
+  void build_aggregate(OpPtr& op) {
+    std::vector<const Expr*> keys;
+    std::vector<std::string> key_names;
+    std::vector<DataType> key_types;
+    for (const auto& g : st_.group_by) {
+      keys.push_back(g.get());
+      key_names.push_back(default_name(*g));
+      key_types.push_back(infer_expr_type(*g, combined_types_));
+    }
+
+    std::vector<AggSpec> aggs;
+    std::vector<int> item_pos(st_.items.size(), -1);
+    for (std::size_t i = 0; i < st_.items.size(); ++i) {
+      Expr& e = *st_.items[i].expr;
+      if (e.kind == ExprKind::kAgg) {
+        AggSpec spec;
+        spec.func = e.func;
+        spec.arg = e.args.empty() ? nullptr : e.args[0].get();
+        spec.out_name = default_name(e);
+        item_pos[i] =
+            static_cast<int>(keys.size() + aggs.size());
+        aggs.push_back(std::move(spec));
+        continue;
+      }
+      if (contains_agg(e)) {
+        throw SqlError("aggregates cannot be nested in expressions", e.pos);
+      }
+      // Plain expression: must be (structurally) one of the group keys.
+      const std::string r = render_expr(e);
+      int match = -1;
+      for (std::size_t g = 0; g < keys.size(); ++g) {
+        if (render_expr(*keys[g]) == r) {
+          match = static_cast<int>(g);
+          break;
+        }
+      }
+      if (match < 0) {
+        if (st_.group_by.empty()) {
+          throw SqlError("cannot mix plain columns and aggregates", e.pos);
+        }
+        throw SqlError("'" + r + "' must appear in GROUP BY", e.pos);
+      }
+      item_pos[i] = match;
+    }
+
+    auto agg = std::make_unique<HashAggOp>(std::move(op), std::move(keys),
+                                           std::move(key_names),
+                                           std::move(key_types),
+                                           std::move(aggs));
+    const std::vector<std::string> agg_names = agg->out_names;
+    const std::vector<DataType> agg_types = agg->out_types;
+    op = std::move(agg);
+
+    if (!st_.order_by.empty()) {
+      std::vector<const Expr*> skeys;
+      std::vector<bool> asc;
+      std::string desc;
+      for (std::size_t i = 0; i < st_.order_by.size(); ++i) {
+        const int pos = post_agg_pos(*st_.order_by[i].expr, agg_names,
+                                     item_pos);
+        plan_.extra.push_back(make_col_ref(pos));
+        skeys.push_back(plan_.extra.back().get());
+        asc.push_back(st_.order_by[i].asc);
+        if (i) desc += ", ";
+        desc += agg_names[static_cast<std::size_t>(pos)];
+        desc += st_.order_by[i].asc ? " asc" : " desc";
+      }
+      auto sort = std::make_unique<SortOp>(std::move(op), std::move(skeys),
+                                           std::move(asc), desc);
+      op = std::move(sort);
+    }
+    if (st_.limit) op = std::make_unique<LimitOp>(std::move(op), *st_.limit);
+
+    std::vector<ProjectOp::Item> items;
+    std::vector<std::string> names;
+    std::vector<DataType> types;
+    for (std::size_t i = 0; i < st_.items.size(); ++i) {
+      ProjectOp::Item out;
+      out.col = item_pos[i];
+      out.type = agg_types[static_cast<std::size_t>(out.col)];
+      items.push_back(out);
+      names.push_back(st_.items[i].alias.empty()
+                          ? agg_names[static_cast<std::size_t>(out.col)]
+                          : st_.items[i].alias);
+      types.push_back(out.type);
+    }
+    auto proj = std::make_unique<ProjectOp>(std::move(op), std::move(items));
+    proj->out_names = std::move(names);
+    proj->out_types = std::move(types);
+    op = std::move(proj);
+  }
+
+  /// Resolves an ORDER BY key of a grouped query against the aggregate's
+  /// output: select alias, aggregate output name, or a structural match of
+  /// a group key / aggregate expression.
+  [[nodiscard]] int post_agg_pos(const Expr& e,
+                                 const std::vector<std::string>& agg_names,
+                                 const std::vector<int>& item_pos) const {
+    if (e.kind == ExprKind::kColumn && e.table.empty()) {
+      for (std::size_t i = 0; i < st_.items.size(); ++i) {
+        if (st_.items[i].alias == e.column) return item_pos[i];
+      }
+      for (std::size_t i = 0; i < agg_names.size(); ++i) {
+        if (agg_names[i] == e.column) return static_cast<int>(i);
+      }
+    }
+    const std::string r = render_expr(e);
+    for (std::size_t g = 0; g < st_.group_by.size(); ++g) {
+      if (render_expr(*st_.group_by[g]) == r) return static_cast<int>(g);
+    }
+    for (std::size_t i = 0; i < st_.items.size(); ++i) {
+      if (render_expr(*st_.items[i].expr) == r) return item_pos[i];
+    }
+    throw std::out_of_range("ORDER BY column not in aggregate output: " + r);
+  }
+
+  const Database& db_;
+  Plan& plan_;
+  SelectStmt& st_;
+
+  bool qualify_ = false;
+  bool has_agg_ = false;
+  std::vector<TableSlot> tables_;
+  std::vector<JoinKeys> join_keys_;
+  std::vector<Expr*> residual_;
+  std::vector<Expr*> order_exprs_;
+
+  std::map<std::pair<int, int>, int> combined_pos_;
+  std::vector<std::string> combined_names_;
+  std::vector<DataType> combined_types_;
+};
+
+}  // namespace
+
+Plan build_plan(const Database& db, SelectStmt stmt) {
+  Plan plan;
+  plan.stmt = std::move(stmt);
+  Planner(db, plan).run();
+  return plan;
+}
+
+}  // namespace mscope::db::sqlengine

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mscope::db::sqlengine {
+
+/// Syntax error with the byte offset of the offending token, so front ends
+/// can render a caret-annotated snippet (see error_snippet in engine.h).
+/// Derives from std::invalid_argument: callers of the db::Sql facade keep
+/// catching the same type they always have.
+class SqlError : public std::invalid_argument {
+ public:
+  SqlError(const std::string& why, std::size_t pos)
+      : std::invalid_argument("SQL error at position " + std::to_string(pos) +
+                              ": " + why),
+        pos_(pos) {}
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+ private:
+  std::size_t pos_;
+};
+
+enum class TokKind : std::uint8_t {
+  kEnd,     ///< end of input
+  kIdent,   ///< identifier or keyword
+  kNumber,  ///< unsigned numeric literal (sign is a separate operator token)
+  kString,  ///< '...' literal; the span excludes the quotes, '' stays raw
+  kOp,      ///< comparison or arithmetic operator
+  kPunct,   ///< , ( ) * .
+};
+
+/// A zero-copy token: a [begin, end) pointer pair into the query text (the
+/// RocketJoe token_t idiom). The lexer never builds a std::string — keyword
+/// tests compare case-insensitively in place, and string literals are
+/// unescaped only when the parser turns them into a Value.
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  const char* begin = nullptr;
+  const char* end = nullptr;
+  std::size_t pos = 0;  ///< byte offset of `begin` in the query text
+
+  [[nodiscard]] std::string_view text() const {
+    return {begin, static_cast<std::size_t>(end - begin)};
+  }
+
+  /// Case-insensitive match against an UPPER-CASE keyword (identifiers only).
+  [[nodiscard]] bool is_kw(std::string_view upper_kw) const {
+    if (kind != TokKind::kIdent) return false;
+    const std::string_view t = text();
+    if (t.size() != upper_kw.size()) return false;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(t[i])) != upper_kw[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Exact match for operator / punctuation tokens.
+  [[nodiscard]] bool is(std::string_view s) const {
+    return (kind == TokKind::kOp || kind == TokKind::kPunct) && text() == s;
+  }
+
+  /// Upper-cased copy (for error messages and function-name dispatch).
+  [[nodiscard]] std::string upper() const {
+    std::string out;
+    out.reserve(static_cast<std::size_t>(end - begin));
+    for (const char* p = begin; p != end; ++p) {
+      out += static_cast<char>(std::toupper(static_cast<unsigned char>(*p)));
+    }
+    return out;
+  }
+};
+
+}  // namespace mscope::db::sqlengine

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "db/segment/segment.h"
+#include "db/table.h"
+#include "db/value.h"
+
+namespace mscope::db::sqlengine {
+
+/// The unit of vectorized execution: a typed view over one column of a run
+/// of rows. On the fast path nothing is boxed into db::Value —
+///
+///  - Double columns borrow the sealed chunk's raw double array (zero copy);
+///  - Text columns borrow the sealed chunk's dictionary codes + dictionary
+///    (zero copy; predicates test the handful of dictionary entries once and
+///    then scan 4-byte codes);
+///  - Int columns decode the zigzag-delta varint stream once, sequentially,
+///    into a scratch array owned by the view (one memory-bandwidth pass —
+///    the same work a chunk's for_each does, but reusable by every operator
+///    that touches the column);
+///  - tail rows and computed expressions materialize into owned typed
+///    arrays.
+///
+/// Views borrow from the Table's sealed storage, which outlives the query.
+class ColumnVec {
+ public:
+  [[nodiscard]] DataType type() const { return type_; }
+  [[nodiscard]] std::size_t size() const { return rows_; }
+
+  /// Typed spans (meaningful per type(); empty otherwise).
+  [[nodiscard]] std::span<const std::int64_t> ints() const { return ints_; }
+  [[nodiscard]] std::span<const double> doubles() const { return doubles_; }
+  [[nodiscard]] std::span<const std::uint32_t> codes() const { return codes_; }
+  [[nodiscard]] std::span<const TextRef> dict() const { return dict_; }
+
+  [[nodiscard]] bool valid(std::size_t i) const {
+    switch (type_) {
+      case DataType::kText:
+        return codes_[i] != segment::TextChunk::kNullCode;
+      case DataType::kNull:
+        return false;
+      default:
+        return validity_ == nullptr || validity_->get(i);
+    }
+  }
+
+  /// Materializes one cell (NULL-aware). Off the fast path — operators that
+  /// can should read the typed spans instead.
+  [[nodiscard]] Value get(std::size_t i) const;
+
+  /// Numeric cell as double (only meaningful when valid() and numeric).
+  [[nodiscard]] double num(std::size_t i) const {
+    return type_ == DataType::kInt ? static_cast<double>(ints_[i])
+                                   : doubles_[i];
+  }
+
+  // --- builders -------------------------------------------------------------
+
+  /// View over a sealed column chunk (Int columns decode into the view's
+  /// scratch; Double/Text borrow).
+  static ColumnVec from_chunk(const segment::ColumnChunk& chunk);
+
+  /// Materializes column `col` of `rows[begin, end)` (the row-major tail).
+  static ColumnVec from_rows(std::span<const Table::Row> rows,
+                             std::size_t col, DataType type);
+
+  /// Materializes a computed column from boxed values (Project outputs).
+  static ColumnVec from_values(std::span<const Value> vals, DataType type);
+
+  /// Compacts the selected rows into an owned column of the same type
+  /// (typed copy — no boxing; the dictionary of a Text column is copied,
+  /// codes are gathered).
+  [[nodiscard]] ColumnVec gather(std::span<const std::uint32_t> rows) const;
+
+ private:
+  struct Backing {
+    std::vector<std::int64_t> ints;
+    std::vector<double> doubles;
+    std::vector<std::uint32_t> codes;
+    std::vector<TextRef> dict;
+    segment::ValidityBitmap validity;
+  };
+
+  DataType type_ = DataType::kNull;
+  std::size_t rows_ = 0;
+  std::span<const std::int64_t> ints_;
+  std::span<const double> doubles_;
+  std::span<const std::uint32_t> codes_;
+  std::span<const TextRef> dict_;
+  const segment::ValidityBitmap* validity_ = nullptr;  ///< nullptr: all valid
+  std::shared_ptr<Backing> backing_;  ///< owns decoded / materialized storage
+};
+
+/// A batch of rows flowing between operators: one ColumnVec per output
+/// column plus a selection vector of the rows that are still alive.
+/// Filters refine `sel` without touching the column views — a filtered
+/// batch costs a selection vector, never a copy of the data.
+struct Batch {
+  std::size_t rows = 0;      ///< physical rows in the views
+  std::size_t base_row = 0;  ///< table-global id of local row 0 (scans)
+  std::vector<ColumnVec> cols;
+  std::vector<std::uint32_t> sel;  ///< selected local rows, ascending
+  bool has_sel = false;            ///< false: every row selected
+
+  [[nodiscard]] std::size_t active() const {
+    return has_sel ? sel.size() : rows;
+  }
+  [[nodiscard]] std::uint32_t row_at(std::size_t k) const {
+    return has_sel ? sel[k] : static_cast<std::uint32_t>(k);
+  }
+
+  /// Intersects the selection with `mask` (one byte per physical row).
+  void apply_mask(const std::vector<std::uint8_t>& mask);
+};
+
+}  // namespace mscope::db::sqlengine
