@@ -7,7 +7,7 @@ Aggregator::Aggregator(sim::Simulation& sim, sim::Node& collector_node,
                        Config cfg)
     : sim_(sim), node_(collector_node), transformer_(transformer), cfg_(cfg) {}
 
-void Aggregator::on_batch(const Batch& batch, bool in_band) {
+void Aggregator::on_batch(Batch&& batch, bool in_band) {
   ++stats_.batches;
   stats_.records += batch.records.size();
   stats_.bytes += batch.bytes();
@@ -28,7 +28,7 @@ void Aggregator::on_batch(const Batch& batch, bool in_band) {
                       "aggregate", sim_.now(), sim_.now() + cpu);
     }
   }
-  for (const auto& r : batch.records) {
+  for (auto& r : batch.records) {
     // Gap detection: the tailer emits contiguous byte ranges per (file,
     // generation), so the only way `offset` can jump past what we have seen
     // is an abandoned batch upstream. Surface the hole to the transformer
@@ -46,7 +46,7 @@ void Aggregator::on_batch(const Batch& batch, bool in_band) {
     if (r.offset + r.data.size() > pos.offset) {
       pos.offset = r.offset + r.data.size();
     }
-    transformer_.ingest(batch.node, r.file, r.data);
+    transformer_.ingest(batch.node, r.file, std::move(r.data));
   }
 }
 

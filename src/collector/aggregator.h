@@ -46,9 +46,16 @@ class Aggregator {
              transform::StreamingTransformer& transformer)
       : Aggregator(sim, collector_node, transformer, Config{}) {}
 
-  /// Ingests one delivered batch. `in_band` is false for the post-run flush
-  /// (virtual time has stopped, so no CPU is modeled for it).
-  void on_batch(const Batch& batch, bool in_band = true);
+  /// Ingests one delivered batch, consuming it: each record's byte buffer
+  /// is moved into the transformer's per-file accumulation (zero-copy when
+  /// the accumulation is empty — the batch buffer then IS the parse
+  /// subject). `in_band` is false for the post-run flush (virtual time has
+  /// stopped, so no CPU is modeled for it).
+  void on_batch(Batch&& batch, bool in_band = true);
+  /// Copying convenience overload (tests that keep the batch around).
+  void on_batch(const Batch& batch, bool in_band = true) {
+    on_batch(Batch(batch), in_band);
+  }
 
   /// Optional span tracer: each in-band batch becomes one span spanning its
   /// modeled decode/ingest CPU charge on the collector node. Not owned.

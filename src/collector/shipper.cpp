@@ -103,30 +103,30 @@ void Shipper::try_send(int attempt) {
           tracer_->record("ship#" + std::to_string(p->seq),
                           "ship:" + node_name_, pending_since_, sim_.now());
         }
-        deliver(*p, true);
+        deliver(std::move(*p), true);
         pending_.reset();
       },
       /*record_tap=*/false);
 }
 
-void Shipper::deliver(const Batch& batch, bool in_band) {
+void Shipper::deliver(Batch&& batch, bool in_band) {
   stats_.batches += 1;
   stats_.records += batch.records.size();
   stats_.bytes += batch.bytes();
-  sink_(batch, in_band);
+  sink_(std::move(batch), in_band);
 }
 
 void Shipper::flush_now() {
   if (pending_ != nullptr) {
     // A transfer the end of the run cut off (in the air, or waiting out a
     // retry backoff): deliver it directly so no record is lost.
-    deliver(*pending_, false);
+    deliver(std::move(*pending_), false);
     pending_.reset();
   }
   while (!buffer_.empty()) {
     Batch batch = assemble();
     if (batch.records.empty()) break;
-    deliver(batch, false);
+    deliver(std::move(batch), false);
   }
 }
 

@@ -55,10 +55,13 @@ class Shipper {
     SimTime cpu_charged = 0;         ///< modeled source-node CPU spent
   };
 
-  /// Receives a delivered batch at the collector side. `in_band` is false
-  /// only for the post-run flush, which bypasses the network (and cost
-  /// model) because virtual time has stopped.
-  using Sink = std::function<void(const Batch&, bool in_band)>;
+  /// Receives a delivered batch at the collector side, taking ownership —
+  /// the record buffers flow by move all the way into the streaming
+  /// transformer's per-file accumulation (the zero-copy handoff the fast
+  /// parse path reads in place). `in_band` is false only for the post-run
+  /// flush, which bypasses the network (and cost model) because virtual
+  /// time has stopped.
+  using Sink = std::function<void(Batch&&, bool in_band)>;
 
   /// Transport fault hook: return true to fail this send attempt (models a
   /// lost/NACKed transfer). `attempt` is 0 for the first try of a batch.
@@ -96,7 +99,7 @@ class Shipper {
   Batch assemble();
   /// (Re)sends pending_; schedules a backoff retry on injected fault.
   void try_send(int attempt);
-  void deliver(const Batch& batch, bool in_band);
+  void deliver(Batch&& batch, bool in_band);
 
   sim::Simulation& sim_;
   sim::Network& net_;

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <stdexcept>
+#include <utility>
 
 #include "transform/warehouse_io.h"
 
@@ -64,8 +65,12 @@ OnlineCollection::OnlineCollection(Testbed& testbed, db::Database& db,
   collector_node_ = std::make_unique<sim::Node>(sim, nc);
   collector_wire_ = net.register_node(collector_node_.get());
 
+  if (cfg_.transform_workers != 1) {
+    cfg_.streaming.transform.parse_workers = cfg_.transform_workers;
+  }
   transformer_ =
       std::make_unique<transform::StreamingTransformer>(db, cfg_.streaming);
+  transformer_->set_tracer(tracer_.get());
   transformer_->set_row_observer(
       [this](const std::string& table, const db::Schema& schema,
              const std::vector<std::string>& row) {
@@ -86,8 +91,8 @@ OnlineCollection::OnlineCollection(Testbed& testbed, db::Database& db,
       ch.shipper = std::make_unique<collector::Shipper>(
           sim, net, testbed_.node(tier, r), testbed_.tier_wire_id(tier, r),
           collector_wire_, *ch.buffer,
-          [this](const collector::Batch& b, bool in_band) {
-            aggregator_->on_batch(b, in_band);
+          [this](collector::Batch&& b, bool in_band) {
+            aggregator_->on_batch(std::move(b), in_band);
           },
           ch.node, cfg_.shipper);
       ch.shipper->set_on_drain([t = ch.tailer.get()] { t->pump(); });

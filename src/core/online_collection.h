@@ -48,6 +48,13 @@ class OnlineCollection {
     collector::Aggregator::Config aggregator;
     transform::StreamingTransformer::Config streaming;
 
+    /// Worker threads for the streaming parse passes (shorthand for
+    /// streaming.transform.parse_workers; any value != 1 wins over the
+    /// nested field). 1 = serial, 0 = hardware concurrency. Reconciliation
+    /// stays on the calling thread in deterministic order, so the warehouse
+    /// is byte-identical at any worker count.
+    unsigned transform_workers = 1;
+
     /// Cadence of the forced incremental parse + queue estimation tick
     /// (bounds how stale the live signal can get).
     SimTime parse_interval = 250 * util::kMsec;

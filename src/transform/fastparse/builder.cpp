@@ -1,0 +1,65 @@
+#include "transform/fastparse/builder.h"
+
+namespace mscope::transform::fastparse {
+
+ConversionBuilder::ColId ConversionBuilder::column(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const ColId id = static_cast<ColId>(cols_.size());
+  cols_.push_back(Col{std::string(name), db::DataType::kNull});
+  index_.emplace(std::string(name), id);
+  return id;
+}
+
+void ConversionBuilder::begin_entry(std::uint32_t source_line) {
+  // Full-width from the start: every known column gets its "" slot up
+  // front, so set() never resizes mid-row (a new column discovered during
+  // this entry is the only exception).
+  rows_.emplace_back(cols_.size());
+  lines_.push_back(source_line);
+}
+
+void ConversionBuilder::set(ColId col, std::string value) {
+  Col& c = cols_[col];
+  // Best-match accumulation per occurrence. Once a column is Text it stays
+  // Text, and empty values infer to Null which never widens — both checks
+  // skip the infer_type scan on the hot path.
+  if (c.type != db::DataType::kText && !value.empty()) {
+    c.type = db::widen(c.type, db::infer_type(value));
+  }
+  std::vector<std::string>& row = rows_.back();
+  if (row.size() <= col) row.resize(col + 1);
+  row[col] = std::move(value);
+}
+
+void ConversionBuilder::set_known_int(ColId col, std::string value) {
+  Col& c = cols_[col];
+  if (c.type != db::DataType::kText) {
+    c.type = db::widen(c.type, db::DataType::kInt);
+  }
+  std::vector<std::string>& row = rows_.back();
+  if (row.size() <= col) row.resize(col + 1);
+  row[col] = std::move(value);
+}
+
+Conversion ConversionBuilder::take(std::string source, std::string node,
+                                   std::string file) {
+  Conversion c;
+  c.source = std::move(source);
+  c.node = std::move(node);
+  c.file = std::move(file);
+  c.schema.reserve(cols_.size());
+  for (const Col& col : cols_) {
+    db::DataType t = col.type;
+    if (t == db::DataType::kNull) t = db::DataType::kText;  // all-empty column
+    c.schema.push_back({col.name, t});
+  }
+  for (auto& row : rows_) row.resize(cols_.size());
+  c.rows = std::move(rows_);
+  c.row_lines = std::move(lines_);
+  rows_.clear();
+  lines_.clear();
+  return c;
+}
+
+}  // namespace mscope::transform::fastparse

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <regex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "transform/declaration.h"
+#include "transform/fastparse/builder.h"
+#include "transform/fastparse/pattern.h"
+#include "transform/xml_to_csv.h"
+
+namespace mscope::transform {
+struct ParseContext;
+}
+
+namespace mscope::transform::fastparse {
+
+/// Per-parse tallies. `rejected` counts candidate lines that survived the
+/// format's structural skip rules (banner/comment/blank) but produced no
+/// entry — the lines the reference parsers used to drop silently.
+struct ParseStats {
+  std::uint64_t lines = 0;
+  std::uint64_t rejected = 0;
+};
+
+/// A specialized byte-scanning parser compiled from one Declaration —
+/// stage 2 of the transformer with the XML materialization and std::regex
+/// removed from the hot path.
+///
+/// compile() translates each TokenInstruction's regex into a
+/// CompiledPattern (pattern.h); instructions outside the supported regex
+/// subset keep a std::regex fallback, matched over the raw byte range (no
+/// per-line std::string copies either way). The structured formats
+/// (sar_text, iostat, collectl) become hand-rolled scanners that mirror the
+/// reference implementations line for line. parse() is required — and
+/// tested — to produce a Conversion cell-for-cell identical to the
+/// reference parser + XmlToCsvConverter on the same bytes.
+///
+/// Instances are immutable after compile() and safe to share across
+/// threads; all mutable state lives in the per-call builder/scratch.
+class FastParser {
+ public:
+  /// Compiles a fast parser for `decl`. Returns nullptr when the
+  /// declaration's parser has no fast path (sar_xml, unknown parser ids,
+  /// declarations the byte-scanners cannot honor) — the caller then keeps
+  /// the reference path. All needed declaration state is copied; the
+  /// registry may grow/reallocate afterwards.
+  [[nodiscard]] static std::shared_ptr<const FastParser> compile(
+      const Declaration& decl);
+
+  /// Parses `content` (read in place, never copied) into a Conversion.
+  [[nodiscard]] Conversion parse(std::string_view content,
+                                 const ParseContext& ctx,
+                                 ParseStats& stats) const;
+
+ private:
+  enum class Kind : std::uint8_t {
+    kTokenLines,
+    kTomcat,
+    kSarText,
+    kIostat,
+    kCollectlCsv,
+    kCollectlPlain,
+  };
+
+  /// One declared output field of a token instruction.
+  struct FieldSpec {
+    std::string name;
+    TimeEncoding enc = TimeEncoding::kNone;  ///< kNone = not a timestamp
+    std::string time_name;                   ///< "<name>_usec" form
+  };
+
+  /// One compiled TokenInstruction.
+  struct InstrSpec {
+    std::unique_ptr<CompiledPattern> fast;
+    std::unique_ptr<std::regex> fallback;  ///< when `fast` is null
+    std::vector<FieldSpec> fields;
+    std::size_t emit_count = 0;  ///< min(fields, capture groups)
+  };
+
+  FastParser() = default;
+
+  void parse_token_lines(std::string_view content, ConversionBuilder& b,
+                         ParseStats& stats) const;
+  void parse_tomcat(std::string_view content, ConversionBuilder& b,
+                    ParseStats& stats) const;
+  void parse_sar_text(std::string_view content, ConversionBuilder& b,
+                      ParseStats& stats) const;
+  void parse_iostat(std::string_view content, ConversionBuilder& b,
+                    ParseStats& stats) const;
+  void parse_collectl(std::string_view content, ConversionBuilder& b,
+                      ParseStats& stats, bool csv) const;
+
+  Kind kind_ = Kind::kTokenLines;
+  int skip_lines_ = 0;
+  std::string comment_prefix_;
+  std::string source_;
+  std::vector<InstrSpec> instrs_;
+};
+
+}  // namespace mscope::transform::fastparse

@@ -1,0 +1,78 @@
+#include "transform/fastparse/parse_pool.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace mscope::transform::fastparse {
+
+ParsePool::ParsePool(unsigned workers) {
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in run(), so spawn one fewer.
+  for (unsigned i = 1; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ParsePool::~ParsePool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+unsigned ParsePool::workers() const {
+  return static_cast<unsigned>(threads_.size()) + 1;
+}
+
+void ParsePool::run(std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_ = &tasks;
+    next_ = 0;
+    pending_ = tasks.size();
+  }
+  work_cv_.notify_all();
+  // The caller steals work too, then waits for stragglers.
+  for (;;) {
+    std::function<void()>* task = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (tasks_ != nullptr && next_ < tasks_->size()) {
+        task = &(*tasks_)[next_++];
+      }
+    }
+    if (task == nullptr) break;
+    (*task)();
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  tasks_ = nullptr;
+}
+
+void ParsePool::worker_loop() {
+  for (;;) {
+    std::function<void()>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (tasks_ != nullptr && next_ < tasks_->size());
+      });
+      if (stop_) return;
+      task = &(*tasks_)[next_++];
+    }
+    (*task)();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace mscope::transform::fastparse

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mscope::transform::fastparse {
+
+/// A small persistent worker pool for the streaming transform's parse
+/// passes. run() executes a batch of independent tasks with work stealing:
+/// every worker (and the calling thread) claims tasks off a shared atomic
+/// cursor, so a channel with a huge backlog cannot stall the others.
+///
+/// run() blocks until every task has finished — the pool never touches
+/// tasks outside a run() call, which is the lifetime rule that makes
+/// zero-copy parsing safe: tasks read the channels' in-place buffers, and
+/// no ingest can mutate those buffers while run() holds the caller.
+class ParsePool {
+ public:
+  /// `workers` = total parallelism including the calling thread
+  /// (so `workers - 1` threads are spawned); 0 = hardware concurrency.
+  explicit ParsePool(unsigned workers);
+  ~ParsePool();
+
+  ParsePool(const ParsePool&) = delete;
+  ParsePool& operator=(const ParsePool&) = delete;
+
+  /// Runs every task, in any order, on the pool + calling thread; returns
+  /// when all are done. Tasks must not throw (wrap exceptions into state).
+  void run(std::vector<std::function<void()>>& tasks);
+
+  [[nodiscard]] unsigned workers() const;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::function<void()>>* tasks_ = nullptr;
+  std::size_t next_ = 0;     ///< next unclaimed task (under mu_)
+  std::size_t pending_ = 0;  ///< claimed-but-unfinished + unclaimed
+  bool stop_ = false;
+};
+
+}  // namespace mscope::transform::fastparse

@@ -1,0 +1,463 @@
+#include "transform/fastparse/pattern.h"
+
+#include <cstring>
+
+namespace mscope::transform::fastparse {
+
+namespace {
+
+ByteSet digit_set() {
+  ByteSet s;
+  s.add_range('0', '9');
+  return s;
+}
+
+ByteSet space_set() {
+  ByteSet s;
+  for (char c : {' ', '\t', '\n', '\v', '\f', '\r'}) {
+    s.add(static_cast<unsigned char>(c));
+  }
+  return s;
+}
+
+ByteSet word_set() {
+  ByteSet s;
+  s.add_range('0', '9');
+  s.add_range('a', 'z');
+  s.add_range('A', 'Z');
+  s.add('_');
+  return s;
+}
+
+ByteSet dot_set() {
+  ByteSet s;
+  s.invert();  // everything...
+  ByteSet nl;
+  nl.add('\n');
+  nl.add('\r');
+  ByteSet out;
+  for (unsigned c = 0; c < 256; ++c) {
+    if (s.test(static_cast<unsigned char>(c)) &&
+        !nl.test(static_cast<unsigned char>(c))) {
+      out.add(static_cast<unsigned char>(c));
+    }
+  }
+  return out;
+}
+
+/// Resolves `\x` (x = re[i], the char after the backslash) into either a
+/// class or a single literal byte. Returns false for constructs we don't
+/// support (\b, \B, \1.., \x.., \u..).
+bool resolve_escape(char x, ByteSet& cls, bool& is_class, char& lit) {
+  is_class = false;
+  switch (x) {
+    case 'd': cls = digit_set(); is_class = true; return true;
+    case 'D': cls = digit_set(); cls.invert(); is_class = true; return true;
+    case 's': cls = space_set(); is_class = true; return true;
+    case 'S': cls = space_set(); cls.invert(); is_class = true; return true;
+    case 'w': cls = word_set(); is_class = true; return true;
+    case 'W': cls = word_set(); cls.invert(); is_class = true; return true;
+    case 't': lit = '\t'; return true;
+    case 'n': lit = '\n'; return true;
+    case 'r': lit = '\r'; return true;
+    case 'f': lit = '\f'; return true;
+    case 'v': lit = '\v'; return true;
+    default:
+      // Escaped punctuation stands for itself; escaped letters/digits we
+      // did not enumerate are special forms we don't model.
+      if ((x >= 'a' && x <= 'z') || (x >= 'A' && x <= 'Z') ||
+          (x >= '0' && x <= '9')) {
+        return false;
+      }
+      lit = x;
+      return true;
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<CompiledPattern> CompiledPattern::compile(
+    std::string_view re) {
+  std::unique_ptr<CompiledPattern> out(new CompiledPattern());
+  std::vector<Op>& ops = out->ops_;
+  std::vector<int> group_stack;
+  std::size_t i = 0;
+  const std::size_t n = re.size();
+  if (i < n && re[i] == '^') ++i;
+
+  // What the previous element was, for quantifier binding.
+  enum class Last { kNone, kLitChar, kClass, kGroup };
+  Last last = Last::kNone;
+
+  auto push_lit_char = [&](char c) {
+    if (!ops.empty() && ops.back().kind == OpKind::kLit && last == Last::kLitChar) {
+      ops.back().lit.push_back(c);
+    } else {
+      Op o;
+      o.kind = OpKind::kLit;
+      o.lit.push_back(c);
+      ops.push_back(std::move(o));
+    }
+    last = Last::kLitChar;
+  };
+  auto push_class = [&](const ByteSet& cs) {
+    Op o;
+    o.kind = OpKind::kClass;
+    o.cls = cs;
+    ops.push_back(std::move(o));
+    last = Last::kClass;
+  };
+
+  while (i < n) {
+    const char c = re[i];
+    // --- quantifiers -----------------------------------------------------
+    if (c == '*' || c == '+' || c == '?' || c == '{') {
+      std::uint32_t qmin = 0, qmax = kNoLimit;
+      if (c == '*') {
+        qmin = 0; qmax = kNoLimit; ++i;
+      } else if (c == '+') {
+        qmin = 1; qmax = kNoLimit; ++i;
+      } else if (c == '?') {
+        qmin = 0; qmax = 1; ++i;
+      } else {
+        // {n} / {n,} / {n,m}
+        std::size_t j = i + 1;
+        std::uint64_t lo = 0;
+        std::size_t lo_digits = 0;
+        while (j < n && re[j] >= '0' && re[j] <= '9') {
+          lo = lo * 10 + static_cast<std::uint64_t>(re[j] - '0');
+          ++lo_digits; ++j;
+        }
+        if (lo_digits == 0 || lo > 1000000) return nullptr;
+        if (j < n && re[j] == '}') {
+          qmin = qmax = static_cast<std::uint32_t>(lo);
+          i = j + 1;
+        } else if (j < n && re[j] == ',') {
+          ++j;
+          if (j < n && re[j] == '}') {
+            qmin = static_cast<std::uint32_t>(lo);
+            qmax = kNoLimit;
+            i = j + 1;
+          } else {
+            std::uint64_t hi = 0;
+            std::size_t hi_digits = 0;
+            while (j < n && re[j] >= '0' && re[j] <= '9') {
+              hi = hi * 10 + static_cast<std::uint64_t>(re[j] - '0');
+              ++hi_digits; ++j;
+            }
+            if (hi_digits == 0 || j >= n || re[j] != '}' || hi < lo ||
+                hi > 1000000) {
+              return nullptr;
+            }
+            qmin = static_cast<std::uint32_t>(lo);
+            qmax = static_cast<std::uint32_t>(hi);
+            i = j + 1;
+          }
+        } else {
+          return nullptr;
+        }
+      }
+      if (i < n && (re[i] == '*' || re[i] == '+' || re[i] == '?')) {
+        return nullptr;  // double quantifier / non-greedy
+      }
+      if (last == Last::kClass) {
+        Op& o = ops.back();
+        if (o.min != 1 || o.max != 1) return nullptr;
+        o.min = qmin;
+        o.max = qmax;
+      } else if (last == Last::kLitChar) {
+        // Quantifier binds to the last character only: split it off the
+        // literal run into a one-byte class.
+        Op& lit_op = ops.back();
+        const char tail = lit_op.lit.back();
+        lit_op.lit.pop_back();
+        const bool drop = lit_op.lit.empty();
+        Op o;
+        o.kind = OpKind::kClass;
+        o.cls.add(static_cast<unsigned char>(tail));
+        o.min = qmin;
+        o.max = qmax;
+        if (drop) {
+          ops.back() = std::move(o);
+        } else {
+          ops.push_back(std::move(o));
+        }
+        last = Last::kClass;
+      } else {
+        return nullptr;  // quantified group or dangling quantifier
+      }
+      continue;
+    }
+    // --- everything else -------------------------------------------------
+    switch (c) {
+      case '|':
+        return nullptr;
+      case '$':
+        if (i + 1 != n) return nullptr;  // mid-pattern anchor
+        out->ends_anchored_ = true;
+        ++i;
+        break;
+      case '(': {
+        if (i + 1 < n && re[i + 1] == '?') return nullptr;  // (?: (?= (?!
+        if (out->group_count_ >= kMaxGroups) return nullptr;
+        Op o;
+        o.kind = OpKind::kGroupOpen;
+        o.group = static_cast<int>(out->group_count_++);
+        group_stack.push_back(o.group);
+        ops.push_back(std::move(o));
+        last = Last::kNone;
+        ++i;
+        break;
+      }
+      case ')': {
+        if (group_stack.empty()) return nullptr;
+        Op o;
+        o.kind = OpKind::kGroupClose;
+        o.group = group_stack.back();
+        group_stack.pop_back();
+        ops.push_back(std::move(o));
+        last = Last::kGroup;
+        ++i;
+        break;
+      }
+      case '[': {
+        ++i;
+        bool neg = false;
+        if (i < n && re[i] == '^') {
+          neg = true;
+          ++i;
+        }
+        ByteSet cs;
+        bool any = false;
+        while (i < n && re[i] != ']') {
+          ByteSet sub;
+          bool sub_is_class = false;
+          char lo = 0;
+          if (re[i] == '\\') {
+            if (i + 1 >= n) return nullptr;
+            if (!resolve_escape(re[i + 1], sub, sub_is_class, lo)) {
+              // Inside a class, \b is a backspace.
+              if (re[i + 1] == 'b') {
+                lo = '\b';
+              } else {
+                return nullptr;
+              }
+            }
+            i += 2;
+          } else {
+            lo = re[i];
+            ++i;
+          }
+          if (sub_is_class) {
+            for (unsigned b = 0; b < 256; ++b) {
+              if (sub.test(static_cast<unsigned char>(b))) {
+                cs.add(static_cast<unsigned char>(b));
+              }
+            }
+            any = true;
+            continue;
+          }
+          // Range?
+          if (i + 1 < n && re[i] == '-' && re[i + 1] != ']') {
+            ++i;
+            char hi = 0;
+            if (re[i] == '\\') {
+              ByteSet dummy;
+              bool dummy_class = false;
+              if (i + 1 >= n ||
+                  !resolve_escape(re[i + 1], dummy, dummy_class, hi) ||
+                  dummy_class) {
+                return nullptr;
+              }
+              i += 2;
+            } else {
+              hi = re[i];
+              ++i;
+            }
+            if (static_cast<unsigned char>(lo) > static_cast<unsigned char>(hi)) {
+              return nullptr;
+            }
+            cs.add_range(static_cast<unsigned char>(lo),
+                         static_cast<unsigned char>(hi));
+          } else {
+            cs.add(static_cast<unsigned char>(lo));
+          }
+          any = true;
+        }
+        if (i >= n || !any) return nullptr;  // unterminated or empty class
+        ++i;                                 // consume ']'
+        if (neg) cs.invert();
+        push_class(cs);
+        break;
+      }
+      case '.':
+        push_class(dot_set());
+        ++i;
+        break;
+      case '\\': {
+        if (i + 1 >= n) return nullptr;
+        ByteSet cs;
+        bool is_class = false;
+        char lit = 0;
+        if (!resolve_escape(re[i + 1], cs, is_class, lit)) return nullptr;
+        i += 2;
+        if (is_class) {
+          push_class(cs);
+        } else {
+          push_lit_char(lit);
+        }
+        break;
+      }
+      case '^':
+        return nullptr;  // mid-pattern anchor
+      default:
+        push_lit_char(c);
+        ++i;
+        break;
+    }
+  }
+  if (!group_stack.empty()) return nullptr;
+  out->analyze();
+  return out;
+}
+
+void CompiledPattern::analyze() {
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    Op& o = ops_[i];
+    if (o.kind != OpKind::kClass || o.min == o.max) continue;
+    // [^B]-shaped classes scan via memchr (SIMD) instead of byte-at-a-time.
+    int excluded = -1, excluded_count = 0;
+    for (unsigned c = 0; c < 256 && excluded_count < 2; ++c) {
+      if (!o.cls.test(static_cast<unsigned char>(c))) {
+        excluded = static_cast<int>(c);
+        ++excluded_count;
+      }
+    }
+    if (excluded_count == 1) o.stop_byte = excluded;
+    // Find the next op that consumes input (group markers are zero-width).
+    std::size_t j = i + 1;
+    while (j < ops_.size() && (ops_[j].kind == OpKind::kGroupOpen ||
+                               ops_[j].kind == OpKind::kGroupClose)) {
+      ++j;
+    }
+    if (j == ops_.size()) {
+      // Nothing after: greedy-take-max is already the final answer for both
+      // full and prefix matching.
+      o.possessive = true;
+      continue;
+    }
+    const Op& next = ops_[j];
+    if (next.kind == OpKind::kLit) {
+      const unsigned char first = static_cast<unsigned char>(next.lit[0]);
+      if (!o.cls.test(first)) {
+        o.possessive = true;
+      } else {
+        o.accel_first = first;
+      }
+    } else if (next.kind == OpKind::kClass && next.min > 0 &&
+               !o.cls.intersects(next.cls)) {
+      o.possessive = true;
+    }
+  }
+}
+
+bool CompiledPattern::run(std::size_t op, const char* p, const char* end,
+                         bool to_end, Groups& groups,
+                         const char** match_end) const {
+  while (op < ops_.size()) {
+    const Op& o = ops_[op];
+    switch (o.kind) {
+      case OpKind::kLit: {
+        const std::size_t len = o.lit.size();
+        if (static_cast<std::size_t>(end - p) < len ||
+            std::memcmp(p, o.lit.data(), len) != 0) {
+          return false;
+        }
+        p += len;
+        ++op;
+        continue;
+      }
+      case OpKind::kGroupOpen:
+        groups[o.group].begin = p;
+        ++op;
+        continue;
+      case OpKind::kGroupClose:
+        groups[o.group].end = p;
+        ++op;
+        continue;
+      case OpKind::kClass: {
+        const char* q = p;
+        for (std::uint32_t k = 0; k < o.min; ++k) {
+          if (q == end || !o.cls.test(static_cast<unsigned char>(*q))) {
+            return false;
+          }
+          ++q;
+        }
+        if (o.min == o.max) {
+          p = q;
+          ++op;
+          continue;
+        }
+        const char* limit = end;
+        if (o.max != kNoLimit) {
+          const std::uint64_t room = o.max - o.min;
+          if (static_cast<std::uint64_t>(end - q) > room) limit = q + room;
+        }
+        const char* m = q;
+        if (o.stop_byte >= 0) {
+          const void* hit = std::memchr(q, o.stop_byte, limit - q);
+          m = hit != nullptr ? static_cast<const char*>(hit) : limit;
+        } else {
+          while (m < limit && o.cls.test(static_cast<unsigned char>(*m))) ++m;
+        }
+        if (o.possessive) {
+          p = m;
+          ++op;
+          continue;
+        }
+        if (o.accel_first >= 0) {
+          // The next consuming op is a literal starting with accel_first:
+          // only positions holding that byte can possibly continue.
+          const char fb = static_cast<char>(o.accel_first);
+          const char* t = m;
+          for (;;) {
+            if (t != end && *t == fb &&
+                run(op + 1, t, end, to_end, groups, match_end)) {
+              return true;
+            }
+            if (t == q) return false;
+            --t;
+          }
+        }
+        for (const char* t = m;; --t) {
+          if (run(op + 1, t, end, to_end, groups, match_end)) return true;
+          if (t == q) return false;
+        }
+      }
+    }
+  }
+  if (to_end && p != end) return false;
+  *match_end = p;
+  return true;
+}
+
+bool CompiledPattern::match(const char* begin, const char* end,
+                            Groups& groups) const {
+  for (std::size_t g = 0; g < group_count_; ++g) groups[g] = Token{};
+  const char* me = nullptr;
+  return run(0, begin, end, /*to_end=*/true, groups, &me);
+}
+
+bool CompiledPattern::match_prefix(const char* begin, const char* end,
+                                   Groups& groups,
+                                   const char** suffix_begin) const {
+  for (std::size_t g = 0; g < group_count_; ++g) groups[g] = Token{};
+  const char* me = nullptr;
+  if (!run(0, begin, end, /*to_end=*/ends_anchored_, groups, &me)) {
+    return false;
+  }
+  *suffix_begin = me;
+  return true;
+}
+
+}  // namespace mscope::transform::fastparse

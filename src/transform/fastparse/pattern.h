@@ -1,0 +1,115 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mscope::transform::fastparse {
+
+/// A matched capture group as a pointer pair into the subject buffer — the
+/// zero-copy token idiom: no substring is materialized until a field value
+/// is actually emitted into the conversion.
+struct Token {
+  const char* begin = nullptr;
+  const char* end = nullptr;
+  [[nodiscard]] std::string_view view() const {
+    return {begin, static_cast<std::size_t>(end - begin)};
+  }
+};
+
+/// 256-entry membership table — the compiled form of a character class.
+/// One byte per entry rather than one bit: test() is a single indexed load,
+/// which is what the quantified-class scan loops in CompiledPattern::run
+/// spend most of their time on. Patterns are compiled once and cached, so
+/// the 8x size cost is irrelevant.
+class ByteSet {
+ public:
+  void add(unsigned char c) { map_[c] = 1; }
+  void add_range(unsigned char lo, unsigned char hi) {
+    for (unsigned c = lo; c <= hi; ++c) map_[c] = 1;
+  }
+  void invert() {
+    for (auto& b : map_) b ^= 1;
+  }
+  [[nodiscard]] bool test(unsigned char c) const { return map_[c] != 0; }
+  [[nodiscard]] bool intersects(const ByteSet& o) const {
+    for (unsigned c = 0; c < 256; ++c) {
+      if (map_[c] != 0 && o.map_[c] != 0) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::array<std::uint8_t, 256> map_{};
+};
+
+/// A regex compiled down to a linear program of literal/class/group ops.
+///
+/// Covers the subset the log-format declarations actually use: literals and
+/// escapes, `.`, `\d \D \s \S \w \W`, `[...]` / `[^...]` classes with
+/// ranges, greedy `* + ? {n} {n,m}` on a single character or class, nested
+/// capture groups, and `^`/`$` anchors at the ends. Alternation,
+/// backreferences, non-greedy or group-level quantifiers and mid-pattern
+/// anchors are not expressible — compile() returns nullptr and the caller
+/// keeps std::regex for that instruction.
+///
+/// Matching is ECMAScript-equivalent (greedy, backtracking, leftmost-
+/// longest-per-greedy-step) but runs as a byte-scanning loop. Two
+/// compile-time analyses kill almost all backtracking in practice:
+///  * a quantified class whose byte set cannot overlap the next consuming
+///    op's first byte is matched possessively (no backtrack state at all);
+///  * otherwise, when the next consuming op is a literal, backtrack
+///    candidates are found by scanning backwards for that literal's first
+///    byte instead of retrying every position (the `(.*)"`-style tail).
+class CompiledPattern {
+ public:
+  static constexpr std::size_t kMaxGroups = 15;
+  using Groups = std::array<Token, kMaxGroups>;
+
+  /// nullptr if the pattern uses an unsupported construct.
+  [[nodiscard]] static std::unique_ptr<CompiledPattern> compile(
+      std::string_view regex);
+
+  /// Full match over [begin, end) — std::regex_match semantics. On success,
+  /// groups[i] holds capture i+1.
+  [[nodiscard]] bool match(const char* begin, const char* end,
+                           Groups& groups) const;
+
+  /// Anchored prefix match — std::regex_search with a ^-anchored pattern.
+  /// On success *suffix_begin points at the first unconsumed byte.
+  [[nodiscard]] bool match_prefix(const char* begin, const char* end,
+                                  Groups& groups,
+                                  const char** suffix_begin) const;
+
+  [[nodiscard]] std::size_t group_count() const { return group_count_; }
+
+ private:
+  static constexpr std::uint32_t kNoLimit = 0xFFFFFFFFu;
+  enum class OpKind : std::uint8_t { kLit, kClass, kGroupOpen, kGroupClose };
+  struct Op {
+    OpKind kind = OpKind::kLit;
+    std::string lit;         // kLit: the literal byte run
+    ByteSet cls;             // kClass
+    std::uint32_t min = 1;   // kClass repeat bounds
+    std::uint32_t max = 1;   // kNoLimit = unbounded
+    bool possessive = false; // kClass: consume max, never give back
+    int accel_first = -1;    // kClass: next consuming op's first literal byte
+    int stop_byte = -1;      // kClass: class is [^B] for this single byte B —
+                             // the greedy scan is a memchr for B
+    int group = -1;          // kGroupOpen/kGroupClose
+  };
+
+  CompiledPattern() = default;
+  void analyze();
+  bool run(std::size_t op, const char* p, const char* end, bool to_end,
+           Groups& groups, const char** match_end) const;
+
+  std::vector<Op> ops_;
+  std::size_t group_count_ = 0;
+  bool ends_anchored_ = false;
+};
+
+}  // namespace mscope::transform::fastparse

@@ -43,14 +43,21 @@ DataImporter::Result DataImporter::import(db::Database& db,
   db::Table& table = db.create_table(table_name, c.schema);
   table.reserve(c.rows.size());
 
-  for (const auto& srow : c.rows) {
+  for (std::size_t r = 0; r < c.rows.size(); ++r) {
+    const auto& srow = c.rows[r];
     db::Table::Row row;
     row.reserve(srow.size());
     for (std::size_t i = 0; i < srow.size(); ++i) {
       auto v = db::parse_as(srow[i], c.schema[i].type);
       if (!v) {
-        throw std::invalid_argument("DataImporter: cell '" + srow[i] +
-                                    "' does not fit column " +
+        // Point back at the raw log when the fast path recorded per-row
+        // source lines; otherwise fall back to the row index.
+        std::string where = c.node + "/" + c.file;
+        where += r < c.row_lines.size()
+                     ? ":" + std::to_string(c.row_lines[r])
+                     : " row " + std::to_string(r + 1);
+        throw std::invalid_argument("DataImporter: " + where + ": cell '" +
+                                    srow[i] + "' does not fit column " +
                                     c.schema[i].name + " of " + table_name);
       }
       row.push_back(std::move(*v));

@@ -1,0 +1,33 @@
+#include "transform/parse_path.h"
+
+namespace mscope::transform {
+
+std::shared_ptr<const fastparse::FastParser> ParserCache::get(
+    const Declaration& decl) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_decl_.find(&decl);
+  if (it != by_decl_.end()) return it->second;
+  auto fp = fastparse::FastParser::compile(decl);
+  by_decl_.emplace(&decl, fp);
+  return fp;
+}
+
+ParseResult parse_to_conversion(std::string_view content,
+                                const ParseContext& ctx,
+                                const TransformConfig& cfg,
+                                ParserCache& cache) {
+  ParseResult out;
+  if (!cfg.use_reference_parser) {
+    if (auto fp = cache.get(*ctx.decl)) {
+      out.conv = fp->parse(content, ctx, out.stats);
+      out.fast = true;
+      return out;
+    }
+  }
+  const ParserFn parser = ParserRegistry::get(ctx.decl->parser_id);
+  const auto xml = parser(content, ctx);
+  out.conv = XmlToCsvConverter::convert(*xml);
+  return out;
+}
+
+}  // namespace mscope::transform

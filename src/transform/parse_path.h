@@ -1,0 +1,46 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+#include "transform/fastparse/fast_parser.h"
+#include "transform/parsers.h"
+#include "transform/transform_config.h"
+#include "transform/xml_to_csv.h"
+
+namespace mscope::transform {
+
+/// Result of running one log file's bytes through the parse stage.
+struct ParseResult {
+  Conversion conv;
+  fastparse::ParseStats stats;  ///< precise on the fast path; zero otherwise
+  bool fast = false;            ///< which path produced `conv`
+};
+
+/// Thread-safe cache of compiled fast parsers, keyed by declaration
+/// identity. Declarations must be registered before parsing begins (the
+/// existing contract — FileState holds Declaration pointers too).
+class ParserCache {
+ public:
+  /// Compiled parser for `decl`, or nullptr when it has no fast path.
+  std::shared_ptr<const fastparse::FastParser> get(const Declaration& decl);
+
+ private:
+  std::mutex mu_;
+  std::map<const Declaration*, std::shared_ptr<const fastparse::FastParser>>
+      by_decl_;
+};
+
+/// Parses `content` into a Conversion via the fast byte-scanning path when
+/// the declaration supports it (and `cfg` allows it), else via the
+/// reference regex parser + XmlToCsvConverter. The two paths produce
+/// cell-for-cell identical Conversions — flipping
+/// TransformConfig::use_reference_parser changes throughput, not results.
+[[nodiscard]] ParseResult parse_to_conversion(std::string_view content,
+                                              const ParseContext& ctx,
+                                              const TransformConfig& cfg,
+                                              ParserCache& cache);
+
+}  // namespace mscope::transform

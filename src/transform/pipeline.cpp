@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "transform/importer.h"
 #include "transform/parsers.h"
 #include "transform/xml_to_csv.h"
@@ -53,9 +54,14 @@ namespace {
 /// Stage 1 (declaration lookup), stage 2 (mScopeParser -> annotated XML)
 /// and stage 3 (XMLtoCSV). Pure per file apart from writing this file's own
 /// intermediate artifacts, hence safe to run on worker threads.
+///
+/// With write_intermediates off, stages 2+3 collapse into one zero-copy
+/// pass over the raw bytes (transform/fastparse/) — no XML document is ever
+/// built. Every <log> entry becomes exactly one row, so report.entries is
+/// the row count either way.
 Prepared prepare_file(const DeclarationRegistry& registry,
-                      const DataTransformer::Config& cfg, const fs::path& file,
-                      const std::string& node) {
+                      const DataTransformer::Config& cfg, ParserCache& cache,
+                      const fs::path& file, const std::string& node) {
   Prepared out;
   out.report.node = node;
   out.report.file = file.filename().string();
@@ -66,18 +72,35 @@ Prepared prepare_file(const DeclarationRegistry& registry,
   out.decl = decl;
 
   ParseContext ctx{node, out.report.file, decl};
-  const ParserFn parser = ParserRegistry::get(decl->parser_id);
   const std::string content = read_file(file);
-  const auto annotated = parser(content, ctx);
-  out.report.entries = annotated->children_named("log").size();
-
   out.out_dir = file.parent_path().parent_path() / "transformed" / node;
+
   if (cfg.write_intermediates) {
+    const ParserFn parser = ParserRegistry::get(decl->parser_id);
+    const auto annotated = parser(content, ctx);
+    out.report.entries = annotated->children_named("log").size();
     write_file(out.out_dir / (out.report.file + ".xml"),
                xml_serialize(*annotated));
+    out.conv = XmlToCsvConverter::convert(*annotated);
+  } else {
+    ParseResult r = parse_to_conversion(content, ctx, cfg.transform, cache);
+    out.conv = std::move(r.conv);
+    out.report.entries = out.conv.rows.size();
+    static obs::Counter& fast_passes =
+        obs::Registry::global().counter("transform.parse.fast_passes");
+    static obs::Counter& ref_passes =
+        obs::Registry::global().counter("transform.parse.ref_passes");
+    (r.fast ? fast_passes : ref_passes).add(1);
+    if (r.fast && r.stats.rejected > 0) {
+      static obs::Counter& rejected_c =
+          obs::Registry::global().counter("transform.parse.rejected");
+      rejected_c.add(r.stats.rejected);
+      obs::Registry::global()
+          .counter("transform.parse.rejected." + decl->source)
+          .add(r.stats.rejected);
+    }
   }
 
-  out.conv = XmlToCsvConverter::convert(*annotated);
   if (cfg.write_intermediates || cfg.import_from_files) {
     write_file(out.out_dir / (out.report.file + ".csv"),
                XmlToCsvConverter::to_csv(out.conv));
@@ -92,7 +115,7 @@ Prepared prepare_file(const DeclarationRegistry& registry,
 
 DataTransformer::FileReport DataTransformer::transform_file(
     const fs::path& file, const std::string& node, db::Database& db) const {
-  Prepared p = prepare_file(registry_, cfg_, file, node);
+  Prepared p = prepare_file(registry_, cfg_, parser_cache_, file, node);
   if (!p.importable) return p.report;
 
   // Stage 4: Data Importer -> dynamic table.
@@ -166,7 +189,7 @@ DataTransformer::Report DataTransformer::run(const fs::path& run_dir,
 
   if (workers <= 1) {
     for (const auto& [file, node] : files) {
-      Prepared p = prepare_file(registry_, cfg_, file, node);
+      Prepared p = prepare_file(registry_, cfg_, parser_cache_, file, node);
       import_prepared(p);
     }
     return report;
@@ -180,7 +203,7 @@ DataTransformer::Report DataTransformer::run(const fs::path& run_dir,
     futures.push_back(std::async(
         std::launch::async,
         [this, file = file, node = node] {
-          return prepare_file(registry_, cfg_, file, node);
+          return prepare_file(registry_, cfg_, parser_cache_, file, node);
         }));
     // Bound the number of in-flight tasks.
     if (futures.size() >= files.size() ||

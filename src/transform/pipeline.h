@@ -6,6 +6,8 @@
 
 #include "db/database.h"
 #include "transform/declaration.h"
+#include "transform/parse_path.h"
+#include "transform/transform_config.h"
 
 namespace mscope::transform {
 
@@ -33,6 +35,13 @@ class DataTransformer {
     /// file order, so results are identical at any parallelism.
     /// 1 = serial, 0 = hardware concurrency.
     unsigned parallelism = 1;
+    /// Parse-path selection. When write_intermediates is off, files go
+    /// through the zero-copy fast parser (transform/fastparse/) straight to
+    /// a Conversion with no intermediate XML; set
+    /// transform.use_reference_parser to force the regex oracle. With
+    /// write_intermediates on, the reference path always runs — the stage-2
+    /// XML artifact is its output.
+    TransformConfig transform;
   };
 
   struct FileReport {
@@ -71,6 +80,9 @@ class DataTransformer {
  private:
   DeclarationRegistry registry_;
   Config cfg_;
+  /// Compiled fast parsers, shared across files of one run (run() is const;
+  /// the cache is internally locked for the parallel prepare stage).
+  mutable ParserCache parser_cache_;
 };
 
 }  // namespace mscope::transform

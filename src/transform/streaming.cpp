@@ -5,6 +5,8 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "transform/fastparse/parse_pool.h"
 #include "transform/importer.h"
 #include "transform/parsers.h"
 #include "transform/xml_to_csv.h"
@@ -15,9 +17,10 @@ namespace mscope::transform {
 StreamingTransformer::StreamingTransformer(db::Database& db, Config cfg)
     : db_(db), cfg_(cfg) {}
 
-void StreamingTransformer::ingest(const std::string& node,
-                                  const std::string& file,
-                                  std::string_view data) {
+StreamingTransformer::~StreamingTransformer() = default;
+
+StreamingTransformer::FileState& StreamingTransformer::file_state(
+    const std::string& node, const std::string& file) {
   auto& files = nodes_[node];
   auto it = files.find(file);
   if (it == files.end()) {
@@ -28,12 +31,38 @@ void StreamingTransformer::ingest(const std::string& node,
     it->second.next_parse_at = std::max<std::size_t>(cfg_.min_parse_bytes, 1);
     if (it->second.decl == nullptr) ++stats_.unmatched_files;
   }
-  FileState& st = it->second;
+  return it->second;
+}
+
+void StreamingTransformer::ingest(const std::string& node,
+                                  const std::string& file,
+                                  std::string_view data) {
+  FileState& st = file_state(node, file);
   ++stats_.chunks;
   stats_.bytes += data.size();
   if (st.decl == nullptr) return;  // unknown format: nothing to transform
 
   st.content.append(data);
+  if (st.content.size() >= st.next_parse_at) {
+    parse_into_table(node, file, st, /*final_pass=*/false);
+  }
+}
+
+void StreamingTransformer::ingest(const std::string& node,
+                                  const std::string& file,
+                                  std::string&& data) {
+  FileState& st = file_state(node, file);
+  ++stats_.chunks;
+  stats_.bytes += data.size();
+  if (st.decl == nullptr) return;
+
+  if (st.content.empty()) {
+    // Adopt the shipped buffer instead of copying it — the collector is done
+    // with it, and it becomes the in-place parse subject.
+    st.content = std::move(data);
+  } else {
+    st.content.append(data);
+  }
   if (st.content.size() >= st.next_parse_at) {
     parse_into_table(node, file, st, /*final_pass=*/false);
   }
@@ -70,16 +99,28 @@ void StreamingTransformer::note_gap(const std::string& node,
 }
 
 void StreamingTransformer::parse_all() {
+  std::vector<ParseTask> tasks;
   for (auto& [node, files] : nodes_) {
     for (auto& [file, st] : files) {
-      if (st.decl != nullptr) parse_into_table(node, file, st, false);
+      if (st.decl == nullptr) continue;
+      ParseTask t = prepare_parse(node, file, st, /*final_pass=*/false);
+      if (t.scheduled) tasks.push_back(std::move(t));
     }
   }
+  run_tasks(tasks);
+  // Reconcile in collection order (sorted maps) — identical warehouse at
+  // any worker count.
+  for (auto& t : tasks) reconcile_parse(t);
 }
 
-bool StreamingTransformer::parse_into_table(const std::string& node,
-                                            const std::string& file,
-                                            FileState& st, bool final_pass) {
+StreamingTransformer::ParseTask StreamingTransformer::prepare_parse(
+    const std::string& node, const std::string& file, FileState& st,
+    bool final_pass) {
+  ParseTask t;
+  t.node = &node;
+  t.file = &file;
+  t.st = &st;
+  t.final_pass = final_pass;
   // Parse only a complete-line prefix mid-run; a trailing fragment would
   // produce a bogus row that a later parse could not retract. The final
   // pass takes everything, exactly like the batch pipeline reading the file.
@@ -94,34 +135,94 @@ bool StreamingTransformer::parse_into_table(const std::string& node,
       static_cast<std::size_t>(static_cast<double>(st.content.size()) *
                                cfg_.growth_factor),
       st.content.size() + cfg_.min_parse_bytes);
-  if (prefix == 0 || (prefix <= st.parsed_bytes && !final_pass)) return true;
+  if (prefix == 0 || (prefix <= st.parsed_bytes && !final_pass)) return t;
+  t.prefix = prefix;
+  t.scheduled = true;
+  return t;
+}
 
-  ParseContext ctx{node, file, st.decl};
-  Conversion conv;
+void StreamingTransformer::run_parse(ParseTask& t) const {
+  // Pure stage: reads the file's in-place buffer, writes only into the
+  // task. Safe on a pool worker because no ingest/note_gap can run while
+  // run_tasks() holds the caller (the zero-copy lifetime rule).
+  ParseContext ctx{*t.node, *t.file, t.st->decl};
   try {
-    const ParserFn parser = ParserRegistry::get(st.decl->parser_id);
-    const auto annotated =
-        parser(std::string_view(st.content).substr(0, prefix), ctx);
-    conv = XmlToCsvConverter::convert(*annotated);
+    t.result = parse_to_conversion(
+        std::string_view(t.st->content).substr(0, t.prefix), ctx,
+        cfg_.transform, parser_cache_);
   } catch (const std::exception&) {
     // A prefix of a structured document (sar XML) need not parse; the final
     // pass usually sees the whole document. If even that fails (lossy
     // backpressure policies can punch holes in a document), keep the rows
     // from the last good parse rather than losing the file.
+    t.deferred = true;
+  }
+}
+
+void StreamingTransformer::run_tasks(std::vector<ParseTask>& tasks) {
+  if (tasks.empty()) return;
+  const unsigned workers = cfg_.transform.parse_workers;
+  if (workers == 1 || tasks.size() == 1) {
+    for (auto& t : tasks) run_parse(t);
+    return;
+  }
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<fastparse::ParsePool>(workers);
+  }
+  std::vector<std::function<void()>> fns;
+  fns.reserve(tasks.size());
+  for (auto& t : tasks) {
+    fns.emplace_back([this, &t] { run_parse(t); });
+  }
+  pool_->run(fns);
+}
+
+bool StreamingTransformer::reconcile_parse(ParseTask& task) {
+  FileState& st = *task.st;
+  if (task.deferred) {
     ++stats_.parse_deferrals;
     static obs::Counter& deferrals =
         obs::Registry::global().counter("transform.parse_deferrals");
     deferrals.inc();
     return false;
   }
+  obs::Tracer::Span span =
+      tracer_ != nullptr
+          ? tracer_->span("parse " + *task.node + "/" + *task.file,
+                          "transform")
+          : obs::Tracer::Span();
+  Conversion& conv = task.result.conv;
   ++stats_.parse_passes;
   static obs::Counter& passes =
       obs::Registry::global().counter("transform.parse_passes");
+  static obs::Counter& fast_passes =
+      obs::Registry::global().counter("transform.parse.fast_passes");
+  static obs::Counter& ref_passes =
+      obs::Registry::global().counter("transform.parse.ref_passes");
   passes.inc();
-  st.parsed_bytes = prefix;
+  (task.result.fast ? fast_passes : ref_passes).inc();
+
+  // Malformed-line accounting: the fast path counts rejections precisely
+  // over the parsed prefix; rejection is monotone in the prefix, so the
+  // delta against the last pass is this pass's new rejects.
+  if (task.result.stats.rejected > st.rejected) {
+    const std::uint64_t delta = task.result.stats.rejected - st.rejected;
+    st.rejected = task.result.stats.rejected;
+    stats_.rejected_lines += delta;
+    static obs::Counter& rejected_c =
+        obs::Registry::global().counter("transform.parse.rejected");
+    rejected_c.add(delta);
+    obs::Registry::global()
+        .counter("transform.parse.rejected." + st.decl->source)
+        .add(delta);
+  }
+
+  st.parsed_bytes = task.prefix;
   if (conv.schema.empty()) return true;  // no rows yet
 
-  if (st.table.empty()) st.table = st.decl->table_prefix + "_" + node;
+  if (st.table.empty()) {
+    st.table = st.decl->table_prefix + "_" + *task.node;
+  }
 
   db::Table* table = db_.find(st.table);
   const bool schema_changed = table != nullptr && st.schema != conv.schema;
@@ -166,8 +267,13 @@ bool StreamingTransformer::parse_into_table(const std::string& node,
     for (std::size_t c = 0; c < conv.rows[i].size(); ++c) {
       auto v = db::parse_as(conv.rows[i][c], conv.schema[c].type);
       if (!v) {
-        throw std::invalid_argument("StreamingTransformer: cell '" +
-                                    conv.rows[i][c] + "' does not fit column " +
+        std::string where = *task.node + "/" + *task.file;
+        if (i < conv.row_lines.size()) {
+          where += ":" + std::to_string(conv.row_lines[i]);
+        }
+        throw std::invalid_argument("StreamingTransformer: " + where +
+                                    ": cell '" + conv.rows[i][c] +
+                                    "' does not fit column " +
                                     conv.schema[c].name + " of " + st.table);
       }
       row.push_back(std::move(*v));
@@ -191,13 +297,38 @@ bool StreamingTransformer::parse_into_table(const std::string& node,
   return true;
 }
 
+bool StreamingTransformer::parse_into_table(const std::string& node,
+                                            const std::string& file,
+                                            FileState& st, bool final_pass) {
+  ParseTask t = prepare_parse(node, file, st, final_pass);
+  if (!t.scheduled) return true;
+  run_parse(t);
+  return reconcile_parse(t);
+}
+
 void StreamingTransformer::finalize() {
-  // Walk (node, file) in sorted order — the same order DataTransformer::run
-  // imports in — so static-table rows land identically.
+  // Phase 1: fan the final full-content parses out across the pool.
+  std::vector<ParseTask> scheduled;
   for (auto& [node, files] : nodes_) {
     for (auto& [file, st] : files) {
       if (st.decl == nullptr) continue;
-      parse_into_table(node, file, st, /*final_pass=*/true);
+      ParseTask t = prepare_parse(node, file, st, /*final_pass=*/true);
+      if (t.scheduled) scheduled.push_back(std::move(t));
+    }
+  }
+  run_tasks(scheduled);
+
+  // Phase 2: reconcile + record metadata, walking (node, file) in sorted
+  // order — the same order DataTransformer::run imports in — so
+  // static-table rows land identically.
+  std::size_t si = 0;
+  for (auto& [node, files] : nodes_) {
+    for (auto& [file, st] : files) {
+      if (st.decl == nullptr) continue;
+      if (si < scheduled.size() && scheduled[si].st == &st) {
+        reconcile_parse(scheduled[si]);
+        ++si;
+      }
       if (st.table.empty() || !db_.exists(st.table)) continue;
 
       const db::Table& table = db_.get(st.table);

@@ -3,14 +3,25 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "db/database.h"
 #include "transform/declaration.h"
+#include "transform/parse_path.h"
+#include "transform/transform_config.h"
+
+namespace mscope::obs {
+class Tracer;
+}
 
 namespace mscope::transform {
+
+namespace fastparse {
+class ParsePool;
+}
 
 /// Incremental counterpart of DataTransformer: ingests raw log *bytes* as
 /// they arrive from the collector and keeps mScopeDB continuously loaded,
@@ -24,6 +35,15 @@ namespace mscope::transform {
 /// the table already holds. Re-parse points follow a geometric growth
 /// schedule, bounding total parse work at ~growth/(growth-1) times the
 /// one-shot cost.
+///
+/// Parsing runs on the zero-copy fast path (transform/fastparse/) by
+/// default, reading each channel's accumulated buffer in place with no XML
+/// materialization; TransformConfig::use_reference_parser restores the
+/// regex oracle. With Config::transform.parse_workers > 1, parse_all() and
+/// finalize() fan the per-file parse passes out across a worker pool
+/// (batch-granular work stealing); table reconciliation always happens on
+/// the calling thread in sorted (node, file) order, so the warehouse is
+/// byte-identical at any worker count.
 ///
 /// Schema widening on the fly: the XMLtoCSV "best match" type of a column
 /// can widen as data arrives (Int -> Double -> Text), and new columns can
@@ -41,6 +61,7 @@ class StreamingTransformer {
   struct Config {
     std::size_t min_parse_bytes = 2048;  ///< first re-parse threshold
     double growth_factor = 1.5;          ///< geometric re-parse schedule
+    TransformConfig transform;           ///< parse path + worker pool
   };
 
   struct Stats {
@@ -58,6 +79,9 @@ class StreamingTransformer {
     std::uint64_t unmatched_files = 0;  ///< no declaration: bytes discarded
     std::uint64_t gaps = 0;             ///< stream holes reported (note_gap)
     std::uint64_t gap_bytes = 0;        ///< log bytes lost in those holes
+    std::uint64_t rejected_lines = 0;   ///< malformed lines that matched no
+                                        ///< instruction (fast path counts
+                                        ///< them precisely)
   };
 
   /// Fires once per row the moment it becomes visible in a dynamic table
@@ -70,6 +94,7 @@ class StreamingTransformer {
   StreamingTransformer(db::Database& db, Config cfg);
   explicit StreamingTransformer(db::Database& db)
       : StreamingTransformer(db, Config{}) {}
+  ~StreamingTransformer();
 
   /// The declaration registry used for stage-1 matching (add custom formats
   /// before the first ingest).
@@ -77,10 +102,27 @@ class StreamingTransformer {
 
   void set_row_observer(RowObserver obs) { observer_ = std::move(obs); }
 
+  /// Optional span tracer for per-file parse spans (single-threaded — spans
+  /// are recorded only from the serial reconcile stage).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Appends raw bytes of `file` on `node` (in offset order — the collector
   /// guarantees this) and re-parses if the growth schedule says so.
   void ingest(const std::string& node, const std::string& file,
               std::string_view data);
+
+  /// Move overload: when `file`'s accumulation buffer is empty, the shipped
+  /// batch buffer is adopted wholesale instead of copied — the zero-copy
+  /// handoff from the collector (the buffer then IS the parse subject).
+  void ingest(const std::string& node, const std::string& file,
+              std::string&& data);
+
+  /// Disambiguates string literals onto the view overload (a literal could
+  /// otherwise convert to either std::string_view or std::string&&).
+  void ingest(const std::string& node, const std::string& file,
+              const char* data) {
+    ingest(node, file, std::string_view(data));
+  }
 
   /// Reports a hole in `file`'s byte stream (the collector abandoned a
   /// batch after exhausting retries): `bytes` log bytes between what was
@@ -97,7 +139,8 @@ class StreamingTransformer {
   }
 
   /// Forces an incremental parse of every file regardless of the growth
-  /// schedule (bounds signal staleness for online consumers).
+  /// schedule (bounds signal staleness for online consumers). Fans out
+  /// across the parse pool when Config::transform.parse_workers != 1.
   void parse_all();
 
   /// End of stream: parses full contents, loads the tails, and records
@@ -114,19 +157,48 @@ class StreamingTransformer {
     std::size_t next_parse_at = 0;      ///< growth-schedule trigger
     std::size_t rows_in_table = 0;
     std::size_t rows_notified = 0;
+    std::uint64_t rejected = 0;  ///< rejected lines in the parsed prefix
     db::Schema schema;
     std::string table;
   };
 
-  /// Parses the complete-line prefix (or, in finalize, everything) and
-  /// reconciles the dynamic table. Returns false if deferred.
+  /// One scheduled parse pass: the pure parse stage (run_parse) may execute
+  /// on a pool worker; reconcile_parse always runs on the calling thread.
+  struct ParseTask {
+    const std::string* node = nullptr;
+    const std::string* file = nullptr;
+    FileState* st = nullptr;
+    std::size_t prefix = 0;
+    bool final_pass = false;
+    bool scheduled = false;  ///< false: nothing to parse this pass
+    ParseResult result;
+    bool deferred = false;  ///< parse threw; retry on a later pass
+  };
+
+  /// Growth-schedule bookkeeping + prefix computation. Returns a task with
+  /// scheduled=false when there is nothing new to parse.
+  ParseTask prepare_parse(const std::string& node, const std::string& file,
+                          FileState& st, bool final_pass);
+  /// The pure parse stage — thread-safe, touches only the task and the
+  /// (internally locked) parser cache.
+  void run_parse(ParseTask& t) const;
+  /// Serial stage: counters, schema reconciliation, row inserts, observer.
+  bool reconcile_parse(ParseTask& t);
+  /// prepare + run + reconcile inline (the ingest-triggered path).
   bool parse_into_table(const std::string& node, const std::string& file,
                         FileState& st, bool final_pass);
+  /// Runs every scheduled task, on the pool when configured.
+  void run_tasks(std::vector<ParseTask>& tasks);
+
+  FileState& file_state(const std::string& node, const std::string& file);
 
   db::Database& db_;
   DeclarationRegistry registry_;
   Config cfg_;
   RowObserver observer_;
+  obs::Tracer* tracer_ = nullptr;
+  mutable ParserCache parser_cache_;
+  std::unique_ptr<fastparse::ParsePool> pool_;
   // node -> file -> state; both levels sorted so finalize() walks files in
   // the same order as DataTransformer::run.
   std::map<std::string, std::map<std::string, FileState>> nodes_;

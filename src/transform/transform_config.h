@@ -1,0 +1,22 @@
+#pragma once
+
+namespace mscope::transform {
+
+/// Knobs shared by the batch (DataTransformer) and streaming
+/// (StreamingTransformer) transform paths.
+struct TransformConfig {
+  /// Parse with the original std::regex mScopeParsers instead of the
+  /// compiled byte-scanning fast path. The regex parsers are kept as the
+  /// reference oracle: the fast path is required (and tested) to produce a
+  /// cell-for-cell identical warehouse, so flipping this flag must never
+  /// change results — only throughput.
+  bool use_reference_parser = false;
+
+  /// Worker threads for the streaming transform's parse passes (the pure
+  /// tokenize/convert stage; table reconciliation always runs on the calling
+  /// thread in deterministic file order, so the warehouse is identical at
+  /// any worker count). 1 = parse inline, 0 = hardware concurrency.
+  unsigned parse_workers = 1;
+};
+
+}  // namespace mscope::transform

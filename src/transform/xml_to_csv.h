@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -17,6 +18,10 @@ struct Conversion {
   std::string source;
   std::string node;
   std::string file;
+  /// 1-based source line number per row, when the producing parser tracked
+  /// it (the fast path does; the XML reference path and from_csv leave it
+  /// empty). Used only for error context — never affects the warehouse.
+  std::vector<std::uint32_t> row_lines;
 };
 
 /// mScope XMLtoCSV Converter (paper Section III-B.3).

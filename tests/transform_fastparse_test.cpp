@@ -1,0 +1,722 @@
+// Fast-path parser tests: the zero-copy byte-scanning parsers
+// (transform/fastparse/) against the reference regex + XML oracle.
+//
+// The contract under test is strict: for every declared format and any input
+// bytes — well-formed, malformed, mutated or truncated — the fast path must
+// produce a Conversion cell-for-cell identical to the reference
+// mScopeParser + XmlToCsvConverter, and the resulting warehouse must be
+// byte-identical at any parse worker count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "logging/formats.h"
+#include "obs/metrics.h"
+#include "transform/fastparse/fast_parser.h"
+#include "transform/fastparse/pattern.h"
+#include "transform/importer.h"
+#include "transform/parse_path.h"
+#include "transform/parsers.h"
+#include "transform/pipeline.h"
+#include "transform/streaming.h"
+#include "transform/xml_to_csv.h"
+#include "util/simtime.h"
+
+namespace mscope {
+namespace {
+
+using namespace transform;          // NOLINT
+namespace fmt = logging::formats;
+using fastparse::CompiledPattern;
+using fastparse::FastParser;
+using fastparse::ParseStats;
+using util::kMsec;
+using util::kSec;
+using util::SimTime;
+
+// ---------------------------------------------------------------------------
+// Fixture log content, one generator per declared format.
+// ---------------------------------------------------------------------------
+
+std::string apache_content() {
+  std::string s;
+  for (int i = 0; i < 20; ++i) {
+    fmt::ApacheRecord r;
+    r.ua = i * 50 * kMsec;
+    r.ud = r.ua + 3 * kMsec + i;
+    r.ds = r.ua + 1 * kMsec;
+    r.dr = r.ud - 1 * kMsec;
+    r.id = 0x100 + static_cast<std::uint64_t>(i);
+    r.url = i % 3 == 0 ? "/rubbos/ViewStory" : "/rubbos/Search";
+    r.status = i % 7 == 0 ? 500 : 200;
+    r.bytes = 1024 + static_cast<std::uint64_t>(i) * 13;
+    r.instrumented = i % 4 != 3;  // mix instrumented and baseline lines
+    s += fmt::apache_access(r) + "\n";
+  }
+  // Malformed lines the reference parser silently drops.
+  s += "garbage line that matches nothing\n";
+  s += "\n";
+  s += "10.0.0.9 - -\n";
+  return s;
+}
+
+std::string tomcat_content() {
+  std::string s;
+  for (int i = 0; i < 15; ++i) {
+    fmt::TomcatRecord r;
+    r.ua = i * 40 * kMsec;
+    r.ud = r.ua + 5 * kMsec;
+    r.id = 0x200 + static_cast<std::uint64_t>(i);
+    r.servlet = i % 2 == 0 ? "ViewStory" : "Search";
+    for (int c = 0; c < i % 4; ++c) {
+      const SimTime ds = r.ua + (c + 1) * kMsec;
+      r.calls.emplace_back(ds, ds + 700);
+    }
+    s += fmt::tomcat_monitor(r) + "\n";
+    if (i % 5 == 0) s += fmt::tomcat_baseline(r) + "\n";
+  }
+  // A head line with a corrupt tail: the call scanner must resume cleanly.
+  s += "2017-01-01 00:00:09.000 [mscope] ID=0000000002AB servlet=Search "
+       "ua=1483228809000000 ud=1483228809004000 calls=2 ds0=12 dr0= "
+       "ds1=1483228809001000 dr1=1483228809001500\n";
+  s += "not a tomcat line\n";
+  return s;
+}
+
+std::string cjdbc_content() {
+  std::string s;
+  for (int i = 0; i < 15; ++i) {
+    fmt::CjdbcRecord r;
+    r.ua = i * 30 * kMsec;
+    r.ud = r.ua + 2 * kMsec;
+    r.ds = r.ua + 500;
+    r.dr = r.ud - 500;
+    r.id = 0x300 + static_cast<std::uint64_t>(i);
+    r.visit = i % 3;
+    r.sql = "SELECT * FROM stories WHERE id=" + std::to_string(i);
+    r.instrumented = i % 5 != 4;
+    s += fmt::cjdbc_log(r) + "\n";
+  }
+  s += "[bad ts] ID=GARBAGE\n";
+  return s;
+}
+
+std::string mysql_content() {
+  std::string s;
+  for (int i = 0; i < 15; ++i) {
+    fmt::MysqlRecord r;
+    r.ua = i * 20 * kMsec;
+    r.ud = r.ua + 1 * kMsec;
+    r.id = 0x400 + static_cast<std::uint64_t>(i);
+    r.thread_id = 7 + i % 3;
+    r.visit = i % 2;
+    r.sql = "SELECT * FROM users WHERE id=" + std::to_string(i);
+    r.instrumented = i % 6 != 5;
+    s += fmt::mysql_general(r) + "\n";
+  }
+  s += "truncated li\n";
+  return s;
+}
+
+std::string sar_text_content() {
+  std::string s = fmt::sar_text_banner("db1", 8);
+  s += fmt::sar_text_cpu_header(0) + "\n";
+  for (int i = 0; i < 12; ++i) {
+    fmt::CpuRow r;
+    r.t = i * 100 * kMsec;
+    r.user = 10.0 + i;
+    r.system = 5.0 + 0.5 * i;
+    r.iowait = 1.0;
+    r.idle = 100.0 - r.user - r.system - r.iowait;
+    s += fmt::sar_text_cpu_row(r) + "\n";
+  }
+  // A second header block mid-file (sar restarts emit these).
+  s += fmt::sar_text_cpu_header(2 * kSec) + "\n";
+  fmt::CpuRow r;
+  r.t = 2 * kSec;
+  r.user = 50;
+  r.system = 10;
+  r.iowait = 5;
+  r.idle = 35;
+  s += fmt::sar_text_cpu_row(r) + "\n";
+  s += "short row\n";  // width mismatch: dropped by both paths
+  return s;
+}
+
+std::string iostat_content() {
+  std::string s = fmt::iostat_banner("db1", 8);
+  for (int i = 0; i < 10; ++i) {
+    fmt::DiskRow r;
+    r.t = i * 200 * kMsec;
+    r.tps = 100 + i;
+    r.read_kbs = 2000 + 10.0 * i;
+    r.write_kbs = 500 + 5.0 * i;
+    r.util = 40.0 + i;
+    r.queue = i % 4;
+    s += fmt::iostat_block("sda", r);
+  }
+  s += "orphan tokens without a timestamp\n";
+  return s;
+}
+
+std::string collectl_csv_content() {
+  std::string s = fmt::collectl_csv_header() + "\n";
+  for (int i = 0; i < 12; ++i) {
+    fmt::CpuRow c;
+    c.t = i * 100 * kMsec;
+    c.user = 20 + i;
+    c.system = 4;
+    c.iowait = 2;
+    c.idle = 74 - i;
+    fmt::DiskRow d;
+    d.t = c.t;
+    d.tps = 50;
+    d.read_kbs = 100 + i;
+    d.write_kbs = 30;
+    d.util = 10 + i;
+    d.queue = 1;
+    fmt::MemRow m;
+    m.t = c.t;
+    m.dirty_kb = 100 + i;
+    m.cached_kb = 2048;
+    s += fmt::collectl_csv_row(c, d, m) + "\n";
+  }
+  s += "1,2,3\n";  // width mismatch
+  return s;
+}
+
+std::string collectl_plain_content() {
+  std::string s = fmt::collectl_plain_header() + "\n";
+  for (int i = 0; i < 12; ++i) {
+    fmt::CpuRow c;
+    c.t = i * 100 * kMsec;
+    c.user = 15 + i;
+    c.system = 3;
+    c.iowait = 1;
+    c.idle = 81 - i;
+    fmt::DiskRow d;
+    d.t = c.t;
+    d.tps = 40;
+    d.read_kbs = 80 + i;
+    d.write_kbs = 20;
+    d.util = 5 + i;
+    d.queue = 0;
+    s += fmt::collectl_plain_row(c, d) + "\n";
+  }
+  s += "too few\n";
+  return s;
+}
+
+struct FormatFixture {
+  const char* file;
+  std::string content;
+};
+
+std::vector<FormatFixture> all_fixtures() {
+  return {{"apache_access.log", apache_content()},
+          {"tomcat_mscope.log", tomcat_content()},
+          {"cjdbc_controller.log", cjdbc_content()},
+          {"mysql_general.log", mysql_content()},
+          {"sar_cpu.log", sar_text_content()},
+          {"iostat.log", iostat_content()},
+          {"collectl.csv", collectl_csv_content()},
+          {"collectl.log", collectl_plain_content()}};
+}
+
+// ---------------------------------------------------------------------------
+// Parity helpers.
+// ---------------------------------------------------------------------------
+
+Conversion reference_parse(std::string_view content, const ParseContext& ctx) {
+  const ParserFn parser = ParserRegistry::get(ctx.decl->parser_id);
+  return XmlToCsvConverter::convert(*parser(content, ctx));
+}
+
+void expect_same_conversion(const Conversion& ref, const Conversion& fast,
+                            const std::string& label) {
+  EXPECT_EQ(ref.source, fast.source) << label;
+  EXPECT_EQ(ref.node, fast.node) << label;
+  EXPECT_EQ(ref.file, fast.file) << label;
+  ASSERT_EQ(ref.schema.size(), fast.schema.size()) << label;
+  for (std::size_t i = 0; i < ref.schema.size(); ++i) {
+    EXPECT_EQ(ref.schema[i].name, fast.schema[i].name)
+        << label << " column " << i;
+    EXPECT_EQ(static_cast<int>(ref.schema[i].type),
+              static_cast<int>(fast.schema[i].type))
+        << label << " column " << ref.schema[i].name;
+  }
+  ASSERT_EQ(ref.rows.size(), fast.rows.size()) << label;
+  for (std::size_t r = 0; r < ref.rows.size(); ++r) {
+    ASSERT_EQ(ref.rows[r], fast.rows[r]) << label << " row " << r;
+  }
+}
+
+/// Parses `content` on both paths and asserts identical Conversions. The
+/// fast path's stats land in `*out` (for rejected-count assertions).
+void expect_parity(const std::string& file, std::string_view content,
+                   ParseStats* out = nullptr) {
+  DeclarationRegistry registry;
+  const Declaration* decl = registry.match(file);
+  ASSERT_NE(decl, nullptr) << file;
+  ParseContext ctx{"web1", file, decl};
+
+  auto fp = FastParser::compile(*decl);
+  ASSERT_NE(fp, nullptr) << file << " has no fast parser";
+  ParseStats stats;
+  const Conversion fast = fp->parse(content, ctx, stats);
+  const Conversion ref = reference_parse(content, ctx);
+  expect_same_conversion(ref, fast, file);
+  if (out != nullptr) *out = stats;
+}
+
+void expect_identical_databases(const db::Database& a, const db::Database& b,
+                                const std::string& label) {
+  ASSERT_EQ(a.table_names(), b.table_names()) << label;
+  for (const auto& name : a.table_names()) {
+    const db::Table& ta = a.get(name);
+    const db::Table& tb = b.get(name);
+    ASSERT_EQ(ta.schema(), tb.schema()) << label << ": schema of " << name;
+    ASSERT_EQ(ta.row_count(), tb.row_count()) << label << ": rows of " << name;
+    for (std::size_t r = 0; r < ta.row_count(); ++r) {
+      for (std::size_t c = 0; c < ta.column_count(); ++c) {
+        ASSERT_TRUE(ta.at(r, c) == tb.at(r, c))
+            << label << ": " << name << " differs at row " << r << " col "
+            << ta.schema()[c].name;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pattern compiler: behavior against std::regex on the same inputs.
+// ---------------------------------------------------------------------------
+
+void expect_pattern_matches_regex(const std::string& pattern,
+                                  const std::string& subject) {
+  auto cp = CompiledPattern::compile(pattern);
+  ASSERT_NE(cp, nullptr) << pattern;
+  const std::regex re(pattern);
+  std::cmatch m;
+  const bool ref = std::regex_match(
+      subject.data(), subject.data() + subject.size(), m, re);
+  CompiledPattern::Groups groups;
+  const bool fast =
+      cp->match(subject.data(), subject.data() + subject.size(), groups);
+  ASSERT_EQ(ref, fast) << pattern << " on \"" << subject << "\"";
+  if (!ref) return;
+  ASSERT_EQ(cp->group_count(), m.size() - 1) << pattern;
+  for (std::size_t g = 0; g < cp->group_count(); ++g) {
+    ASSERT_TRUE(m[g + 1].matched) << pattern << " group " << g + 1;
+    EXPECT_EQ(std::string(m[g + 1].first, m[g + 1].second),
+              std::string(groups[g].view()))
+        << pattern << " group " << g + 1 << " on \"" << subject << "\"";
+  }
+}
+
+TEST(FastPattern, MatchesRegexOnDeclaredFormats) {
+  // Every token regex of every built-in declaration must compile (no silent
+  // fallback to std::regex on the hot formats) and agree with std::regex.
+  DeclarationRegistry registry;
+  for (const auto& d : registry.all()) {
+    for (const auto& t : d.tokens) {
+      auto cp = CompiledPattern::compile(t.regex);
+      ASSERT_NE(cp, nullptr) << d.source << ": " << t.regex;
+    }
+  }
+  fmt::ApacheRecord r;
+  r.ua = kSec;
+  r.ud = r.ua + 3 * kMsec;
+  r.ds = r.ua + kMsec;
+  r.dr = r.ud - kMsec;
+  r.id = 0xAB;
+  r.url = "/rubbos/ViewStory";
+  std::string line = fmt::apache_access(r);
+  line.pop_back();  // strip '\n' — patterns are per line
+  const auto& apache = *registry.match("apache_access.log");
+  expect_pattern_matches_regex(apache.tokens[0].regex, line);
+  expect_pattern_matches_regex(apache.tokens[1].regex, line);  // must reject
+}
+
+TEST(FastPattern, QuantifiersClassesAndBacktracking) {
+  const std::vector<std::pair<std::string, std::vector<std::string>>> cases = {
+      // Greedy star + literal tail: the accel path and its backtracking.
+      {R"x((.*)" end)x",
+       {R"x(abc" end)x", R"x(a"b" end)x", R"x(" end)x", "no tail"}},
+      // Greedy class runs that must give back characters.
+      {R"((\d+)(\d))", {"1234", "7", ""}},
+      {R"((a*)(a?)(a))", {"aaa", "a", "b", ""}},
+      // Bounded repeats.
+      {R"(([0-9A-F]{12}))", {"0123456789AB", "0123456789ABC", "012"}},
+      {R"((\d{2,4})x)", {"12x", "1234x", "12345x", "1x"}},
+      // Negated classes and ranges.
+      {R"(\[([^\]]+)\] (\S+))", {"[a b] tok", "[] tok", "[x] "}},
+      // Nested groups.
+      {R"((a(b(c))d))", {"abcd", "abd", "ad"}},
+      // Dot excludes newline.
+      {"(.+)", {"abc", "a\nb", ""}},
+      // Escapes and literal runs.
+      {R"((\d+) ua=(\d+))", {"5 ua=6", "5 ua=", " ua=6"}},
+      {R"(a\.b(\w+))", {"a.bxy", "axbxy"}},
+  };
+  for (const auto& [pattern, subjects] : cases) {
+    for (const auto& s : subjects) expect_pattern_matches_regex(pattern, s);
+  }
+}
+
+TEST(FastPattern, UnsupportedConstructsFallBack) {
+  // These must return nullptr (the instruction keeps std::regex) rather
+  // than compile to something subtly wrong.
+  for (const char* p : {"a|b", "(?:ab)c", "(ab)+", "a*?", "a\\bb", "x$y",
+                        "a(b|c)d", "(\\d+"}) {
+    EXPECT_EQ(CompiledPattern::compile(p), nullptr) << p;
+  }
+}
+
+TEST(FastPattern, PrefixMatchMirrorsRegexSearchAnchored) {
+  const std::string pattern =
+      R"(^(\d{4}-\d{2}-\d{2} [0-9:.]+) \[mscope\] ID=([0-9A-F]{12}) servlet=(\S+) ua=(\d+) ud=(\d+) calls=(\d+))";
+  auto cp = CompiledPattern::compile(pattern);
+  ASSERT_NE(cp, nullptr);
+  const std::regex re(pattern);
+  const std::vector<std::string> subjects = {
+      "2017-01-01 00:00:01.000 [mscope] ID=0000000000AB servlet=S ua=1 ud=2 "
+      "calls=2 ds0=3 dr0=4",
+      "2017-01-01 00:00:01.000 [mscope] ID=0000000000AB servlet=S ua=1 ud=2 "
+      "calls=0",
+      "junk 2017-01-01 00:00:01.000 [mscope] ID=0000000000AB servlet=S ua=1 "
+      "ud=2 calls=0",
+  };
+  for (const auto& s : subjects) {
+    std::cmatch m;
+    const bool ref =
+        std::regex_search(s.data(), s.data() + s.size(), m, re);
+    CompiledPattern::Groups groups;
+    const char* suffix = nullptr;
+    const bool fast =
+        cp->match_prefix(s.data(), s.data() + s.size(), groups, &suffix);
+    ASSERT_EQ(ref, fast) << s;
+    if (!ref) continue;
+    EXPECT_EQ(m[0].second - s.data(), suffix - s.data()) << s;
+    for (std::size_t g = 0; g + 1 < m.size(); ++g) {
+      EXPECT_EQ(std::string(m[g + 1].first, m[g + 1].second),
+                std::string(groups[g].view()))
+          << s;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: reference oracle parity over every fixture format.
+// ---------------------------------------------------------------------------
+
+TEST(FastParseParity, EveryFormatMatchesReferenceOracle) {
+  for (const auto& f : all_fixtures()) {
+    SCOPED_TRACE(f.file);
+    expect_parity(f.file, f.content);
+  }
+}
+
+TEST(FastParseParity, EdgeContentsMatchReference) {
+  const std::vector<std::string> edges = {
+      "", "\n", "\n\n\n", "no newline at end", "\r\n",
+      std::string(3, '\0') + "\n", "   \n\t\n"};
+  for (const auto& f : all_fixtures()) {
+    for (const auto& e : edges) {
+      SCOPED_TRACE(std::string(f.file) + " with edge content");
+      expect_parity(f.file, e);
+      // Edge bytes appended after valid content (mid-file corruption).
+      expect_parity(f.file, f.content + e);
+    }
+  }
+}
+
+TEST(FastParseParity, SarXmlHasNoFastPathByDesign) {
+  DeclarationRegistry registry;
+  const Declaration* decl = registry.match("sar_cpu.xml");
+  ASSERT_NE(decl, nullptr);
+  // XML parsing stays on the reference path; parse_to_conversion must route
+  // there rather than failing.
+  EXPECT_EQ(FastParser::compile(*decl), nullptr);
+  std::string xml = fmt::sar_xml_open("db1", 8);
+  fmt::CpuRow r;
+  r.t = kSec;
+  r.user = 12;
+  r.system = 3;
+  r.iowait = 1;
+  r.idle = 84;
+  xml += fmt::sar_xml_cpu_timestamp(r);
+  xml += fmt::sar_xml_close();
+  ParseContext ctx{"db1", "sar_cpu.xml", decl};
+  ParserCache cache;
+  const ParseResult res =
+      parse_to_conversion(xml, ctx, TransformConfig{}, cache);
+  EXPECT_FALSE(res.fast);
+  EXPECT_FALSE(res.conv.rows.empty());
+}
+
+TEST(FastParseParity, UseReferenceParserFlagForcesOracle) {
+  DeclarationRegistry registry;
+  const Declaration* decl = registry.match("apache_access.log");
+  ParseContext ctx{"web1", "apache_access.log", decl};
+  ParserCache cache;
+  TransformConfig ref_cfg;
+  ref_cfg.use_reference_parser = true;
+  const auto content = apache_content();
+  const ParseResult ref = parse_to_conversion(content, ctx, ref_cfg, cache);
+  const ParseResult fast =
+      parse_to_conversion(content, ctx, TransformConfig{}, cache);
+  EXPECT_FALSE(ref.fast);
+  EXPECT_TRUE(fast.fast);
+  expect_same_conversion(ref.conv, fast.conv, "flag parity");
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: rejected-line accounting.
+// ---------------------------------------------------------------------------
+
+TEST(FastParseRejected, CountsMalformedLinesPerFormat) {
+  // apache_content() ends with 3 non-matching candidates, but blank lines
+  // are structural (the reference XML drops trailing blanks too) — the two
+  // non-blank garbage lines must be counted.
+  ParseStats apache;
+  expect_parity("apache_access.log", apache_content(), &apache);
+  EXPECT_EQ(apache.rejected, 2u);
+  EXPECT_GT(apache.lines, 20u);
+
+  ParseStats tomcat;
+  expect_parity("tomcat_mscope.log", tomcat_content(), &tomcat);
+  EXPECT_EQ(tomcat.rejected, 1u);
+
+  ParseStats csv;
+  expect_parity("collectl.csv", collectl_csv_content(), &csv);
+  EXPECT_EQ(csv.rejected, 1u);  // the "1,2,3" width mismatch
+}
+
+TEST(FastParseRejected, StreamingCountsRejectedIntoStatsAndRegistry) {
+  obs::Counter& total =
+      obs::Registry::global().counter("transform.parse.rejected");
+  obs::Counter& apache =
+      obs::Registry::global().counter("transform.parse.rejected.apache");
+  const std::uint64_t total0 = total.get();
+  const std::uint64_t apache0 = apache.get();
+
+  db::Database db;
+  StreamingTransformer st(db);
+  const std::string content = apache_content();
+  // Feed in two chunks so rejected lines are (re)counted across growing
+  // prefixes — the delta accounting must not double-count.
+  const std::size_t cut = content.size() / 2;
+  st.ingest("web1", "apache_access.log", std::string_view(content).substr(0, cut));
+  st.parse_all();
+  st.ingest("web1", "apache_access.log", std::string_view(content).substr(cut));
+  st.finalize();
+
+  EXPECT_EQ(st.stats().rejected_lines, 2u);
+  EXPECT_EQ(total.get() - total0, 2u);
+  EXPECT_EQ(apache.get() - apache0, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: DataImporter errors carry file:line context.
+// ---------------------------------------------------------------------------
+
+TEST(FastParseErrors, ImportErrorPointsAtSourceLine) {
+  Conversion c;
+  c.source = "apache";
+  c.node = "web1";
+  c.file = "apache_access.log";
+  c.schema = {{"ts_usec", db::DataType::kInt}};
+  c.rows = {{"12"}, {"not-a-number"}};
+  c.row_lines = {4, 17};  // fast path: 1-based raw-log line per row
+  db::Database db;
+  try {
+    (void)DataImporter::import(db, "ev_apache_web1", c);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("web1/apache_access.log:17"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FastParseErrors, ImportErrorWithoutLinesFallsBackToRowIndex) {
+  Conversion c;
+  c.source = "apache";
+  c.node = "web1";
+  c.file = "apache_access.log";
+  c.schema = {{"ts_usec", db::DataType::kInt}};
+  c.rows = {{"boom"}};
+  db::Database db;
+  try {
+    (void)DataImporter::import(db, "t", c);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("web1/apache_access.log row 1"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: randomized property test — mutate/truncate valid content; the
+// fast path must never crash and must agree with the oracle on accept,
+// reject and every emitted field. (CI runs this binary under ASan/UBSan and
+// TSan, so memory errors in the byte scanners surface here.)
+// ---------------------------------------------------------------------------
+
+std::string mutate(const std::string& base, std::mt19937& rng) {
+  std::string s = base;
+  std::uniform_int_distribution<int> op_dist(0, 4);
+  const int ops = 1 + static_cast<int>(rng() % 3);
+  for (int i = 0; i < ops && !s.empty(); ++i) {
+    const auto pos = rng() % s.size();
+    switch (op_dist(rng)) {
+      case 0:  // truncate (also mid-line: streaming sees such prefixes)
+        s.resize(pos);
+        break;
+      case 1:  // flip a byte to an arbitrary value, including '\0' and '\n'
+        s[pos] = static_cast<char>(rng() % 256);
+        break;
+      case 2:  // delete a byte
+        s.erase(pos, 1);
+        break;
+      case 3:  // duplicate a random slice
+        s.insert(pos, s.substr(pos, 1 + rng() % 40));
+        break;
+      case 4:  // inject a burst of random bytes
+      default: {
+        std::string junk;
+        for (std::size_t j = 0; j < 1 + rng() % 16; ++j) {
+          junk += static_cast<char>(rng() % 256);
+        }
+        s.insert(pos, junk);
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+TEST(FastParseProperty, MutatedContentNeverCrashesAndMatchesOracle) {
+  std::mt19937 rng(20170101);  // deterministic: failures must reproduce
+  DeclarationRegistry registry;
+  for (const auto& f : all_fixtures()) {
+    const Declaration* decl = registry.match(f.file);
+    ASSERT_NE(decl, nullptr);
+    auto fp = FastParser::compile(*decl);
+    ASSERT_NE(fp, nullptr);
+    ParseContext ctx{"web1", f.file, decl};
+    for (int iter = 0; iter < 40; ++iter) {
+      const std::string mutated = mutate(f.content, rng);
+      SCOPED_TRACE(std::string(f.file) + " iteration " +
+                   std::to_string(iter));
+      ParseStats stats;
+      const Conversion fast = fp->parse(mutated, ctx, stats);
+      const Conversion ref = reference_parse(mutated, ctx);
+      expect_same_conversion(ref, fast, f.file);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: batch pipeline parity and worker-pool determinism. The suite
+// name carries "StreamingParity" so CI's TSan job picks up the threaded
+// variants.
+// ---------------------------------------------------------------------------
+
+class StreamingParityFastpath : public ::testing::Test {
+ protected:
+  /// Streams every fixture into a fresh warehouse with the given transform
+  /// config, chunked at awkward boundaries, with mid-stream parse_all()
+  /// ticks. Deterministic by construction.
+  static void stream_all(db::Database& db, const TransformConfig& tc) {
+    StreamingTransformer::Config cfg;
+    cfg.min_parse_bytes = 64;  // force many incremental passes
+    cfg.growth_factor = 1.3;
+    cfg.transform = tc;
+    StreamingTransformer st(db, cfg);
+    const auto fixtures = all_fixtures();
+    std::size_t chunk = 7;
+    std::vector<std::size_t> off(fixtures.size(), 0);
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t i = 0; i < fixtures.size(); ++i) {
+        const std::string& c = fixtures[i].content;
+        if (off[i] >= c.size()) continue;
+        const std::size_t n = std::min(chunk, c.size() - off[i]);
+        st.ingest("web1", fixtures[i].file,
+                  std::string_view(c).substr(off[i], n));
+        off[i] += n;
+        chunk = chunk * 2 + 1;  // 7, 15, 31 ... then wrap
+        if (chunk > 4096) chunk = 7;
+        progress = true;
+      }
+      st.parse_all();
+    }
+    st.finalize();
+  }
+};
+
+TEST_F(StreamingParityFastpath, WorkerPoolWarehouseIsByteIdentical) {
+  TransformConfig serial;
+  TransformConfig pooled;
+  pooled.parse_workers = 4;
+  TransformConfig reference;
+  reference.use_reference_parser = true;
+
+  db::Database db_serial, db_pooled, db_reference;
+  stream_all(db_serial, serial);
+  stream_all(db_pooled, pooled);
+  stream_all(db_reference, reference);
+
+  expect_identical_databases(db_serial, db_pooled, "1 vs 4 workers");
+  expect_identical_databases(db_serial, db_reference, "fast vs reference");
+  EXPECT_FALSE(db_serial.table_names().empty());
+}
+
+TEST_F(StreamingParityFastpath, BatchTransformerFastPathMatchesReference) {
+  namespace fs = std::filesystem;
+  const fs::path run_dir =
+      fs::temp_directory_path() / "mscope_fastparse_batch";
+  fs::remove_all(run_dir);
+  for (const auto& f : all_fixtures()) {
+    fs::create_directories(run_dir / "web1");
+    std::ofstream(run_dir / "web1" / f.file, std::ios::binary) << f.content;
+  }
+
+  DataTransformer::Config fast_cfg;
+  fast_cfg.write_intermediates = false;
+  DataTransformer::Config ref_cfg;
+  ref_cfg.write_intermediates = false;
+  ref_cfg.transform.use_reference_parser = true;
+  DataTransformer::Config xml_cfg;  // default: full XML/CSV artifact path
+
+  db::Database db_fast, db_ref, db_xml;
+  const auto rep_fast = DataTransformer(fast_cfg).run(run_dir, db_fast);
+  const auto rep_ref = DataTransformer(ref_cfg).run(run_dir, db_ref);
+  const auto rep_xml = DataTransformer(xml_cfg).run(run_dir, db_xml);
+
+  EXPECT_EQ(rep_fast.rows_loaded, rep_ref.rows_loaded);
+  EXPECT_EQ(rep_fast.tables_created, rep_ref.tables_created);
+  ASSERT_EQ(rep_fast.files.size(), rep_ref.files.size());
+  for (std::size_t i = 0; i < rep_fast.files.size(); ++i) {
+    EXPECT_EQ(rep_fast.files[i].entries, rep_ref.files[i].entries)
+        << rep_fast.files[i].file;
+  }
+  expect_identical_databases(db_ref, db_fast, "batch fast vs reference");
+  expect_identical_databases(db_xml, db_fast, "batch fast vs XML artifacts");
+  fs::remove_all(run_dir);
+}
+
+}  // namespace
+}  // namespace mscope

@@ -203,10 +203,12 @@ TEST_F(PipelineFixture, ParallelRunMatchesSerial) {
   db::Database serial_db, parallel_db;
   DataTransformer serial({.write_intermediates = false,
                           .import_from_files = false,
-                          .parallelism = 1});
+                          .parallelism = 1,
+                          .transform = {}});
   DataTransformer parallel({.write_intermediates = false,
                             .import_from_files = false,
-                            .parallelism = 4});
+                            .parallelism = 4,
+                            .transform = {}});
   const auto sr = serial.run(run_dir_, serial_db);
   const auto pr = parallel.run(run_dir_, parallel_db);
   EXPECT_EQ(sr.tables_created, pr.tables_created);
