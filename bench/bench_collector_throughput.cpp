@@ -7,6 +7,8 @@
 
 #include "bench_common.h"
 
+#include <cstdlib>
+
 #include "db/database.h"
 
 using namespace mscope;
@@ -14,10 +16,12 @@ using namespace mscope::bench;
 
 namespace {
 
-core::TestbedConfig base_config(const std::string& tag) {
+core::TestbedConfig base_config(const std::string& tag, int workload,
+                                const std::array<int, 4>& nodes) {
   core::TestbedConfig cfg;
-  cfg.workload = 4000;
+  cfg.workload = workload;
   cfg.duration = util::sec(10);
+  cfg.nodes_per_tier = nodes;
   cfg.capture_messages = false;
   cfg.log_dir = bench_dir("collector_" + tag);
   return cfg;
@@ -38,9 +42,17 @@ std::uint64_t total_rows(const db::Database& db) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Scale knobs: `bench_collector_throughput [workload] [replicas_per_tier]`.
+  // The default (4000 users, single-replica tiers) is the PR-1 baseline of
+  // ~3.6k records/s; workload 40000 over 4 replicas per tier drives the
+  // same pipeline at 10-50x that record rate.
+  const int workload = argc > 1 ? std::atoi(argv[1]) : 4000;
+  const int replicas = argc > 2 ? std::atoi(argv[2]) : 1;
+  const std::array<int, 4> nodes{replicas, replicas, replicas, replicas};
+
   // Baseline: the classic workflow — run, then batch-transform the logs.
-  core::Experiment batch(base_config("batch"));
+  core::Experiment batch(base_config("batch", workload, nodes));
   batch.run();
   db::Database db_batch;
   batch.load_warehouse(db_batch);
@@ -49,7 +61,7 @@ int main() {
   // Streaming: identical testbed, with mScopeCollector attached. Records
   // flow monitored node -> ring buffer -> shipper -> network -> aggregator
   // -> streaming transformer -> mScopeDB, all in virtual time.
-  core::Experiment online(base_config("online"));
+  core::Experiment online(base_config("online", workload, nodes));
   db::Database db_stream;
   auto collection = online.start_online(db_stream);
   online.run();

@@ -1,0 +1,122 @@
+// Fleet fan-in sweep: the same 64-server experiment collected through trees
+// of depth 1 (leaves -> root, the classic flat deployment), depth 2
+// (per-rack relays) and depth 3 (racks under pods). For each depth: the
+// end-to-end collection latency (leaf batch assembly -> root ingest, as
+// carried by the frames themselves), the modeled CPU each hop level paid,
+// and proof that every depth delivers the identical warehouse. Every per-hop
+// gauge also lands in mscope_meta_* keyed by node id, so the tree's own
+// health is queryable next to the data it collected.
+
+#include "bench_common.h"
+
+#include <set>
+
+#include "fleet/fleet_collection.h"
+
+using namespace mscope;
+using namespace mscope::bench;
+
+namespace {
+
+struct DepthResult {
+  int levels = 0;
+  int relays = 0;
+  fleet::FleetCollection::Totals totals;
+  std::uint64_t warehouse_rows = 0;
+  std::uint64_t meta_fleet_gauges = 0;  ///< distinct fleet.* series exported
+};
+
+DepthResult run_depth(int levels) {
+  core::TestbedConfig cfg;
+  cfg.workload = 6000;
+  cfg.duration = util::sec(10);
+  cfg.nodes_per_tier = {16, 16, 16, 16};
+  cfg.capture_messages = false;
+  cfg.log_dir = bench_dir("fleet_fanin_d" + std::to_string(levels));
+  core::Experiment exp(cfg);
+
+  fleet::FleetCollection::Config fc;
+  fc.topology.levels = levels;
+  fc.topology.racks = 8;
+  fc.topology.pods = 3;
+  fc.topology.shards = 4;
+  fc.observability.emplace();
+  fleet::ShardedWarehouse db(fc.topology.shards);
+  fleet::FleetCollection fleet(exp.testbed(), db, nullptr, fc);
+
+  exp.run();
+  fleet.finish();
+
+  DepthResult r;
+  r.levels = levels;
+  r.relays = static_cast<int>(fleet.rack_relays().size() +
+                              fleet.pod_relays().size());
+  r.totals = fleet.totals();
+  for (const auto& name : db.table_names()) {
+    if (name.rfind("mscope_meta_", 0) == 0) continue;  // telemetry differs
+    r.warehouse_rows += db.get(name).row_count();
+  }
+  if (const db::Table* meta = db.find("mscope_meta_metrics")) {
+    std::set<std::string> series;
+    const std::size_t name_col = *meta->column_index("name");
+    for (std::size_t i = 0; i < meta->row_count(); ++i) {
+      const std::string n = db::value_to_string(meta->at(i, name_col));
+      if (n.rfind("fleet.", 0) == 0) series.insert(n);
+    }
+    r.meta_fleet_gauges = series.size();
+  }
+  std::filesystem::remove_all(cfg.log_dir);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("fleet fan-in: 64 servers, depth 1/2/3 trees, same workload\n\n");
+  std::vector<DepthResult> results;
+  for (int levels = 1; levels <= 3; ++levels) {
+    results.push_back(run_depth(levels));
+  }
+
+  std::printf("%-7s%-8s%-12s%-12s%-12s%-12s%-12s%-12s\n", "depth", "relays",
+              "lag last", "lag max", "leaf cpu", "relay cpu", "root cpu",
+              "meta series");
+  for (const auto& r : results) {
+    std::printf("%-7d%-8d%-12.1f%-12.1f%-12.1f%-12.1f%-12.1f%-12llu\n",
+                r.levels, r.relays,
+                static_cast<double>(r.totals.last_lag) / 1000.0,
+                static_cast<double>(r.totals.max_lag) / 1000.0,
+                static_cast<double>(r.totals.shipping_cpu) / 1000.0,
+                static_cast<double>(r.totals.relay_cpu) / 1000.0,
+                static_cast<double>(r.totals.root_cpu) / 1000.0,
+                static_cast<unsigned long long>(r.meta_fleet_gauges));
+  }
+  std::printf("(lag and cpu in ms; lag = leaf batch assembly -> root "
+              "ingest)\n\n");
+
+  const auto& d1 = results[0];
+  const auto& d2 = results[1];
+  const auto& d3 = results[2];
+
+  check(d1.warehouse_rows > 0 && d1.warehouse_rows == d2.warehouse_rows &&
+            d2.warehouse_rows == d3.warehouse_rows,
+        "every depth delivers the identical warehouse row count");
+  for (const auto& r : results) {
+    check(r.totals.dropped == 0 && r.totals.leaf_abandoned == 0 &&
+              r.totals.relay_abandoned == 0 && r.totals.root_gaps == 0,
+          "depth " + std::to_string(r.levels) +
+              " is lossless on a healthy network");
+  }
+  check(d1.relays == 0 && d2.relays == 8 && d3.relays == 8 + 3,
+        "relay count follows the declared topology (0 / 8 / 8+3)");
+  check(d1.totals.relay_cpu == 0 && d2.totals.relay_cpu > 0 &&
+            d3.totals.relay_cpu > d2.totals.relay_cpu,
+        "each extra level pays measurable relay CPU");
+  check(d1.totals.max_lag > 0 && d2.totals.max_lag > d1.totals.max_lag &&
+            d3.totals.max_lag > d2.totals.max_lag,
+        "end-to-end collection latency grows with tree depth");
+  check(d2.meta_fleet_gauges > d1.meta_fleet_gauges &&
+            d3.meta_fleet_gauges > d2.meta_fleet_gauges,
+        "per-hop gauges land in mscope_meta_* keyed by relay/node id");
+  return finish("fleet_fanin");
+}

@@ -21,9 +21,12 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/milliscope.h"
 #include "core/report.h"
@@ -31,6 +34,7 @@
 #include "db/sql.h"
 #include "db/sqlengine/engine.h"
 #include "db/sqlengine/token.h"
+#include "fleet/topology.h"
 #include "obs/metrics.h"
 #include "transform/warehouse_io.h"
 
@@ -342,12 +346,42 @@ void print_meta_tables(const db::Database& db) {
   if (const db::Table* metrics = db.find("mscope_meta_metrics")) {
     const auto last = static_cast<std::int64_t>(
         db::Query(*metrics).aggregate(db::Query::AggKind::kMax, "ts_usec"));
+    // Split the final tick into per-hop collection gauges — grouped by the
+    // node id baked into the series name, so a 64-server fleet reads as 64
+    // lines instead of 500 — and everything else (process/db counters).
+    const std::size_t ts_c = *metrics->column_index("ts_usec");
+    const std::size_t name_c = *metrics->column_index("name");
+    const std::size_t kind_c = *metrics->column_index("kind");
+    const std::size_t val_c = *metrics->column_index("value");
+    // Later rows overwrite earlier ones: the finish() scrape can land on
+    // the same tick as the last periodic export, and the end-of-run state
+    // is the one worth showing.
+    std::map<std::string, std::map<std::string, double>> hops;
+    std::map<std::string, std::pair<std::string, double>> rest;
+    for (std::size_t i = 0; i < metrics->row_count(); ++i) {
+      if (std::get<std::int64_t>(metrics->at(i, ts_c)) != last) continue;
+      const std::string name = db::value_to_string(metrics->at(i, name_c));
+      const double value = std::get<double>(metrics->at(i, val_c));
+      fleet::GaugeKey key;
+      if (fleet::parse_hop_gauge(name, &key)) {
+        hops[key.node][key.gauge] = value;
+      } else {
+        rest[name] = {db::value_to_string(metrics->at(i, kind_c)), value};
+      }
+    }
     std::printf("\nfinal export tick (t=%.2fs):\n", util::to_sec(last));
-    const db::Table result = db::Query(*metrics)
-                                 .where_eq_int("ts_usec", last)
-                                 .project({"name", "kind", "value"})
-                                 .run("last_tick");
-    std::printf("%s", db::Sql::format(result).c_str());
+    for (const auto& [name, kv] : rest)
+      std::printf("  %-44s %-9s %.0f\n", name.c_str(), kv.first.c_str(),
+                  kv.second);
+    if (!hops.empty()) {
+      std::printf("\nper-hop collection gauges by node id:\n");
+      for (const auto& [node, gauges] : hops) {
+        std::printf("  %-10s", node.c_str());
+        for (const auto& [gauge, value] : gauges)
+          std::printf(" %s=%.0f", gauge.c_str(), value);
+        std::printf("\n");
+      }
+    }
   }
 }
 

@@ -4,11 +4,17 @@
 // interrogate everything through mScopeSQL, and archive the warehouse to
 // disk for later re-analysis.
 
+#include <cstdint>
 #include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/milliscope.h"
 #include "db/query.h"
 #include "db/sql.h"
+#include "fleet/fleet_collection.h"
 #include "obs/meta_exporter.h"
 #include "obs/metrics.h"
 #include "transform/warehouse_io.h"
@@ -130,6 +136,60 @@ int run_explorer() {
   panel("meta: what did SQL execution itself cost?",
         "SELECT name, MAX(value) AS total FROM mscope_meta_metrics "
         "WHERE name LIKE 'db.sql.%' GROUP BY name ORDER BY name");
+
+  // mScopeFleet panel: the same experiment collected live through a small
+  // two-level tree into a 2-shard warehouse. The tree reports its own
+  // health into the merged view it fills — read it back grouped by the hop
+  // node id baked into each series name.
+  std::printf("\n=== mScopeFleet: per-hop health grouped by node id ===\n");
+  core::TestbedConfig fleet_cfg = cfg;
+  fleet_cfg.log_dir = "explorer_fleet_logs";
+  core::Experiment fleet_exp(fleet_cfg);
+  fleet::FleetCollection::Config fc;
+  fc.topology.levels = 2;
+  fc.topology.racks = 2;
+  fc.topology.shards = 2;
+  fc.observability.emplace();
+  fleet::ShardedWarehouse fleet_db(fc.topology.shards);
+  fleet::FleetCollection tree(fleet_exp.testbed(), fleet_db, nullptr, fc);
+  fleet_exp.run();
+  tree.finish();
+
+  const db::Table& gauges = fleet_db.get("mscope_meta_metrics");
+  const auto last_tick = static_cast<std::int64_t>(
+      db::Query(gauges).aggregate(db::Query::AggKind::kMax, "ts_usec"));
+  const std::size_t ts_c = *gauges.column_index("ts_usec");
+  const std::size_t name_c = *gauges.column_index("name");
+  const std::size_t val_c = *gauges.column_index("value");
+  // Later rows overwrite earlier ones: finish()'s final scrape can share
+  // the last periodic tick, and the end-of-run state is the one to show.
+  std::map<std::string, std::map<std::string, double>> hops;
+  for (std::size_t i = 0; i < gauges.row_count(); ++i) {
+    if (std::get<std::int64_t>(gauges.at(i, ts_c)) != last_tick) continue;
+    fleet::GaugeKey key;
+    if (fleet::parse_hop_gauge(db::value_to_string(gauges.at(i, name_c)),
+                               &key)) {
+      hops[key.node][key.gauge] = std::get<double>(gauges.at(i, val_c));
+    }
+  }
+  for (const auto& [node, series] : hops) {
+    std::printf("   %-8s", node.c_str());
+    for (const auto& [gauge, value] : series)
+      std::printf(" %s=%.0f", gauge.c_str(), value);
+    std::printf("\n");
+  }
+  // The merged catalog answers SQL about the tree itself the same way it
+  // answers SQL about the servers the tree monitors.
+  std::printf("-- sql over the merged %d-shard view\n%s", fc.topology.shards,
+              db::Sql::format(
+                  db::Sql::execute(
+                      fleet_db,
+                      "SELECT name, MAX(value) AS v FROM mscope_meta_metrics "
+                      "WHERE name LIKE 'fleet.%' GROUP BY name "
+                      "ORDER BY name LIMIT 8"),
+                  8)
+                  .c_str());
+  std::filesystem::remove_all(fleet_cfg.log_dir);
 
   // Archive the warehouse and restore it into a fresh database.
   const std::filesystem::path archive = "warehouse_archive";

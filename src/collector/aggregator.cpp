@@ -33,18 +33,13 @@ void Aggregator::on_batch(Batch&& batch, bool in_band) {
     // generation), so the only way `offset` can jump past what we have seen
     // is an abandoned batch upstream. Surface the hole to the transformer
     // before ingesting the bytes after it.
-    StreamPos& pos = positions_[{batch.node, r.file}];
-    if (r.generation != pos.generation) {
-      pos.generation = r.generation;
-      pos.offset = 0;
-    }
-    if (r.offset > pos.offset) {
+    const std::uint64_t skipped =
+        gaps_.observe(batch.node, r.file, r.generation, r.offset,
+                      r.data.size());
+    if (skipped > 0) {
       ++stats_.gaps;
-      stats_.gap_bytes += r.offset - pos.offset;
-      transformer_.note_gap(batch.node, r.file, r.offset - pos.offset);
-    }
-    if (r.offset + r.data.size() > pos.offset) {
-      pos.offset = r.offset + r.data.size();
+      stats_.gap_bytes += skipped;
+      transformer_.note_gap(batch.node, r.file, skipped);
     }
     transformer_.ingest(batch.node, r.file, std::move(r.data));
   }

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "collector/gap_tracker.h"
 #include "collector/record.h"
 #include "obs/trace.h"
 #include "sim/node.h"
@@ -62,21 +63,21 @@ class Aggregator {
   void set_tracer(obs::Tracer* t) { tracer_ = t; }
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Data loss attributed to each origin node (abandoned-batch holes
+  /// detected at this fan-in point, keyed by the node that lost them).
+  [[nodiscard]] const std::map<std::string, GapTracker::Stats>& gaps_by_node()
+      const {
+    return gaps_.per_node();
+  }
 
  private:
-  /// Next expected byte position per stream, for gap detection.
-  struct StreamPos {
-    std::uint64_t generation = 0;
-    std::uint64_t offset = 0;
-  };
-
   sim::Simulation& sim_;
   sim::Node& node_;
   transform::StreamingTransformer& transformer_;
   Config cfg_;
   obs::Tracer* tracer_ = nullptr;
   Stats stats_;
-  std::map<std::pair<std::string, std::string>, StreamPos> positions_;
+  GapTracker gaps_;
 };
 
 }  // namespace mscope::collector

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace mscope::collector {
+
+/// Offset-gap accounting for one fan-in point, shared by every hop of a
+/// collection tree (the single-node Aggregator, a rack RelayAggregator, the
+/// fleet root). Tailers emit contiguous byte ranges per (node, file,
+/// generation), so at any hop the only way an arriving chunk's offset can
+/// jump past the bytes seen so far is a batch some upstream link abandoned
+/// after exhausting its retries. The tracker detects the hole, sizes it, and
+/// attributes it to the origin node — the attribution survives re-framing
+/// because chunks carry their origin (node, file, offset, generation)
+/// unchanged through every hop.
+class GapTracker {
+ public:
+  struct Stats {
+    std::uint64_t gaps = 0;       ///< holes detected at this hop
+    std::uint64_t gap_bytes = 0;  ///< log bytes lost in those holes
+  };
+
+  /// Observes a chunk of `size` bytes of (node, file) at `offset` within
+  /// `generation`. Returns the number of bytes skipped since the last
+  /// observed position (0 = contiguous). A rotation (new generation) resets
+  /// the expected position without counting a gap.
+  std::uint64_t observe(const std::string& node, const std::string& file,
+                        std::uint64_t generation, std::uint64_t offset,
+                        std::uint64_t size) {
+    StreamPos& pos = positions_[{node, file}];
+    if (generation != pos.generation) {
+      pos.generation = generation;
+      pos.offset = 0;
+    }
+    std::uint64_t skipped = 0;
+    if (offset > pos.offset) {
+      skipped = offset - pos.offset;
+      ++stats_.gaps;
+      stats_.gap_bytes += skipped;
+      per_node_[node].gaps += 1;
+      per_node_[node].gap_bytes += skipped;
+    }
+    if (offset + size > pos.offset) pos.offset = offset + size;
+    return skipped;
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Loss attributed to each origin node (for per-hop meta gauges and the
+  /// run report's "which replica lost data" line).
+  [[nodiscard]] const std::map<std::string, Stats>& per_node() const {
+    return per_node_;
+  }
+
+ private:
+  struct StreamPos {
+    std::uint64_t generation = 0;
+    std::uint64_t offset = 0;  ///< next expected byte position
+  };
+
+  std::map<std::pair<std::string, std::string>, StreamPos> positions_;
+  std::map<std::string, Stats> per_node_;
+  Stats stats_;
+};
+
+}  // namespace mscope::collector

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "util/simtime.h"
+
 namespace mscope::collector {
 
 /// One chunk of raw log bytes captured by a LogTailer. Chunks preserve the
@@ -23,6 +25,10 @@ struct Record {
 struct Batch {
   std::string node;        ///< source node (log directory name)
   std::uint64_t seq = 0;   ///< per-shipper batch sequence number
+  /// Virtual time the shipper assembled this batch. Carried through every
+  /// hop of a collection tree so the root can measure true end-to-end
+  /// collection latency (now - oldest assembled_at still in flight).
+  util::SimTime assembled_at = 0;
   std::vector<Record> records;
 
   [[nodiscard]] std::size_t bytes() const {

@@ -1,0 +1,92 @@
+#include "collector/reliable_link.h"
+
+#include <cmath>
+#include <utility>
+
+namespace mscope::collector {
+
+ReliableLink::ReliableLink(sim::Simulation& sim, sim::Network& net,
+                           sim::Node& src_node, std::uint16_t src_wire,
+                           std::uint16_t dst_wire, std::string name,
+                           Config cfg)
+    : sim_(sim),
+      net_(net),
+      src_node_(src_node),
+      src_wire_(src_wire),
+      dst_wire_(dst_wire),
+      name_(std::move(name)),
+      cfg_(cfg),
+      conn_id_(net.alloc_connections(1)) {}
+
+void ReliableLink::send(std::uint64_t seq, std::size_t payload_bytes,
+                        std::function<void()> on_delivered,
+                        std::function<void()> on_abandoned) {
+  busy_ = true;
+  seq_ = seq;
+  payload_bytes_ = payload_bytes;
+  on_delivered_ = std::move(on_delivered);
+  on_abandoned_ = std::move(on_abandoned);
+  // Serialization + syscall cost on the sending node, accounted as system
+  // time so it lands in the same bucket as monitor overhead. Charged once
+  // per transfer, not per retry (the bytes are serialized once).
+  const SimTime cpu =
+      cfg_.cpu_per_send +
+      cfg_.cpu_per_kb * static_cast<SimTime>(payload_bytes / 1024);
+  stats_.cpu_charged += cpu;
+  src_node_.cpu().submit(cpu, sim::CpuCategory::kSystem,
+                         sim::CpuPriority::kNormal, [] {});
+  try_send(0);
+}
+
+void ReliableLink::cancel() {
+  if (!busy_) return;
+  ++epoch_;
+  busy_ = false;
+  on_delivered_ = nullptr;
+  on_abandoned_ = nullptr;
+}
+
+void ReliableLink::try_send(int attempt) {
+  if (!busy_) return;
+  if (fault_ && fault_(sim_.now(), seq_, attempt)) {
+    ++stats_.send_failures;
+    if (attempt >= cfg_.max_retries) {
+      ++stats_.abandoned;
+      ++epoch_;
+      busy_ = false;
+      auto cb = std::move(on_abandoned_);
+      on_delivered_ = nullptr;
+      on_abandoned_ = nullptr;
+      if (cb) cb();
+      return;
+    }
+    ++stats_.retries;
+    const auto backoff = static_cast<SimTime>(
+        static_cast<double>(cfg_.backoff_base) *
+        std::pow(cfg_.backoff_factor, attempt));
+    sim_.schedule(backoff, [this, attempt, e = epoch_] {
+      if (e != epoch_) return;  // canceled or superseded meanwhile
+      try_send(attempt + 1);
+    });
+    return;
+  }
+  const auto wire_bytes = static_cast<std::uint32_t>(
+      payload_bytes_ + cfg_.frame_overhead_bytes);
+  net_.send(
+      src_wire_, dst_wire_, conn_id_, 0, sim::Message::Kind::kRequest,
+      wire_bytes,
+      [this, e = epoch_] {
+        if (e != epoch_) return;  // recovered by the out-of-band flush
+        ++stats_.sends;
+        stats_.bytes += payload_bytes_;
+        ++epoch_;
+        busy_ = false;
+        auto cb = std::move(on_delivered_);
+        on_delivered_ = nullptr;
+        on_abandoned_ = nullptr;
+        if (cb) cb();
+      },
+      /*record_tap=*/false);
+}
+
+}  // namespace mscope::collector

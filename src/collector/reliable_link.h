@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/simulation.h"
+
+namespace mscope::collector {
+
+using util::SimTime;
+
+/// The stop-and-wait reliable transfer state machine every hop of the
+/// collection tree ships over: one unacknowledged payload at a time, retry
+/// with exponential backoff on transport faults, abandonment after
+/// max_retries. Extracted from Shipper so a RelayAggregator's uplink (and
+/// any future hop) gets exactly the same retry/backoff/abandonment
+/// semantics — and the same fault-injection hook — without duplicating the
+/// state machine.
+///
+/// The link is payload-agnostic: callers keep ownership of whatever they
+/// are sending and pass only its wire size plus completion callbacks.
+/// Sending charges modeled serialization CPU to the source node and real
+/// bytes to both NICs, exactly as Shipper always did.
+class ReliableLink {
+ public:
+  struct Config {
+    std::size_t frame_overhead_bytes = 64;  ///< wire framing per transfer
+    SimTime cpu_per_send = 30;              ///< source-node CPU per transfer
+    SimTime cpu_per_kb = 4;                 ///< serialization cost per KB
+    int max_retries = 10;                   ///< attempts before giving up
+    SimTime backoff_base = 10 * util::kMsec;
+    double backoff_factor = 2.0;
+  };
+
+  struct Stats {
+    std::uint64_t sends = 0;          ///< transfers delivered
+    std::uint64_t bytes = 0;          ///< payload bytes delivered
+    std::uint64_t send_failures = 0;  ///< attempts the fault injector killed
+    std::uint64_t retries = 0;        ///< re-sends scheduled after a failure
+    std::uint64_t abandoned = 0;      ///< transfers dropped after max_retries
+    SimTime cpu_charged = 0;          ///< modeled source-node CPU spent
+  };
+
+  /// Transport fault hook: return true to fail this send attempt (models a
+  /// lost/NACKed transfer). `attempt` is 0 for the first try.
+  using FaultInjector = std::function<bool(SimTime now, std::uint64_t seq,
+                                           int attempt)>;
+
+  ReliableLink(sim::Simulation& sim, sim::Network& net, sim::Node& src_node,
+               std::uint16_t src_wire, std::uint16_t dst_wire,
+               std::string name, Config cfg);
+
+  /// Begins one transfer of `payload_bytes` tagged `seq`. Exactly one of the
+  /// callbacks eventually fires: `on_delivered` when the transfer lands at
+  /// the destination, `on_abandoned` after max_retries injected faults —
+  /// unless cancel() forgets the transfer first. Requires !busy().
+  void send(std::uint64_t seq, std::size_t payload_bytes,
+            std::function<void()> on_delivered,
+            std::function<void()> on_abandoned);
+
+  /// True while a transfer is unacknowledged (in the air, or waiting out a
+  /// retry backoff) — the caller must not start another.
+  [[nodiscard]] bool busy() const { return busy_; }
+
+  /// Forgets the in-flight transfer, if any: neither callback will fire.
+  /// Used by the end-of-run flush, which recovers the payload out of band.
+  void cancel();
+
+  void set_fault_injector(FaultInjector f) { fault_ = std::move(f); }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  void try_send(int attempt);
+
+  sim::Simulation& sim_;
+  sim::Network& net_;
+  sim::Node& src_node_;
+  std::uint16_t src_wire_;
+  std::uint16_t dst_wire_;
+  std::string name_;
+  Config cfg_;
+  FaultInjector fault_;
+  std::uint64_t conn_id_ = 0;
+  /// Incremented by cancel() and completion, so callbacks scheduled by a
+  /// superseded transfer (a delivery racing the end-of-run flush, a backoff
+  /// timer outliving an abandonment) recognize themselves as stale.
+  std::uint64_t epoch_ = 0;
+  bool busy_ = false;
+  std::uint64_t seq_ = 0;
+  std::size_t payload_bytes_ = 0;
+  std::function<void()> on_delivered_;
+  std::function<void()> on_abandoned_;
+  Stats stats_;
+};
+
+}  // namespace mscope::collector

@@ -1,6 +1,5 @@
 #include "collector/shipper.h"
 
-#include <cmath>
 #include <utility>
 
 #include "obs/log.h"
@@ -12,15 +11,18 @@ Shipper::Shipper(sim::Simulation& sim, sim::Network& net, sim::Node& src_node,
                  RingBuffer& buffer, Sink sink, std::string node_name,
                  Config cfg)
     : sim_(sim),
-      net_(net),
-      src_node_(src_node),
-      src_wire_(src_wire),
-      dst_wire_(dst_wire),
       buffer_(buffer),
       sink_(std::move(sink)),
       node_name_(std::move(node_name)),
       cfg_(cfg),
-      conn_id_(net.alloc_connections(1)) {}
+      link_(sim, net, src_node, src_wire, dst_wire, node_name_,
+            ReliableLink::Config{.frame_overhead_bytes =
+                                     cfg.frame_overhead_bytes,
+                                 .cpu_per_send = cfg.cpu_per_batch,
+                                 .cpu_per_kb = cfg.cpu_per_kb,
+                                 .max_retries = cfg.max_retries,
+                                 .backoff_base = cfg.backoff_base,
+                                 .backoff_factor = cfg.backoff_factor}) {}
 
 void Shipper::start() {
   if (running_) return;
@@ -35,17 +37,11 @@ void Shipper::tick() {
   if (pending_ == nullptr) {
     Batch batch = assemble();
     if (!batch.records.empty()) {
-      // Serialization + syscall cost on the monitored node, accounted as
-      // system time so it lands in the same bucket as monitor overhead.
-      const SimTime cpu =
-          cfg_.cpu_per_batch +
-          cfg_.cpu_per_kb * static_cast<SimTime>(batch.bytes() / 1024);
-      stats_.cpu_charged += cpu;
-      src_node_.cpu().submit(cpu, sim::CpuCategory::kSystem,
-                             sim::CpuPriority::kNormal, [] {});
-      pending_ = std::make_shared<Batch>(std::move(batch));
+      pending_ = std::make_unique<Batch>(std::move(batch));
       pending_since_ = sim_.now();
-      try_send(0);
+      link_.send(
+          pending_->seq, pending_->bytes(), [this] { on_delivered(); },
+          [this] { on_abandoned(); });
     }
   }
   if (on_drain_) on_drain_();
@@ -56,6 +52,7 @@ Batch Shipper::assemble() {
   Batch batch;
   batch.node = node_name_;
   batch.seq = next_seq_;
+  batch.assembled_at = sim_.now();
   while (batch.records.size() < cfg_.max_batch_records) {
     auto r = buffer_.pop();
     if (!r) break;
@@ -65,48 +62,30 @@ Batch Shipper::assemble() {
   return batch;
 }
 
-void Shipper::try_send(int attempt) {
-  if (pending_ == nullptr) return;  // already flushed out of band
-  if (fault_ && fault_(sim_.now(), pending_->seq, attempt)) {
-    ++stats_.send_failures;
-    if (attempt >= cfg_.max_retries) {
-      ++stats_.abandoned;
-      obs::Log::warn("shipper " + node_name_ + ": abandoning batch #" +
-                     std::to_string(pending_->seq) + " after " +
-                     std::to_string(attempt + 1) + " attempts (" +
-                     std::to_string(pending_->records.size()) + " records, " +
-                     std::to_string(pending_->bytes()) + " bytes lost)");
-      if (tracer_ != nullptr) {
-        tracer_->record("ship.abandon", "ship:" + node_name_, pending_since_,
-                        sim_.now());
-      }
-      pending_.reset();
-      return;
-    }
-    ++stats_.retries;
-    const auto backoff = static_cast<SimTime>(
-        static_cast<double>(cfg_.backoff_base) *
-        std::pow(cfg_.backoff_factor, attempt));
-    sim_.schedule(backoff, [this, attempt] { try_send(attempt + 1); });
-    return;
+void Shipper::on_delivered() {
+  if (tracer_ != nullptr) {
+    // Assembly -> acknowledgement: backoffs and the wire flight are real
+    // virtual-time intervals, so this span has true duration.
+    tracer_->record("ship#" + std::to_string(pending_->seq),
+                    "ship:" + node_name_, pending_since_, sim_.now());
   }
-  const auto wire_bytes = static_cast<std::uint32_t>(
-      pending_->bytes() + cfg_.frame_overhead_bytes);
-  net_.send(
-      src_wire_, dst_wire_, conn_id_, 0, sim::Message::Kind::kRequest,
-      wire_bytes,
-      [this, p = pending_] {
-        if (p != pending_) return;  // recovered by flush_now meanwhile
-        if (tracer_ != nullptr) {
-          // Assembly -> acknowledgement: backoffs and the wire flight are
-          // real virtual-time intervals, so this span has true duration.
-          tracer_->record("ship#" + std::to_string(p->seq),
-                          "ship:" + node_name_, pending_since_, sim_.now());
-        }
-        deliver(std::move(*p), true);
-        pending_.reset();
-      },
-      /*record_tap=*/false);
+  deliver(std::move(*pending_), true);
+  pending_.reset();
+}
+
+void Shipper::on_abandoned() {
+  // Abandonment only happens once the attempt counter reaches max_retries,
+  // so the attempt count is always max_retries + 1.
+  obs::Log::warn("shipper " + node_name_ + ": abandoning batch #" +
+                 std::to_string(pending_->seq) + " after " +
+                 std::to_string(cfg_.max_retries + 1) + " attempts (" +
+                 std::to_string(pending_->records.size()) + " records, " +
+                 std::to_string(pending_->bytes()) + " bytes lost)");
+  if (tracer_ != nullptr) {
+    tracer_->record("ship.abandon", "ship:" + node_name_, pending_since_,
+                    sim_.now());
+  }
+  pending_.reset();
 }
 
 void Shipper::deliver(Batch&& batch, bool in_band) {
@@ -120,6 +99,7 @@ void Shipper::flush_now() {
   if (pending_ != nullptr) {
     // A transfer the end of the run cut off (in the air, or waiting out a
     // retry backoff): deliver it directly so no record is lost.
+    link_.cancel();
     deliver(std::move(*pending_), false);
     pending_.reset();
   }
@@ -128,6 +108,16 @@ void Shipper::flush_now() {
     if (batch.records.empty()) break;
     deliver(std::move(batch), false);
   }
+}
+
+Shipper::Stats Shipper::stats() const {
+  Stats s = stats_;
+  const ReliableLink::Stats& link = link_.stats();
+  s.send_failures = link.send_failures;
+  s.retries = link.retries;
+  s.abandoned = link.abandoned;
+  s.cpu_charged = link.cpu_charged;
+  return s;
 }
 
 }  // namespace mscope::collector

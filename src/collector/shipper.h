@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "collector/reliable_link.h"
 #include "collector/ring_buffer.h"
 #include "obs/trace.h"
 #include "sim/network.h"
@@ -19,8 +20,8 @@ using util::SimTime;
 /// records into batches, and sends them across the simulated network to the
 /// collector node — with retry + exponential backoff on transport faults.
 ///
-/// Transfer is stop-and-wait: at most one batch is unacknowledged at a time,
-/// and no new batch is assembled while one is retrying. That guarantees the
+/// Transfer is stop-and-wait (one ReliableLink transfer at a time), and no
+/// new batch is assembled while one is retrying. That guarantees the
 /// aggregator sees each file's bytes in offset order (the property the
 /// streaming transformer depends on) — the same in-order delivery a single
 /// TCP connection would give a real collector. While a batch retries, the
@@ -65,8 +66,7 @@ class Shipper {
 
   /// Transport fault hook: return true to fail this send attempt (models a
   /// lost/NACKed transfer). `attempt` is 0 for the first try of a batch.
-  using FaultInjector = std::function<bool(SimTime now, std::uint64_t seq,
-                                           int attempt)>;
+  using FaultInjector = ReliableLink::FaultInjector;
 
   Shipper(sim::Simulation& sim, sim::Network& net, sim::Node& src_node,
           std::uint16_t src_wire, std::uint16_t dst_wire, RingBuffer& buffer,
@@ -77,7 +77,9 @@ class Shipper {
   /// Stops at the next tick.
   void stop() { running_ = false; }
 
-  void set_fault_injector(FaultInjector f) { fault_ = std::move(f); }
+  void set_fault_injector(FaultInjector f) {
+    link_.set_fault_injector(std::move(f));
+  }
   /// Optional span tracer: each delivered batch becomes one span covering
   /// assembly -> acknowledgement (includes retry backoff). Not owned.
   void set_tracer(obs::Tracer* t) { tracer_ = t; }
@@ -90,36 +92,32 @@ class Shipper {
   /// awaiting a retry, if any, then everything left in the buffer.
   void flush_now();
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Delivered/failure counters, merged from the transfer link's view.
+  [[nodiscard]] Stats stats() const;
   [[nodiscard]] const std::string& node_name() const { return node_name_; }
 
  private:
   void tick();
   /// Assembles up to max_batch_records from the buffer; empty if none.
   Batch assemble();
-  /// (Re)sends pending_; schedules a backoff retry on injected fault.
-  void try_send(int attempt);
+  void on_delivered();
+  void on_abandoned();
   void deliver(Batch&& batch, bool in_band);
 
   sim::Simulation& sim_;
-  sim::Network& net_;
-  sim::Node& src_node_;
-  std::uint16_t src_wire_;
-  std::uint16_t dst_wire_;
   RingBuffer& buffer_;
   Sink sink_;
   std::string node_name_;
   Config cfg_;
-  FaultInjector fault_;
+  ReliableLink link_;
   obs::Tracer* tracer_ = nullptr;
   std::function<void()> on_drain_;
   SimTime pending_since_ = 0;  ///< when the in-flight batch was assembled
-  std::uint64_t conn_id_ = 0;
   std::uint64_t next_seq_ = 0;
   bool running_ = false;
   /// The one unacknowledged batch (stop-and-wait); survives end-of-run so
   /// flush_now() can recover a transfer the clock cut off.
-  std::shared_ptr<Batch> pending_;
+  std::unique_ptr<Batch> pending_;
   Stats stats_;
 };
 

@@ -122,7 +122,7 @@ PushbackReport detect_pushback(const std::vector<Series>& tier_queues,
   return report;
 }
 
-Diagnoser::Diagnoser(const db::Database& db, Tables tables, Config cfg)
+Diagnoser::Diagnoser(const db::Catalog& db, Tables tables, Config cfg)
     : db_(db), tables_(std::move(tables)), cfg_(cfg) {}
 
 PitSeries Diagnoser::pit(SimTime horizon) const {

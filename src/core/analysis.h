@@ -112,8 +112,8 @@ class Diagnoser {
     SimTime lookback = util::kSec;
   };
 
-  Diagnoser(const db::Database& db, Tables tables, Config cfg);
-  Diagnoser(const db::Database& db, Tables tables)
+  Diagnoser(const db::Catalog& db, Tables tables, Config cfg);
+  Diagnoser(const db::Catalog& db, Tables tables)
       : Diagnoser(db, std::move(tables), Config{}) {}
 
   /// Full pipeline over [0, horizon): PIT -> windows -> diagnosis each.
@@ -149,7 +149,7 @@ class Diagnoser {
   /// holds one horizon at a time; Diagnoser is not thread-safe.
   const RunCache& run_cache(SimTime horizon) const;
 
-  const db::Database& db_;
+  const db::Catalog& db_;
   Tables tables_;
   Config cfg_;
   mutable RunCache cache_;

@@ -48,7 +48,7 @@ std::vector<std::pair<std::int64_t, std::int64_t>> downstream_windows(
 
 }  // namespace
 
-void WarehouseValidator::check_row_order(const db::Database& db,
+void WarehouseValidator::check_row_order(const db::Catalog& db,
                                          const std::string& table,
                                          Report& report) const {
   const db::Table* t = db.find(table);
@@ -82,7 +82,7 @@ void WarehouseValidator::check_row_order(const db::Database& db,
 }
 
 void WarehouseValidator::check_nesting(
-    const db::Database& db, const std::vector<std::string>& parents,
+    const db::Catalog& db, const std::vector<std::string>& parents,
     const std::vector<std::string>& children, Report& report) const {
   // Collect the parents' downstream windows per request id.
   std::map<std::string, std::vector<std::pair<std::int64_t, std::int64_t>>>
@@ -141,7 +141,7 @@ void WarehouseValidator::check_nesting(
   }
 }
 
-void WarehouseValidator::check_catalog(const db::Database& db,
+void WarehouseValidator::check_catalog(const db::Catalog& db,
                                        Report& report) const {
   const db::Table& catalog = db.get(db::Database::kLoadCatalogTable);
   const auto name_col = catalog.column_index("table_name");
@@ -167,7 +167,7 @@ void WarehouseValidator::check_catalog(const db::Database& db,
 }
 
 WarehouseValidator::Report WarehouseValidator::validate(
-    const db::Database& db,
+    const db::Catalog& db,
     const std::vector<std::vector<std::string>>& event_tables) const {
   Report report;
   check_catalog(db, report);

@@ -53,17 +53,17 @@ class WarehouseValidator {
   /// Validates event tables given per tier, front to back, one entry per
   /// replica (the shape of Diagnoser::Tables::event_tables).
   [[nodiscard]] Report validate(
-      const db::Database& db,
+      const db::Catalog& db,
       const std::vector<std::vector<std::string>>& event_tables) const;
 
  private:
-  void check_row_order(const db::Database& db, const std::string& table,
+  void check_row_order(const db::Catalog& db, const std::string& table,
                        Report& report) const;
-  void check_nesting(const db::Database& db,
+  void check_nesting(const db::Catalog& db,
                      const std::vector<std::string>& parents,
                      const std::vector<std::string>& children,
                      Report& report) const;
-  void check_catalog(const db::Database& db, Report& report) const;
+  void check_catalog(const db::Catalog& db, Report& report) const;
   [[nodiscard]] bool full(const Report& r) const {
     return cfg_.max_violations > 0 &&
            r.violations.size() >= cfg_.max_violations;

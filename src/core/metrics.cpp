@@ -52,14 +52,14 @@ PitSeries pit_response_time(const std::vector<sim::RequestPtr>& completed,
   return pit_from_events(rt, bucket);
 }
 
-PitSeries pit_response_time_db(const db::Database& db,
+PitSeries pit_response_time_db(const db::Catalog& db,
                                const std::string& apache_table,
                                SimTime bucket) {
   return pit_response_time_db_multi(db, {apache_table}, bucket);
 }
 
 PitSeries pit_response_time_db_multi(
-    const db::Database& db, const std::vector<std::string>& apache_tables,
+    const db::Catalog& db, const std::vector<std::string>& apache_tables,
     SimTime bucket) {
   // Each table's series comes back already time-ordered off its ud_usec
   // index, so combining replicas is a sorted merge — no O(n log n) re-sort
@@ -85,12 +85,12 @@ PitSeries pit_response_time_db_multi(
   return pit_from_events(rt, bucket);
 }
 
-Series queue_length_db(const db::Database& db, const std::string& event_table,
+Series queue_length_db(const db::Catalog& db, const std::string& event_table,
                        SimTime bucket, SimTime t_begin, SimTime t_end) {
   return queue_length_db_multi(db, {event_table}, bucket, t_begin, t_end);
 }
 
-Series queue_length_db_multi(const db::Database& db,
+Series queue_length_db_multi(const db::Catalog& db,
                              const std::vector<std::string>& event_tables,
                              SimTime bucket, SimTime t_begin, SimTime t_end) {
   // The +1/-1 delta stream is assembled *pre-sorted* by merging each event
@@ -167,7 +167,7 @@ Series queue_length_truth(const std::vector<sim::RequestPtr>& completed,
   return util::integrate_deltas(std::move(deltas), bucket, t_begin, t_end);
 }
 
-Series resource_series(const db::Database& db, const std::string& table,
+Series resource_series(const db::Catalog& db, const std::string& table,
                        const std::string& column) {
   const db::Table* t = db.find(table);
   if (t == nullptr) return {};
@@ -176,7 +176,7 @@ Series resource_series(const db::Database& db, const std::string& table,
 }
 
 std::vector<InteractionStats> interaction_breakdown(
-    const db::Database& db, const std::string& apache_table,
+    const db::Catalog& db, const std::string& apache_table,
     double vlrt_factor) {
   const db::Table* t = db.find(apache_table);
   std::vector<InteractionStats> out;

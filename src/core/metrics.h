@@ -37,20 +37,20 @@ struct PitSeries {
 
 /// Warehouse path: PIT from an Apache event table in mScopeDB (columns
 /// ud_usec and duration_usec, written by the Apache mScopeMonitor).
-[[nodiscard]] PitSeries pit_response_time_db(const db::Database& db,
+[[nodiscard]] PitSeries pit_response_time_db(const db::Catalog& db,
                                              const std::string& apache_table,
                                              SimTime bucket);
 
 /// Same, aggregated over several front-tier replicas' event tables.
 [[nodiscard]] PitSeries pit_response_time_db_multi(
-    const db::Database& db, const std::vector<std::string>& apache_tables,
+    const db::Catalog& db, const std::vector<std::string>& apache_tables,
     SimTime bucket);
 
 /// Per-tier instantaneous queue length (paper Figs. 6/8b/9): the number of
 /// requests that have arrived at a tier but not departed, computed from an
 /// event table's (ua_usec, ud_usec) columns and sampled per bucket (max
 /// within each bucket).
-[[nodiscard]] Series queue_length_db(const db::Database& db,
+[[nodiscard]] Series queue_length_db(const db::Catalog& db,
                                      const std::string& event_table,
                                      SimTime bucket, SimTime t_begin,
                                      SimTime t_end);
@@ -58,7 +58,7 @@ struct PitSeries {
 /// Tier-aggregate queue length over several replicas' event tables (a
 /// tier's "instantaneous concurrent requests" is the sum over its nodes).
 [[nodiscard]] Series queue_length_db_multi(
-    const db::Database& db, const std::vector<std::string>& event_tables,
+    const db::Catalog& db, const std::vector<std::string>& event_tables,
     SimTime bucket, SimTime t_begin, SimTime t_end);
 
 /// Ground-truth queue length from simulator records, for validation.
@@ -70,7 +70,7 @@ struct PitSeries {
 /// "mem_dirtykb") from a resource table, time-ordered. A missing table or
 /// column yields an empty series — a node whose monitor was not deployed
 /// must degrade the diagnosis, not crash it.
-[[nodiscard]] Series resource_series(const db::Database& db,
+[[nodiscard]] Series resource_series(const db::Catalog& db,
                                      const std::string& table,
                                      const std::string& column);
 
@@ -89,7 +89,7 @@ struct InteractionStats {
 /// `vlrt_factor` defines VLRT as rt > factor x median. Sorted by count
 /// descending.
 [[nodiscard]] std::vector<InteractionStats> interaction_breakdown(
-    const db::Database& db, const std::string& apache_table,
+    const db::Catalog& db, const std::string& apache_table,
     double vlrt_factor = 10.0);
 
 /// Completed requests per second, bucketed (paper Fig. 11 throughput).

@@ -95,11 +95,11 @@ Diagnoser::Tables Experiment::tables() const {
   return t;
 }
 
-Diagnoser Experiment::diagnoser(const db::Database& db) const {
+Diagnoser Experiment::diagnoser(const db::Catalog& db) const {
   return Diagnoser(db, tables());
 }
 
-TraceReconstructor Experiment::traces(const db::Database& db) const {
+TraceReconstructor Experiment::traces(const db::Catalog& db) const {
   std::vector<std::string> services(Testbed::services().begin(),
                                     Testbed::services().end());
   return TraceReconstructor(db, event_tables(), services);

@@ -66,10 +66,10 @@ class Experiment {
   [[nodiscard]] Diagnoser::Tables tables() const;
 
   /// A diagnosis engine bound to this deployment's tables.
-  [[nodiscard]] Diagnoser diagnoser(const db::Database& db) const;
+  [[nodiscard]] Diagnoser diagnoser(const db::Catalog& db) const;
 
   /// A trace reconstructor bound to this deployment's tables.
-  [[nodiscard]] TraceReconstructor traces(const db::Database& db) const;
+  [[nodiscard]] TraceReconstructor traces(const db::Catalog& db) const;
 
   /// Runs the SysViz stand-in over the passive capture (paper Fig. 9).
   [[nodiscard]] sysviz::Reconstructor::Result sysviz_reconstruct(

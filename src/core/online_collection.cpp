@@ -11,7 +11,11 @@ namespace mscope::core {
 
 OnlineCollection::OnlineCollection(Testbed& testbed, db::Database& db,
                                    OnlineVsbDetector* detector, Config cfg)
-    : testbed_(testbed), db_(db), detector_(detector), cfg_(cfg) {
+    : testbed_(testbed),
+      db_(db),
+      detector_(detector),
+      cfg_(cfg),
+      queue_signal_(cfg.queue_watermark) {
   auto& sim = testbed_.simulation();
   auto& net = testbed_.network();
 
@@ -74,7 +78,7 @@ OnlineCollection::OnlineCollection(Testbed& testbed, db::Database& db,
   transformer_->set_row_observer(
       [this](const std::string& table, const db::Schema& schema,
              const std::vector<std::string>& row) {
-        on_row(table, schema, row);
+        queue_signal_.on_row(table, schema, row);
       });
   aggregator_ = std::make_unique<collector::Aggregator>(
       sim, *collector_node_, *transformer_, cfg_.aggregator);
@@ -190,51 +194,16 @@ void OnlineCollection::tick() {
     transformer_->parse_all();
   }
 
-  for (auto& [table, q] : queues_) {
-    const std::int64_t t_eval = q.max_ud - cfg_.queue_watermark;
-    if (t_eval <= q.last_eval) continue;
-    // Pop everything now behind the watermark; the running count stays equal
-    // to #(ua <= t_eval < ud), i.e. the requests inside the tier at t_eval.
-    // Rows that arrive late (pipeline stragglers with old timestamps) enter
-    // the heaps after earlier evaluations but are still popped — and counted
-    // — the first time the watermark passes them.
-    while (!q.arrivals.empty() && q.arrivals.top() <= t_eval) {
-      q.arrivals.pop();
-      ++q.depth;
-    }
-    while (!q.departures.empty() && q.departures.top() <= t_eval) {
-      q.departures.pop();
-      --q.depth;
-    }
-    q.last_eval = t_eval;
-    if (detector_ != nullptr) {
-      detector_->on_queue_sample(t_eval, table, static_cast<double>(q.depth));
-    }
+  if (detector_ != nullptr) {
+    queue_signal_.evaluate(
+        [this](SimTime t, const std::string& table, double depth) {
+          detector_->on_queue_sample(t, table, depth);
+        });
+  } else {
+    queue_signal_.evaluate(nullptr);
   }
 
   testbed_.simulation().schedule(cfg_.parse_interval, [this] { tick(); });
-}
-
-void OnlineCollection::on_row(const std::string& table,
-                              const db::Schema& schema,
-                              const std::vector<std::string>& row) {
-  // Only event tables carry per-request (arrive, depart) pairs.
-  if (table.rfind("ev_", 0) != 0) return;
-  std::size_t ua_col = schema.size();
-  std::size_t ud_col = schema.size();
-  for (std::size_t i = 0; i < schema.size(); ++i) {
-    if (schema[i].name == "ua_usec") ua_col = i;
-    if (schema[i].name == "ud_usec") ud_col = i;
-  }
-  if (ua_col >= row.size() || ud_col >= row.size()) return;
-  if (row[ua_col].empty() || row[ud_col].empty()) return;
-  const std::int64_t ua = std::strtoll(row[ua_col].c_str(), nullptr, 10);
-  const std::int64_t ud = std::strtoll(row[ud_col].c_str(), nullptr, 10);
-  if (ud < ua) return;
-  QueueState& q = queues_[table];
-  q.arrivals.push(ua);
-  q.departures.push(ud);
-  if (ud > q.max_ud) q.max_ud = ud;
 }
 
 void OnlineCollection::finish() {

@@ -6,7 +6,6 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -15,6 +14,7 @@
 #include "collector/ring_buffer.h"
 #include "collector/shipper.h"
 #include "core/online_detector.h"
+#include "core/queue_signal.h"
 #include "core/testbed.h"
 #include "db/database.h"
 #include "db/wal/wal.h"
@@ -168,8 +168,6 @@ class OnlineCollection {
   [[nodiscard]] Totals totals() const;
 
  private:
-  void on_row(const std::string& table, const db::Schema& schema,
-              const std::vector<std::string>& row);
   void tick();
   void commit_tick();
   /// Scrapes channel/pipeline health into registry gauges, then exports the
@@ -192,23 +190,8 @@ class OnlineCollection {
   std::vector<Channel> channels_;
   bool finished_ = false;
 
-  /// Live queue estimation state per event table. Arrival and departure
-  /// timestamps not yet behind the evaluation watermark sit in two min-heaps;
-  /// since a row's departure never precedes its arrival, the depth at the
-  /// watermark is #(arrivals <= t) - #(departures <= t), maintained as a
-  /// running count while the heaps are popped up to t. Each record costs
-  /// O(log n) total across its lifetime, instead of being rescanned by every
-  /// tick while its interval stays open.
-  struct QueueState {
-    using MinHeap = std::priority_queue<std::int64_t, std::vector<std::int64_t>,
-                                        std::greater<>>;
-    MinHeap arrivals;
-    MinHeap departures;
-    std::int64_t depth = 0;  ///< open requests at last_eval
-    std::int64_t max_ud = 0;
-    std::int64_t last_eval = -1;
-  };
-  std::map<std::string, QueueState> queues_;
+  /// Live queue estimation over streamed event rows (see core/queue_signal.h).
+  QueueSignal queue_signal_;
 };
 
 }  // namespace mscope::core

@@ -1,0 +1,50 @@
+#include "core/queue_signal.h"
+
+#include <cstdlib>
+
+namespace mscope::core {
+
+void QueueSignal::on_row(const std::string& table, const db::Schema& schema,
+                         const std::vector<std::string>& row) {
+  // Only event tables carry per-request (arrive, depart) pairs.
+  if (table.rfind("ev_", 0) != 0) return;
+  std::size_t ua_col = schema.size();
+  std::size_t ud_col = schema.size();
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i].name == "ua_usec") ua_col = i;
+    if (schema[i].name == "ud_usec") ud_col = i;
+  }
+  if (ua_col >= row.size() || ud_col >= row.size()) return;
+  if (row[ua_col].empty() || row[ud_col].empty()) return;
+  const std::int64_t ua = std::strtoll(row[ua_col].c_str(), nullptr, 10);
+  const std::int64_t ud = std::strtoll(row[ud_col].c_str(), nullptr, 10);
+  if (ud < ua) return;
+  State& q = queues_[table];
+  q.arrivals.push(ua);
+  q.departures.push(ud);
+  if (ud > q.max_ud) q.max_ud = ud;
+}
+
+void QueueSignal::evaluate(const SampleSink& sink) {
+  for (auto& [table, q] : queues_) {
+    const std::int64_t t_eval = q.max_ud - watermark_;
+    if (t_eval <= q.last_eval) continue;
+    // Pop everything now behind the watermark; the running count stays equal
+    // to #(ua <= t_eval < ud), i.e. the requests inside the tier at t_eval.
+    // Rows that arrive late (pipeline stragglers with old timestamps) enter
+    // the heaps after earlier evaluations but are still popped — and counted
+    // — the first time the watermark passes them.
+    while (!q.arrivals.empty() && q.arrivals.top() <= t_eval) {
+      q.arrivals.pop();
+      ++q.depth;
+    }
+    while (!q.departures.empty() && q.departures.top() <= t_eval) {
+      q.departures.pop();
+      --q.depth;
+    }
+    q.last_eval = t_eval;
+    if (sink) sink(t_eval, table, static_cast<double>(q.depth));
+  }
+}
+
+}  // namespace mscope::core

@@ -7,7 +7,7 @@
 namespace mscope::core {
 
 std::vector<TierContribution> tier_contributions(
-    const db::Database& db, const std::vector<std::string>& event_tables,
+    const db::Catalog& db, const std::vector<std::string>& event_tables,
     const std::vector<std::string>& services, util::SimTime t0,
     util::SimTime t1) {
   std::vector<TierContribution> out;

@@ -26,7 +26,7 @@ struct TierContribution {
 /// Computes contributions over every record in the event tables, or only
 /// over visits whose upstream departure lies in [t0, t1) when t1 > t0.
 [[nodiscard]] std::vector<TierContribution> tier_contributions(
-    const db::Database& db, const std::vector<std::string>& event_tables,
+    const db::Catalog& db, const std::vector<std::string>& event_tables,
     const std::vector<std::string>& services, util::SimTime t0 = 0,
     util::SimTime t1 = 0);
 

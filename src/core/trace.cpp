@@ -23,7 +23,7 @@ SimTime Trace::response_time() const {
   return 0;
 }
 
-TraceReconstructor::TraceReconstructor(const db::Database& db,
+TraceReconstructor::TraceReconstructor(const db::Catalog& db,
                                        std::vector<std::string> event_tables,
                                        std::vector<std::string> services)
     : db_(db),

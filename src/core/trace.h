@@ -45,7 +45,7 @@ struct Trace {
 class TraceReconstructor {
  public:
   /// `event_tables` front-to-back, `services` the matching service names.
-  TraceReconstructor(const db::Database& db,
+  TraceReconstructor(const db::Catalog& db,
                      std::vector<std::string> event_tables,
                      std::vector<std::string> services);
 
@@ -64,7 +64,7 @@ class TraceReconstructor {
                                               const sim::Request& truth);
 
  private:
-  const db::Database& db_;
+  const db::Catalog& db_;
   std::vector<std::string> event_tables_;
   std::vector<std::string> services_;
 };

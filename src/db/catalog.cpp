@@ -1,0 +1,16 @@
+#include "db/catalog.h"
+
+#include <stdexcept>
+
+#include "db/table.h"
+
+namespace mscope::db {
+
+const Table& Catalog::get(const std::string& name) const {
+  const Table* t = find(name);
+  if (t == nullptr)
+    throw std::out_of_range("Database: no such table: " + name);
+  return *t;
+}
+
+}  // namespace mscope::db

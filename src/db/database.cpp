@@ -81,13 +81,6 @@ Table& Database::get(const std::string& name) {
   return *t;
 }
 
-const Table& Database::get(const std::string& name) const {
-  const Table* t = find(name);
-  if (t == nullptr)
-    throw std::out_of_range("Database: no such table: " + name);
-  return *t;
-}
-
 bool Database::drop(const std::string& name) {
   if (is_static(name)) return false;
   if (!tables_.contains(name)) return false;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "db/catalog.h"
 #include "db/table.h"
 #include "util/simtime.h"
 
@@ -16,7 +17,7 @@ namespace mscope::db {
 /// inventory, monitor deployment, load catalog); *dynamic* tables are
 /// created on the fly by mScope Data Importer — one per (monitor, node)
 /// log file, with the schema inferred upstream by the XMLtoCSV converter.
-class Database {
+class Database : public Catalog {
  public:
   /// Names of the four static metadata tables.
   static constexpr const char* kExperimentTable = "ms_experiment";
@@ -39,15 +40,12 @@ class Database {
 
   /// Looks up a table (static or dynamic); nullptr if absent.
   [[nodiscard]] Table* find(const std::string& name);
-  [[nodiscard]] const Table* find(const std::string& name) const;
+  [[nodiscard]] const Table* find(const std::string& name) const override;
 
   /// Like find(), but throws std::out_of_range with a helpful message.
+  /// (The const overload is inherited from Catalog.)
+  using Catalog::get;
   [[nodiscard]] Table& get(const std::string& name);
-  [[nodiscard]] const Table& get(const std::string& name) const;
-
-  [[nodiscard]] bool exists(const std::string& name) const {
-    return find(name) != nullptr;
-  }
 
   /// Drops a dynamic table; static tables cannot be dropped.
   bool drop(const std::string& name);
@@ -63,7 +61,7 @@ class Database {
   [[nodiscard]] MutationJournal* journal() const { return journal_; }
 
   /// All table names in sorted order.
-  [[nodiscard]] std::vector<std::string> table_names() const;
+  [[nodiscard]] std::vector<std::string> table_names() const override;
 
   // --- static-table convenience writers -----------------------------------
 

@@ -11,7 +11,7 @@ bool Sql::like(std::string_view text, std::string_view pattern) {
   return sqlengine::like_match(text, pattern);
 }
 
-Table Sql::execute(const Database& db, std::string_view query) {
+Table Sql::execute(const Catalog& db, std::string_view query) {
   return sqlengine::execute(db, query);
 }
 

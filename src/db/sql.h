@@ -48,7 +48,7 @@ class Sql {
   /// Parses and executes; returns the result table. Throws
   /// std::invalid_argument with a position-annotated message on syntax
   /// errors, std::out_of_range for unknown tables/columns.
-  [[nodiscard]] static Table execute(const Database& db,
+  [[nodiscard]] static Table execute(const Catalog& db,
                                      std::string_view query);
 
   /// Renders a result table as aligned text (for CLIs and examples).

@@ -51,7 +51,7 @@ void render(const Operator& op, int depth, std::vector<std::string>& out) {
 
 }  // namespace
 
-Table execute(const Database& db, std::string_view sql) {
+Table execute(const Catalog& db, std::string_view sql) {
   static obs::Counter& queries =
       obs::Registry::global().counter("db.sql.queries");
   queries.inc();

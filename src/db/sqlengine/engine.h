@@ -15,7 +15,7 @@ namespace mscope::db::sqlengine {
 ///
 /// Throws SqlError (a std::invalid_argument carrying the byte offset) on
 /// syntax and semantic errors, std::out_of_range on unknown tables/columns.
-[[nodiscard]] Table execute(const Database& db, std::string_view sql);
+[[nodiscard]] Table execute(const Catalog& db, std::string_view sql);
 
 /// Renders the offending line of `sql` with a caret under byte `pos` —
 /// CLI-grade syntax error display:

@@ -29,6 +29,6 @@ struct Plan {
 ///
 /// Throws SqlError (std::invalid_argument) on semantic errors,
 /// std::out_of_range on unknown tables/columns.
-[[nodiscard]] Plan build_plan(const Database& db, SelectStmt stmt);
+[[nodiscard]] Plan build_plan(const Catalog& db, SelectStmt stmt);
 
 }  // namespace mscope::db::sqlengine

@@ -34,7 +34,7 @@ void split_conjuncts(Expr& e, std::vector<Expr*>& out) {
 
 class Planner {
  public:
-  Planner(const Database& db, Plan& plan)
+  Planner(const Catalog& db, Plan& plan)
       : db_(db), plan_(plan), st_(plan.stmt) {}
 
   void run() {
@@ -660,7 +660,7 @@ class Planner {
     throw std::out_of_range("ORDER BY column not in aggregate output: " + r);
   }
 
-  const Database& db_;
+  const Catalog& db_;
   Plan& plan_;
   SelectStmt& st_;
 
@@ -678,7 +678,7 @@ class Planner {
 
 }  // namespace
 
-Plan build_plan(const Database& db, SelectStmt stmt) {
+Plan build_plan(const Catalog& db, SelectStmt stmt) {
   Plan plan;
   plan.stmt = std::move(stmt);
   Planner(db, plan).run();

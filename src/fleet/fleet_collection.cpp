@@ -1,0 +1,372 @@
+#include "fleet/fleet_collection.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace mscope::fleet {
+
+FleetCollection::FleetCollection(core::Testbed& testbed, ShardedWarehouse& db,
+                                 core::OnlineVsbDetector* detector, Config cfg)
+    : testbed_(testbed),
+      db_(db),
+      detector_(detector),
+      cfg_(cfg),
+      topology_(
+          [&testbed] {
+            std::vector<std::string> leaves;
+            for (int tier = 0; tier < core::Testbed::kTiers; ++tier) {
+              for (int r = 0; r < testbed.replicas(tier); ++r) {
+                leaves.push_back(core::Testbed::replica_name(tier, r));
+              }
+            }
+            return leaves;
+          }(),
+          cfg.topology),
+      queue_signal_(cfg.queue_watermark) {
+  if (topology_.shards() != db_.shard_count()) {
+    throw std::invalid_argument(
+        "FleetCollection: topology shards != warehouse shards");
+  }
+  auto& sim = testbed_.simulation();
+  auto& net = testbed_.network();
+
+  // Satellite: deterministic per-node jitter. Streams are pinned to the
+  // node's *name* hash, so a node replays the same latency sequence no
+  // matter what else joins the network or in what order it registered.
+  if (cfg_.network_jitter > 0) {
+    net.set_jitter(cfg_.network_jitter, testbed_.config().seed);
+    for (int tier = 0; tier < core::Testbed::kTiers; ++tier) {
+      for (int r = 0; r < testbed_.replicas(tier); ++r) {
+        net.seed_node_stream(
+            testbed_.tier_wire_id(tier, r),
+            Topology::node_stream(core::Testbed::replica_name(tier, r)));
+      }
+    }
+  }
+
+  if (cfg_.observability) {
+    obs::MetaExporter::Config mc;
+    mc.prefix = cfg_.observability->table_prefix;
+    exporter_ = std::make_unique<obs::MetaExporter>(
+        db_.shard(0), obs::Registry::global(), mc);
+    sim.schedule(cfg_.observability->export_interval,
+                 [this] { export_tick(); });
+  }
+
+  if (cfg_.record_metadata) {
+    // Static metadata lands once, in shard 0, in the exact order the flat
+    // warehouse records it — the merged view then reproduces the flat
+    // tables row-for-row.
+    const auto& tc = testbed_.config();
+    db_.shard(0).record_experiment("run", "RUBBoS n-tier experiment",
+                                   tc.workload, tc.duration);
+    for (int tier = 0; tier < core::Testbed::kTiers; ++tier) {
+      for (int r = 0; r < testbed_.replicas(tier); ++r) {
+        db_.shard(0).record_node(
+            core::Testbed::replica_name(tier, r),
+            core::Testbed::services()[static_cast<std::size_t>(tier)],
+            tc.cores_per_node);
+      }
+    }
+  }
+
+  // The root collector machine.
+  sim::Node::Config nc;
+  nc.name = "collector";
+  nc.cores = cfg_.collector_cores;
+  root_node_ = std::make_unique<sim::Node>(sim, nc);
+  root_wire_ = net.register_node(root_node_.get());
+
+  if (cfg_.transform_workers != 1) {
+    cfg_.streaming.transform.parse_workers = cfg_.transform_workers;
+  }
+  for (int s = 0; s < topology_.shards(); ++s) {
+    auto t = std::make_unique<transform::StreamingTransformer>(db_.shard(s),
+                                                               cfg_.streaming);
+    t->set_row_observer(
+        [this](const std::string& table, const db::Schema& schema,
+               const std::vector<std::string>& row) {
+          queue_signal_.on_row(table, schema, row);
+        });
+    transformers_.push_back(std::move(t));
+  }
+
+  // Interior levels, parents first so children have wires to aim at.
+  if (topology_.levels() == 3) {
+    for (int p = 0; p < topology_.pods(); ++p) {
+      pod_relays_.push_back(std::make_unique<RelayAggregator>(
+          sim, net, Topology::pod_name(p), root_wire_,
+          [this](RelayFrame&& f, bool in_band) {
+            root_on_frame(std::move(f), in_band);
+          },
+          cfg_.relay));
+    }
+  }
+  if (topology_.levels() >= 2) {
+    for (int r = 0; r < topology_.racks(); ++r) {
+      if (topology_.levels() == 3) {
+        RelayAggregator* pod =
+            pod_relays_[static_cast<std::size_t>(topology_.pod_of_rack(r))]
+                .get();
+        rack_relays_.push_back(std::make_unique<RelayAggregator>(
+            sim, net, Topology::rack_name(r), pod->wire_id(),
+            [pod](RelayFrame&& f, bool in_band) {
+              pod->on_frame(std::move(f), in_band);
+            },
+            cfg_.relay));
+      } else {
+        rack_relays_.push_back(std::make_unique<RelayAggregator>(
+            sim, net, Topology::rack_name(r), root_wire_,
+            [this](RelayFrame&& f, bool in_band) {
+              root_on_frame(std::move(f), in_band);
+            },
+            cfg_.relay));
+      }
+    }
+  }
+
+  for (int tier = 0; tier < core::Testbed::kTiers; ++tier) {
+    for (int r = 0; r < testbed_.replicas(tier); ++r) {
+      Channel ch;
+      ch.node = core::Testbed::replica_name(tier, r);
+      ch.buffer = std::make_unique<collector::RingBuffer>(cfg_.buffer_capacity,
+                                                          cfg_.policy);
+      ch.tailer = std::make_unique<collector::LogTailer>(
+          testbed_.facility(tier, r), *ch.buffer, ch.node, cfg_.tailer);
+      std::uint16_t dst_wire = root_wire_;
+      collector::Shipper::Sink sink;
+      if (topology_.levels() >= 2) {
+        RelayAggregator* relay =
+            rack_relays_[static_cast<std::size_t>(topology_.rack_of(ch.node))]
+                .get();
+        dst_wire = relay->wire_id();
+        sink = [relay](collector::Batch&& b, bool in_band) {
+          relay->on_batch(std::move(b), in_band);
+        };
+      } else {
+        sink = [this](collector::Batch&& b, bool in_band) {
+          root_on_batch(std::move(b), in_band);
+        };
+      }
+      ch.shipper = std::make_unique<collector::Shipper>(
+          sim, net, testbed_.node(tier, r), testbed_.tier_wire_id(tier, r),
+          dst_wire, *ch.buffer, std::move(sink), ch.node, cfg_.shipper);
+      ch.shipper->set_on_drain([t = ch.tailer.get()] { t->pump(); });
+      ch.shipper->start();
+      channels_.push_back(std::move(ch));
+    }
+  }
+
+  for (auto& relay : pod_relays_) relay->start();
+  for (auto& relay : rack_relays_) relay->start();
+
+  sim.schedule(cfg_.parse_interval, [this] { tick(); });
+}
+
+FleetCollection::~FleetCollection() = default;
+
+void FleetCollection::charge_root(std::size_t bytes) {
+  const SimTime cpu =
+      cfg_.root.cpu_per_batch +
+      cfg_.root.cpu_per_kb * static_cast<SimTime>(bytes / 1024);
+  root_stats_.cpu_charged += cpu;
+  root_node_->cpu().submit(cpu, sim::CpuCategory::kSystem,
+                           sim::CpuPriority::kNormal, [] {});
+}
+
+void FleetCollection::root_on_frame(RelayFrame&& frame, bool in_band) {
+  ++root_stats_.frames;
+  root_stats_.bytes += frame.bytes();
+  if (in_band) {
+    charge_root(frame.bytes());
+    if (frame.oldest_assembled > 0) {
+      const SimTime lag =
+          testbed_.simulation().now() - frame.oldest_assembled;
+      root_stats_.last_lag = lag;
+      root_stats_.max_lag = std::max(root_stats_.max_lag, lag);
+    }
+  }
+  for (auto& c : frame.chunks) {
+    ingest_chunk(c.node, c.file, c.generation, c.offset, std::move(c.data));
+  }
+}
+
+void FleetCollection::root_on_batch(collector::Batch&& batch, bool in_band) {
+  ++root_stats_.batches;
+  root_stats_.bytes += batch.bytes();
+  if (in_band) {
+    charge_root(batch.bytes());
+    if (batch.assembled_at > 0) {
+      const SimTime lag = testbed_.simulation().now() - batch.assembled_at;
+      root_stats_.last_lag = lag;
+      root_stats_.max_lag = std::max(root_stats_.max_lag, lag);
+    }
+  }
+  for (auto& r : batch.records) {
+    ingest_chunk(batch.node, r.file, r.generation, r.offset,
+                 std::move(r.data));
+  }
+}
+
+void FleetCollection::ingest_chunk(const std::string& node,
+                                   const std::string& file,
+                                   std::uint64_t generation,
+                                   std::uint64_t offset, std::string&& data) {
+  // The root re-runs the same offset-gap accounting as every hop below it:
+  // a hole that survived re-framing (a chunk-run split) is detected here
+  // with origin-node attribution, and surfaced to the owning shard's
+  // transformer so the loss is never silently misparsed.
+  const std::uint64_t skipped =
+      root_gaps_.observe(node, file, generation, offset, data.size());
+  transform::StreamingTransformer& t =
+      *transformers_[static_cast<std::size_t>(topology_.shard_of(node))];
+  if (skipped > 0) {
+    ++root_stats_.gaps;
+    root_stats_.gap_bytes += skipped;
+    t.note_gap(node, file, skipped);
+  }
+  t.ingest(node, file, std::move(data));
+}
+
+void FleetCollection::tick() {
+  // Shard order keeps the parse pass deterministic (and so the warehouse
+  // bit-reproducible at any worker count, same argument as the flat path).
+  for (auto& t : transformers_) t->parse_all();
+  if (detector_ != nullptr) {
+    queue_signal_.evaluate(
+        [this](SimTime t, const std::string& table, double depth) {
+          detector_->on_queue_sample(t, table, depth);
+        });
+  } else {
+    queue_signal_.evaluate(nullptr);
+  }
+  testbed_.simulation().schedule(cfg_.parse_interval, [this] { tick(); });
+}
+
+void FleetCollection::scrape_gauges() {
+  obs::Registry& reg = obs::Registry::global();
+  for (const auto& ch : channels_) {
+    const std::string p = "collector." + ch.node + ".";
+    const auto& buf = *ch.buffer;
+    reg.gauge(p + "ring.depth").set(static_cast<std::int64_t>(buf.size()));
+    reg.gauge(p + "ring.dropped")
+        .set(static_cast<std::int64_t>(buf.stats().dropped()));
+    reg.gauge(p + "ring.blocked")
+        .set(static_cast<std::int64_t>(buf.stats().blocked));
+    reg.gauge(p + "ring.peak_depth")
+        .set(static_cast<std::int64_t>(buf.stats().peak_depth));
+    reg.gauge(p + "tailer.lag_bytes")
+        .set(static_cast<std::int64_t>(ch.tailer->pending_bytes()));
+    const auto ship = ch.shipper->stats();
+    reg.gauge(p + "shipper.batches")
+        .set(static_cast<std::int64_t>(ship.batches));
+    reg.gauge(p + "shipper.retries")
+        .set(static_cast<std::int64_t>(ship.retries));
+    reg.gauge(p + "shipper.abandoned")
+        .set(static_cast<std::int64_t>(ship.abandoned));
+  }
+  const auto scrape_relay = [&reg](const RelayAggregator& relay) {
+    const std::string p = "fleet." + relay.name() + ".";
+    const RelayAggregator::Stats s = relay.stats();
+    reg.gauge(p + "queue_bytes").set(static_cast<std::int64_t>(s.queue_bytes));
+    reg.gauge(p + "frames_out").set(static_cast<std::int64_t>(s.frames_out));
+    reg.gauge(p + "retries").set(static_cast<std::int64_t>(s.retries));
+    reg.gauge(p + "abandoned").set(static_cast<std::int64_t>(s.abandoned));
+    reg.gauge(p + "gaps").set(static_cast<std::int64_t>(s.gaps));
+    reg.gauge(p + "gap_bytes").set(static_cast<std::int64_t>(s.gap_bytes));
+    reg.gauge(p + "lag_usec").set(s.last_lag);
+    reg.gauge(p + "max_lag_usec").set(s.max_lag);
+    reg.gauge(p + "cpu_usec").set(s.cpu_charged);
+  };
+  for (const auto& relay : rack_relays_) scrape_relay(*relay);
+  for (const auto& relay : pod_relays_) scrape_relay(*relay);
+  reg.gauge("fleet.root.frames")
+      .set(static_cast<std::int64_t>(root_stats_.frames));
+  reg.gauge("fleet.root.gaps").set(static_cast<std::int64_t>(root_stats_.gaps));
+  reg.gauge("fleet.root.gap_bytes")
+      .set(static_cast<std::int64_t>(root_stats_.gap_bytes));
+  reg.gauge("fleet.root.lag_usec").set(root_stats_.last_lag);
+  reg.gauge("fleet.root.max_lag_usec").set(root_stats_.max_lag);
+  reg.gauge("fleet.root.cpu_usec").set(root_stats_.cpu_charged);
+  // Loss by origin node, as the root sees it — the "which replica lost
+  // data" attribution, queryable next to that node's own event tables.
+  for (const auto& [node, g] : root_gaps_.per_node()) {
+    const std::string p = "fleet." + node + ".";
+    reg.gauge(p + "gaps").set(static_cast<std::int64_t>(g.gaps));
+    reg.gauge(p + "gap_bytes").set(static_cast<std::int64_t>(g.gap_bytes));
+  }
+}
+
+void FleetCollection::export_tick() {
+  scrape_gauges();
+  exporter_->export_metrics(testbed_.simulation().now());
+  if (!finished_) {
+    testbed_.simulation().schedule(cfg_.observability->export_interval,
+                                   [this] { export_tick(); });
+  }
+}
+
+void FleetCollection::finish() {
+  if (finished_) return;
+  finished_ = true;
+  // Leaf-to-root drain: each level is fully dry before the next flushes,
+  // so no in-flight byte is stranded below a hop that already drained.
+  for (auto& ch : channels_) {
+    ch.shipper->stop();
+    do {
+      ch.tailer->flush();
+      ch.shipper->flush_now();
+    } while (ch.tailer->has_pending());
+  }
+  for (auto& relay : rack_relays_) {
+    relay->stop();
+    relay->flush_now();
+  }
+  for (auto& relay : pod_relays_) {
+    relay->stop();
+    relay->flush_now();
+  }
+  // Finalize shard-by-shard in shard order: load-catalog and deployment
+  // metadata land per shard in the same sorted (node, file) order the flat
+  // finalize uses, so the merged view reproduces it.
+  for (auto& t : transformers_) t->finalize();
+  if (exporter_ != nullptr) {
+    scrape_gauges();
+    exporter_->export_metrics(testbed_.simulation().now());
+  }
+}
+
+FleetCollection::Totals FleetCollection::totals() const {
+  Totals t;
+  for (const auto& ch : channels_) {
+    t.records_tailed += ch.tailer->stats().records;
+    t.bytes_tailed += ch.tailer->stats().bytes;
+    t.dropped += ch.buffer->stats().dropped();
+    t.blocked += ch.buffer->stats().blocked;
+    const auto ship = ch.shipper->stats();
+    t.batches += ship.batches;
+    t.leaf_retries += ship.retries;
+    t.leaf_abandoned += ship.abandoned;
+    t.shipping_cpu += ship.cpu_charged;
+  }
+  const auto fold_relay = [&t](const RelayAggregator& relay) {
+    const RelayAggregator::Stats s = relay.stats();
+    t.relay_frames += s.frames_out;
+    t.relay_retries += s.retries;
+    t.relay_abandoned += s.abandoned;
+    t.relay_cpu += s.cpu_charged;
+  };
+  for (const auto& relay : rack_relays_) fold_relay(*relay);
+  for (const auto& relay : pod_relays_) fold_relay(*relay);
+  t.root_gaps = root_stats_.gaps;
+  t.root_gap_bytes = root_stats_.gap_bytes;
+  t.root_cpu = root_stats_.cpu_charged;
+  t.last_lag = root_stats_.last_lag;
+  t.max_lag = root_stats_.max_lag;
+  return t;
+}
+
+}  // namespace mscope::fleet

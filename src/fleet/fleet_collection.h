@@ -1,0 +1,190 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "collector/aggregator.h"
+#include "collector/gap_tracker.h"
+#include "collector/log_tailer.h"
+#include "collector/ring_buffer.h"
+#include "collector/shipper.h"
+#include "core/online_detector.h"
+#include "core/queue_signal.h"
+#include "core/testbed.h"
+#include "fleet/frame.h"
+#include "fleet/relay.h"
+#include "fleet/sharded_warehouse.h"
+#include "fleet/topology.h"
+#include "obs/meta_exporter.h"
+#include "sim/node.h"
+#include "transform/streaming.h"
+
+namespace mscope::fleet {
+
+/// mScopeFleet: the collection tree wired onto a Testbed.
+///
+///   per monitored node:  LoggingFacility -> LogTailer -> RingBuffer
+///     -> Shipper --sim::Network--> rack RelayAggregator
+///     [--> pod RelayAggregator]      (levels == 3)
+///     --sim::Network--> root collector -> per-shard StreamingTransformer
+///     -> ShardedWarehouse (merge-on-read) -> OnlineVsbDetector
+///
+/// Every hop ships over the same stop-and-wait ReliableLink with retry +
+/// backoff + abandonment, and re-runs the same offset-gap accounting, so a
+/// hole opened anywhere in the tree is detected, sized, and attributed to
+/// its origin node at every level it crosses. With levels == 1 the tree
+/// degenerates to the classic single-aggregator deployment (leaves ship
+/// straight to the root), which keeps the flat pipeline reachable through
+/// the same wiring for apples-to-apples depth sweeps.
+class FleetCollection {
+ public:
+  struct Config {
+    Topology::Config topology;
+
+    // Leaf pipeline knobs, mirroring core::OnlineCollection.
+    std::size_t buffer_capacity = 4096;  ///< records per node buffer
+    collector::OverflowPolicy policy = collector::OverflowPolicy::kBlock;
+    collector::LogTailer::Config tailer;
+    collector::Shipper::Config shipper;
+    RelayAggregator::Config relay;
+    /// Root ingest cost model (same meaning as the single aggregator's).
+    collector::Aggregator::Config root;
+    transform::StreamingTransformer::Config streaming;
+    /// Worker threads for the streaming parse passes (see OnlineCollection).
+    unsigned transform_workers = 1;
+    SimTime parse_interval = 250 * util::kMsec;
+    SimTime queue_watermark = 500 * util::kMsec;
+    int collector_cores = 8;
+    bool record_metadata = true;
+
+    /// Per-hop network latency jitter (satellite of the fleet work): when
+    /// > 0, every node's sends draw uniform [0, jitter] usec extra from a
+    /// private RNG stream derived from the node's *name* via
+    /// Topology::node_stream — never from a shared stream or registration
+    /// order — so a node's jitter sequence replays identically when the
+    /// fleet grows or shrinks around it. 0 leaves the network untouched.
+    SimTime network_jitter = 0;
+
+    /// mScopeMeta for the tree: periodic export of per-hop lag / queue-depth
+    /// / drop / gap gauges, tagged by node id, into `<table_prefix>*` tables
+    /// of shard 0. Unset adds nothing to the warehouse.
+    struct Observability {
+      SimTime export_interval = 1 * util::kSec;
+      std::string table_prefix = "mscope_meta_";
+    };
+    std::optional<Observability> observability;
+  };
+
+  /// The collection pipeline of one monitored replica (same shape as
+  /// core::OnlineCollection::Channel).
+  struct Channel {
+    std::string node;
+    std::unique_ptr<collector::RingBuffer> buffer;
+    std::unique_ptr<collector::LogTailer> tailer;
+    std::unique_ptr<collector::Shipper> shipper;
+  };
+
+  /// `detector` may be null (collection without live diagnosis).
+  FleetCollection(core::Testbed& testbed, ShardedWarehouse& db,
+                  core::OnlineVsbDetector* detector, Config cfg);
+  ~FleetCollection();
+
+  FleetCollection(const FleetCollection&) = delete;
+  FleetCollection& operator=(const FleetCollection&) = delete;
+
+  /// Call once after Testbed::run(): drains every level of the tree leaf-
+  /// to-root (out of band — virtual time has stopped) and finalizes the
+  /// per-shard transformers in shard order.
+  void finish();
+
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] const std::vector<Channel>& channels() const {
+    return channels_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<RelayAggregator>>&
+  rack_relays() const {
+    return rack_relays_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<RelayAggregator>>&
+  pod_relays() const {
+    return pod_relays_;
+  }
+  [[nodiscard]] sim::Node& root_node() { return *root_node_; }
+  [[nodiscard]] transform::StreamingTransformer& shard_transformer(int i) {
+    return *transformers_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] obs::MetaExporter* exporter() { return exporter_.get(); }
+
+  /// Tree-wide stats.
+  struct Totals {
+    std::uint64_t records_tailed = 0;
+    std::uint64_t bytes_tailed = 0;
+    std::uint64_t dropped = 0;         ///< records lost to backpressure
+    std::uint64_t blocked = 0;         ///< pushes refused under kBlock
+    std::uint64_t batches = 0;         ///< leaf batches delivered
+    std::uint64_t leaf_retries = 0;    ///< leaf shipper re-sends
+    std::uint64_t leaf_abandoned = 0;  ///< leaf batches given up
+    std::uint64_t relay_frames = 0;    ///< frames delivered upward
+    std::uint64_t relay_retries = 0;   ///< relay uplink re-sends
+    std::uint64_t relay_abandoned = 0; ///< frames given up after max_retries
+    std::uint64_t root_gaps = 0;       ///< holes observed arriving at root
+    std::uint64_t root_gap_bytes = 0;  ///< log bytes lost in those holes
+    SimTime shipping_cpu = 0;          ///< modeled CPU on monitored nodes
+    SimTime relay_cpu = 0;             ///< modeled CPU on relay nodes
+    SimTime root_cpu = 0;              ///< modeled ingest CPU at the root
+    SimTime last_lag = 0;   ///< end-to-end lag of the last in-band frame
+    SimTime max_lag = 0;    ///< worst end-to-end collection lag observed
+  };
+  [[nodiscard]] Totals totals() const;
+
+  /// Loss observed at the root, attributed to each origin node.
+  [[nodiscard]] const std::map<std::string, collector::GapTracker::Stats>&
+  gaps_by_node() const {
+    return root_gaps_.per_node();
+  }
+
+ private:
+  void root_on_frame(RelayFrame&& frame, bool in_band);
+  void root_on_batch(collector::Batch&& batch, bool in_band);
+  void ingest_chunk(const std::string& node, const std::string& file,
+                    std::uint64_t generation, std::uint64_t offset,
+                    std::string&& data);
+  void charge_root(std::size_t bytes);
+  void tick();
+  void export_tick();
+  void scrape_gauges();
+
+  core::Testbed& testbed_;
+  ShardedWarehouse& db_;
+  core::OnlineVsbDetector* detector_;
+  Config cfg_;
+  Topology topology_;
+  std::unique_ptr<obs::MetaExporter> exporter_;
+  std::unique_ptr<sim::Node> root_node_;
+  std::uint16_t root_wire_ = 0;
+  std::vector<std::unique_ptr<transform::StreamingTransformer>> transformers_;
+  std::vector<std::unique_ptr<RelayAggregator>> rack_relays_;
+  std::vector<std::unique_ptr<RelayAggregator>> pod_relays_;
+  std::vector<Channel> channels_;
+  collector::GapTracker root_gaps_;
+  core::QueueSignal queue_signal_;
+  bool finished_ = false;
+
+  struct RootStats {
+    std::uint64_t frames = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t gaps = 0;
+    std::uint64_t gap_bytes = 0;
+    SimTime cpu_charged = 0;
+    SimTime last_lag = 0;
+    SimTime max_lag = 0;
+  };
+  RootStats root_stats_;
+};
+
+}  // namespace mscope::fleet

@@ -1,0 +1,213 @@
+#include "fleet/relay.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/log.h"
+
+namespace mscope::fleet {
+
+RelayAggregator::RelayAggregator(sim::Simulation& sim, sim::Network& net,
+                                 std::string name, std::uint16_t parent_wire,
+                                 Sink sink, Config cfg)
+    : sim_(sim), name_(std::move(name)), cfg_(cfg), sink_(std::move(sink)) {
+  sim::Node::Config nc;
+  nc.name = name_;
+  nc.cores = cfg_.cores;
+  node_ = std::make_unique<sim::Node>(sim, nc);
+  wire_ = net.register_node(node_.get());
+  uplink_ = std::make_unique<collector::ReliableLink>(
+      sim, net, *node_, wire_, parent_wire, name_, cfg_.uplink);
+}
+
+void RelayAggregator::start() {
+  if (running_) return;
+  running_ = true;
+  sim_.schedule(cfg_.start_at + cfg_.forward_interval, [this] { tick(); });
+}
+
+void RelayAggregator::on_batch(collector::Batch&& batch, bool in_band) {
+  ++stats_.batches_in;
+  const std::size_t bytes = batch.bytes();
+  stats_.bytes_in += bytes;
+  if (in_band) {
+    const SimTime cpu =
+        cfg_.cpu_per_batch +
+        cfg_.cpu_per_kb * static_cast<SimTime>(bytes / 1024);
+    stats_.cpu_charged += cpu;
+    node_->cpu().submit(cpu, sim::CpuCategory::kSystem,
+                        sim::CpuPriority::kNormal, [] {});
+  }
+  for (auto& r : batch.records) {
+    enqueue(batch.node, r.file, r.generation, r.offset, std::move(r.data),
+            batch.assembled_at);
+  }
+}
+
+void RelayAggregator::on_frame(RelayFrame&& frame, bool in_band) {
+  ++stats_.frames_in;
+  const std::size_t bytes = frame.bytes();
+  stats_.bytes_in += bytes;
+  if (in_band) {
+    const SimTime cpu =
+        cfg_.cpu_per_batch +
+        cfg_.cpu_per_kb * static_cast<SimTime>(bytes / 1024);
+    stats_.cpu_charged += cpu;
+    node_->cpu().submit(cpu, sim::CpuCategory::kSystem,
+                        sim::CpuPriority::kNormal, [] {});
+  }
+  for (auto& c : frame.chunks) {
+    enqueue(c.node, c.file, c.generation, c.offset, std::move(c.data),
+            frame.oldest_assembled);
+  }
+}
+
+void RelayAggregator::enqueue(const std::string& node, const std::string& file,
+                              std::uint64_t generation, std::uint64_t offset,
+                              std::string&& data, SimTime assembled_at) {
+  const std::uint64_t size = data.size();
+  // Observe the stream here too: a hole that opened upstream (an abandoned
+  // leaf transfer, or a child relay's lost frame) is visible — and
+  // attributed to its origin node — at *every* hop it passes through.
+  const std::uint64_t skipped =
+      gaps_.observe(node, file, generation, offset, size);
+  if (skipped > 0) {
+    ++stats_.gaps;
+    stats_.gap_bytes += skipped;
+  }
+
+  Channel& ch = queue_[{node, file}];
+  if (ch.runs.empty()) {
+    ch.oldest_assembled = assembled_at;
+  } else if (assembled_at < ch.oldest_assembled) {
+    ch.oldest_assembled = assembled_at;
+  }
+  // Pre-merge: extend the tail run when the bytes are contiguous within the
+  // same generation; a hole or a rotation starts a new run so the split —
+  // and with it the downstream gap accounting — survives re-framing.
+  if (!ch.runs.empty()) {
+    ChannelChunk& tail = ch.runs.back();
+    if (tail.generation == generation &&
+        tail.offset + tail.data.size() == offset) {
+      tail.data += data;
+      queue_bytes_ += size;
+      stats_.peak_queue_bytes = std::max(stats_.peak_queue_bytes, queue_bytes_);
+      return;
+    }
+  }
+  ChannelChunk run;
+  run.node = node;
+  run.file = file;
+  run.offset = offset;
+  run.generation = generation;
+  run.data = std::move(data);
+  ch.runs.push_back(std::move(run));
+  queue_bytes_ += size;
+  stats_.peak_queue_bytes = std::max(stats_.peak_queue_bytes, queue_bytes_);
+}
+
+void RelayAggregator::tick() {
+  if (!running_) return;
+  // Stop-and-wait on the uplink, exactly like a leaf shipper: while a frame
+  // is unacknowledged, keep pre-merging arrivals into the queue instead.
+  if (pending_ == nullptr && queue_bytes_ > 0) {
+    RelayFrame frame = assemble();
+    if (!frame.chunks.empty()) {
+      pending_ = std::make_unique<RelayFrame>(std::move(frame));
+      pending_since_ = sim_.now();
+      uplink_->send(
+          pending_->seq, pending_->bytes(),
+          [this] {
+            const SimTime lag = sim_.now() - pending_->oldest_assembled;
+            stats_.last_lag = lag;
+            stats_.max_lag = std::max(stats_.max_lag, lag);
+            deliver(std::move(*pending_), true);
+            pending_.reset();
+          },
+          [this] {
+            obs::Log::warn("relay " + name_ + ": abandoning frame #" +
+                           std::to_string(pending_->seq) + " after " +
+                           std::to_string(cfg_.uplink.max_retries + 1) +
+                           " attempts (" +
+                           std::to_string(pending_->chunks.size()) +
+                           " chunks, " + std::to_string(pending_->bytes()) +
+                           " bytes lost)");
+            pending_.reset();
+          });
+    }
+  }
+  sim_.schedule(cfg_.forward_interval, [this] { tick(); });
+}
+
+RelayFrame RelayAggregator::assemble() {
+  RelayFrame frame;
+  frame.relay = name_;
+  frame.seq = next_seq_;
+  frame.oldest_assembled = 0;
+  // Walk channels in sorted (node, file) order, moving whole runs out until
+  // the frame fills. A single run larger than the cap still travels alone —
+  // runs are never split going up, only holes split them coming in.
+  std::size_t frame_bytes = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    Channel& ch = it->second;
+    std::size_t taken = 0;
+    while (taken < ch.runs.size()) {
+      const std::size_t run_bytes = ch.runs[taken].bytes();
+      if (!frame.chunks.empty() &&
+          frame_bytes + run_bytes > cfg_.max_frame_bytes) {
+        break;
+      }
+      queue_bytes_ -= run_bytes;
+      frame_bytes += run_bytes;
+      frame.chunks.push_back(std::move(ch.runs[taken]));
+      ++taken;
+      if (frame.oldest_assembled == 0 ||
+          ch.oldest_assembled < frame.oldest_assembled) {
+        frame.oldest_assembled = ch.oldest_assembled;
+      }
+    }
+    if (taken == ch.runs.size()) {
+      it = queue_.erase(it);
+    } else {
+      ch.runs.erase(ch.runs.begin(),
+                    ch.runs.begin() + static_cast<std::ptrdiff_t>(taken));
+      ++it;
+    }
+    if (frame_bytes >= cfg_.max_frame_bytes) break;
+  }
+  if (!frame.chunks.empty()) ++next_seq_;
+  return frame;
+}
+
+void RelayAggregator::deliver(RelayFrame&& frame, bool in_band) {
+  ++stats_.frames_out;
+  stats_.bytes_out += frame.bytes();
+  sink_(std::move(frame), in_band);
+}
+
+void RelayAggregator::flush_now() {
+  if (pending_ != nullptr) {
+    // A frame the end of the run cut off (in the air, or waiting out a
+    // retry backoff): deliver it directly so no byte is lost.
+    uplink_->cancel();
+    deliver(std::move(*pending_), false);
+    pending_.reset();
+  }
+  while (queue_bytes_ > 0) {
+    RelayFrame frame = assemble();
+    if (frame.chunks.empty()) break;
+    deliver(std::move(frame), false);
+  }
+}
+
+RelayAggregator::Stats RelayAggregator::stats() const {
+  Stats s = stats_;
+  s.queue_bytes = queue_bytes_;
+  const collector::ReliableLink::Stats& up = uplink_->stats();
+  s.retries = up.retries;
+  s.abandoned = up.abandoned;
+  s.cpu_charged = stats_.cpu_charged + up.cpu_charged;
+  return s;
+}
+
+}  // namespace mscope::fleet

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "collector/gap_tracker.h"
+#include "collector/record.h"
+#include "collector/reliable_link.h"
+#include "fleet/frame.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/simulation.h"
+
+namespace mscope::fleet {
+
+using util::SimTime;
+
+/// One interior node of the collection tree: a per-rack (or per-pod)
+/// aggregation point running on its own sim::Node. Downstream it accepts
+/// leaf shipper batches and/or child relay frames; it pre-merges everything
+/// it buffers by origin (node, file) channel — concatenating contiguous
+/// byte runs, splitting only at holes and rotations so upstream gap
+/// accounting still sees them — and on a fixed cadence re-frames the queue
+/// into one RelayFrame shipped to its parent over the same stop-and-wait
+/// ReliableLink (retry + exponential backoff + abandonment) a leaf shipper
+/// uses. Receiving charges modeled decode CPU, forwarding charges modeled
+/// serialization CPU, both on the relay's own node, so the cost of every
+/// extra tree level is measurable the same way monitor overhead is.
+class RelayAggregator {
+ public:
+  struct Config {
+    SimTime forward_interval = 20 * util::kMsec;  ///< uplink cadence
+    std::size_t max_frame_bytes = 256 * 1024;     ///< payload cap per frame
+    SimTime cpu_per_batch = 40;  ///< decode cost per arriving batch/frame
+    SimTime cpu_per_kb = 8;      ///< per-KB ingest cost
+    collector::ReliableLink::Config uplink;  ///< retry/backoff like Shipper
+    int cores = 4;
+    SimTime start_at = 0;
+  };
+
+  struct Stats {
+    std::uint64_t batches_in = 0;   ///< leaf batches received
+    std::uint64_t frames_in = 0;    ///< child relay frames received
+    std::uint64_t bytes_in = 0;     ///< payload bytes received
+    std::uint64_t frames_out = 0;   ///< frames delivered upward
+    std::uint64_t bytes_out = 0;    ///< payload bytes delivered upward
+    std::uint64_t queue_bytes = 0;  ///< buffered, not yet forwarded
+    std::uint64_t peak_queue_bytes = 0;
+    std::uint64_t gaps = 0;       ///< holes observed arriving at this hop
+    std::uint64_t gap_bytes = 0;  ///< bytes lost in those holes
+    std::uint64_t retries = 0;    ///< uplink re-sends after injected faults
+    std::uint64_t abandoned = 0;  ///< frames given up after max_retries
+    SimTime cpu_charged = 0;      ///< decode + serialization CPU, this node
+    SimTime last_lag = 0;         ///< now - oldest_assembled at last forward
+    SimTime max_lag = 0;
+  };
+
+  /// Receives a forwarded frame at the parent. `in_band` is false only for
+  /// the end-of-run flush (virtual time has stopped; no network modeling).
+  using Sink = std::function<void(RelayFrame&&, bool in_band)>;
+
+  /// `parent_wire` is the wire id of whatever the frames are sent to (a
+  /// higher relay or the root collector node).
+  RelayAggregator(sim::Simulation& sim, sim::Network& net, std::string name,
+                  std::uint16_t parent_wire, Sink sink, Config cfg);
+
+  /// Begins the periodic forward tick (call once, before the run).
+  void start();
+  void stop() { running_ = false; }
+
+  /// Leaf ingress: a Shipper::Sink-compatible endpoint, so a leaf channel
+  /// ships to a relay exactly as it would ship to the root aggregator.
+  void on_batch(collector::Batch&& batch, bool in_band = true);
+  /// Child-relay ingress (levels == 3: rack relays feed a pod relay).
+  void on_frame(RelayFrame&& frame, bool in_band = true);
+
+  /// Drains everything straight into the sink (end of run; out of band):
+  /// first the frame still in flight or backing off, then the queue.
+  void flush_now();
+
+  void set_fault_injector(collector::ReliableLink::FaultInjector f) {
+    uplink_->set_fault_injector(std::move(f));
+  }
+
+  /// This relay's own machine (for CPU accounting assertions).
+  [[nodiscard]] sim::Node& node() { return *node_; }
+  [[nodiscard]] std::uint16_t wire_id() const { return wire_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Stats stats() const;
+  /// Loss attributed to each origin node, as observed arriving at this hop.
+  [[nodiscard]] const std::map<std::string, collector::GapTracker::Stats>&
+  gaps_by_node() const {
+    return gaps_.per_node();
+  }
+
+ private:
+  void tick();
+  /// Buffers one origin run, merging with the queue tail for its channel
+  /// when contiguous.
+  void enqueue(const std::string& node, const std::string& file,
+               std::uint64_t generation, std::uint64_t offset,
+               std::string&& data, SimTime assembled_at);
+  /// Re-frames up to max_frame_bytes of the queue; empty if none.
+  RelayFrame assemble();
+  void deliver(RelayFrame&& frame, bool in_band);
+
+  sim::Simulation& sim_;
+  std::string name_;
+  Config cfg_;
+  Sink sink_;
+  std::unique_ptr<sim::Node> node_;
+  std::uint16_t wire_ = 0;
+  std::unique_ptr<collector::ReliableLink> uplink_;
+  collector::GapTracker gaps_;
+
+  /// Pre-merge queue: per-channel chunk runs in arrival order. The deque of
+  /// chunks per channel is almost always length 1 (contiguous append); a
+  /// hole or rotation starts a new run.
+  struct Channel {
+    std::vector<ChannelChunk> runs;
+    SimTime oldest_assembled = 0;  ///< oldest batch folded into `runs`
+  };
+  std::map<std::pair<std::string, std::string>, Channel> queue_;
+  std::uint64_t queue_bytes_ = 0;
+
+  std::uint64_t next_seq_ = 0;
+  bool running_ = false;
+  SimTime pending_since_ = 0;
+  std::unique_ptr<RelayFrame> pending_;
+  Stats stats_;
+};
+
+}  // namespace mscope::fleet

@@ -1,0 +1,123 @@
+#include "fleet/sharded_warehouse.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace mscope::fleet {
+
+namespace {
+
+/// Key columns that define the flat warehouse's row order for tables whose
+/// rows several shards contribute. Empty = concatenate in shard order.
+std::vector<std::string> merge_keys(const std::string& name) {
+  if (name == db::Database::kLoadCatalogTable) return {"file"};
+  if (name == db::Database::kDeploymentTable) return {"node", "log_file"};
+  return {};
+}
+
+}  // namespace
+
+ShardedWarehouse::ShardedWarehouse(int shards) {
+  if (shards < 1)
+    throw std::invalid_argument("ShardedWarehouse: shards must be >= 1");
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<db::Database>());
+  }
+}
+
+ShardedWarehouse::~ShardedWarehouse() = default;
+
+const db::Table* ShardedWarehouse::find(const std::string& name) const {
+  const db::Table* only = nullptr;
+  std::vector<const db::Table*> parts;
+  for (const auto& s : shards_) {
+    if (const db::Table* t = s->find(name)) {
+      only = t;
+      parts.push_back(t);
+    }
+  }
+  if (parts.empty()) return nullptr;
+  // A dynamic table lives whole in exactly one shard (routing is by origin
+  // node, and dynamic tables are per (monitor, node)) — zero-copy read.
+  if (parts.size() == 1) return only;
+  return merged(name, parts);
+}
+
+const db::Table* ShardedWarehouse::merged(
+    const std::string& name, const std::vector<const db::Table*>& parts)
+    const {
+  MergedEntry& entry = merged_[name];
+  bool fresh = entry.table != nullptr && entry.row_counts.size() == parts.size();
+  if (fresh) {
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (entry.row_counts[i] != parts[i]->row_count() ||
+          entry.schemas[i] != parts[i]->schema()) {
+        fresh = false;
+        break;
+      }
+    }
+  }
+  if (fresh) return entry.table.get();
+
+  const db::Schema& schema = parts.front()->schema();
+  for (const db::Table* t : parts) {
+    if (t->schema() != schema) {
+      throw std::runtime_error(
+          "ShardedWarehouse: shards disagree on schema of table " + name);
+    }
+  }
+
+  // Gather every shard's rows in shard order, then stable-sort by the
+  // table's key columns (if any): each shard's finalize already emits its
+  // subset in key order, so this reproduces the flat warehouse's row order;
+  // ties (none in practice — keys are unique) keep shard order.
+  std::vector<db::Table::Row> rows;
+  for (const db::Table* t : parts) {
+    auto cur = t->scan();
+    while (cur.next()) rows.push_back(cur.row());
+  }
+  const std::vector<std::string> keys = merge_keys(name);
+  if (!keys.empty()) {
+    std::vector<std::size_t> key_cols;
+    for (const auto& k : keys) {
+      const auto idx = parts.front()->column_index(k);
+      if (idx) key_cols.push_back(*idx);
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&key_cols](const db::Table::Row& a,
+                                 const db::Table::Row& b) {
+                       for (const std::size_t c : key_cols) {
+                         const std::string sa = db::value_to_string(a[c]);
+                         const std::string sb = db::value_to_string(b[c]);
+                         if (sa != sb) return sa < sb;
+                       }
+                       return false;
+                     });
+  }
+
+  auto table = std::make_unique<db::Table>(name, schema);
+  table->reserve(rows.size());
+  for (auto& r : rows) table->insert(std::move(r));
+
+  entry.row_counts.clear();
+  entry.schemas.clear();
+  for (const db::Table* t : parts) {
+    entry.row_counts.push_back(t->row_count());
+    entry.schemas.push_back(t->schema());
+  }
+  entry.table = std::move(table);
+  return entry.table.get();
+}
+
+std::vector<std::string> ShardedWarehouse::table_names() const {
+  std::set<std::string> names;
+  for (const auto& s : shards_) {
+    for (auto& n : s->table_names()) names.insert(std::move(n));
+  }
+  return {names.begin(), names.end()};
+}
+
+}  // namespace mscope::fleet

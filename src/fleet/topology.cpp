@@ -1,0 +1,88 @@
+#include "fleet/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string_view>
+
+namespace mscope::fleet {
+
+Topology::Topology(std::vector<std::string> leaf_nodes, Config cfg)
+    : cfg_(cfg), leaves_(std::move(leaf_nodes)) {
+  if (leaves_.empty())
+    throw std::invalid_argument("Topology: no leaf nodes");
+  if (cfg_.levels < 1 || cfg_.levels > 3)
+    throw std::invalid_argument("Topology: levels must be 1, 2 or 3");
+  if (cfg_.shards < 1)
+    throw std::invalid_argument("Topology: shards must be >= 1");
+  std::sort(leaves_.begin(), leaves_.end());
+  leaves_.erase(std::unique(leaves_.begin(), leaves_.end()), leaves_.end());
+  if (cfg_.levels >= 2) {
+    racks_ = std::min<int>(cfg_.racks, static_cast<int>(leaves_.size()));
+    if (racks_ < 1)
+      throw std::invalid_argument("Topology: racks must be >= 1");
+  }
+  if (cfg_.levels == 3) {
+    pods_ = cfg_.pods > 0
+                ? std::min(cfg_.pods, racks_)
+                : std::max(1, static_cast<int>(std::lround(
+                                  std::sqrt(static_cast<double>(racks_)))));
+  }
+}
+
+int Topology::index_of(const std::string& node) const {
+  const auto it = std::lower_bound(leaves_.begin(), leaves_.end(), node);
+  if (it == leaves_.end() || *it != node)
+    throw std::out_of_range("Topology: unknown node: " + node);
+  return static_cast<int>(it - leaves_.begin());
+}
+
+int Topology::rack_of(const std::string& node) const {
+  if (cfg_.levels < 2)
+    throw std::logic_error("Topology: no racks at levels == 1");
+  return index_of(node) % racks_;
+}
+
+int Topology::pod_of_rack(int rack) const {
+  if (cfg_.levels != 3)
+    throw std::logic_error("Topology: no pods below levels == 3");
+  return rack % pods_;
+}
+
+int Topology::shard_of(const std::string& node) const {
+  if (cfg_.route == Config::Route::kRoundRobin) {
+    return index_of(node) % cfg_.shards;
+  }
+  return static_cast<int>(node_stream(node) %
+                          static_cast<std::uint64_t>(cfg_.shards));
+}
+
+std::string Topology::rack_name(int rack) {
+  return "relay" + std::to_string(rack);
+}
+
+std::string Topology::pod_name(int pod) { return "pod" + std::to_string(pod); }
+
+bool parse_hop_gauge(const std::string& series, GaugeKey* out) {
+  for (const char* prefix : {"collector.", "fleet."}) {
+    const std::size_t plen = std::string_view(prefix).size();
+    if (series.rfind(prefix, 0) != 0) continue;
+    const std::size_t dot = series.find('.', plen);
+    if (dot == std::string::npos || dot + 1 >= series.size()) return false;
+    out->node = series.substr(plen, dot - plen);
+    out->gauge = series.substr(dot + 1);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Topology::node_stream(const std::string& node) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  for (const char c : node) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace mscope::fleet

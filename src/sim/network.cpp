@@ -17,7 +17,34 @@ void Network::send(std::uint16_t src, std::uint16_t dst, std::uint64_t conn,
   if (tap_ != nullptr && record_tap) {
     tap_->record(Message{sim_.now(), src, dst, conn, req_id, kind, bytes});
   }
-  sim_.schedule(cfg_.latency, std::move(deliver));
+  SimTime hop = cfg_.latency;
+  if (cfg_.jitter > 0) {
+    hop += static_cast<SimTime>(jitter_rng(src).next_below(
+        static_cast<std::uint64_t>(cfg_.jitter) + 1));
+  }
+  sim_.schedule(hop, std::move(deliver));
+}
+
+void Network::seed_node_stream(std::uint16_t wire, std::uint64_t stream_tag) {
+  if (wire >= nodes_.size())
+    throw std::out_of_range("Network::seed_node_stream: unregistered node");
+  if (stream_tags_.size() < nodes_.size()) stream_tags_.resize(nodes_.size());
+  if (jitter_rngs_.size() < nodes_.size()) jitter_rngs_.resize(nodes_.size());
+  stream_tags_[wire] = stream_tag;
+  jitter_rngs_[wire].reset();  // re-derive from the new tag on next draw
+}
+
+util::Rng& Network::jitter_rng(std::uint16_t src) {
+  if (jitter_rngs_.size() < nodes_.size()) jitter_rngs_.resize(nodes_.size());
+  if (stream_tags_.size() < nodes_.size()) stream_tags_.resize(nodes_.size());
+  auto& slot = jitter_rngs_[src];
+  if (slot == nullptr) {
+    // Fall back to the wire id as the stream tag when nobody pinned one.
+    const std::uint64_t tag =
+        stream_tags_[src] != 0 ? stream_tags_[src] : src;
+    slot = std::make_unique<util::Rng>(cfg_.seed, tag);
+  }
+  return *slot;
 }
 
 }  // namespace mscope::sim

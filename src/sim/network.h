@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/simulation.h"
+#include "util/rng.h"
 
 namespace mscope::sim {
 
@@ -49,6 +51,12 @@ class Network {
 
   struct Config {
     SimTime latency = 100;  ///< one-way usec per hop
+    /// Optional per-hop latency jitter: each send adds uniform [0, jitter]
+    /// usec drawn from the *sending node's own* RNG stream. 0 (default)
+    /// draws nothing — behavior and event ordering are bit-identical to the
+    /// jitter-free network, so single-node figure outputs never move.
+    SimTime jitter = 0;
+    std::uint64_t seed = 0;  ///< experiment seed the jitter streams split from
   };
 
   Network(Simulation& sim, Config cfg) : sim_(sim), cfg_(cfg) {}
@@ -81,13 +89,36 @@ class Network {
             std::uint64_t req_id, Message::Kind kind, std::uint32_t bytes,
             Deliver deliver, bool record_tap = true);
 
+  /// Enables per-hop latency jitter after construction (the Testbed owns the
+  /// Network; fleet wiring configures jitter when it builds the tree).
+  void set_jitter(SimTime jitter, std::uint64_t seed) {
+    cfg_.jitter = jitter;
+    cfg_.seed = seed;
+  }
+
+  /// Pins the RNG stream tag of a node's jitter draws. Multi-node runs pass
+  /// a tag derived from the node's *topology identity* (its name — see
+  /// fleet::Topology::node_stream), never the registration-order wire id:
+  /// with name-derived tags a node replays the same jitter sequence even
+  /// when other nodes join or leave the fleet. Unpinned nodes fall back to
+  /// their wire id as the tag.
+  void seed_node_stream(std::uint16_t wire, std::uint64_t stream_tag);
+
   [[nodiscard]] SimTime latency() const { return cfg_.latency; }
+  [[nodiscard]] SimTime jitter() const { return cfg_.jitter; }
 
  private:
+  /// The sending node's private jitter stream, created on first draw.
+  util::Rng& jitter_rng(std::uint16_t src);
+
   Simulation& sim_;
   Config cfg_;
   MessageTap* tap_ = nullptr;
   std::vector<Node*> nodes_;
+  /// Per-node jitter streams + their tags, indexed by wire id (lazily
+  /// sized; entries are null until a node's first jittered send).
+  std::vector<std::unique_ptr<util::Rng>> jitter_rngs_;
+  std::vector<std::uint64_t> stream_tags_;
   std::uint64_t next_conn_ = 1;
 };
 

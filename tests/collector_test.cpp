@@ -5,6 +5,7 @@
 // collection path and the post-hoc batch transform of the same run.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <string>
@@ -357,7 +358,11 @@ void expect_identical_databases(const db::Database& a, const db::Database& b) {
 class StreamingParityFixture : public ::testing::Test {
  protected:
   static fs::path log_dir() {
-    return fs::temp_directory_path() / "mscope_collector_parity";
+    // Per-process dir: ctest -j runs each parity test in its own process,
+    // and a shared path lets one process's TearDown delete the logs another
+    // is still reading.
+    return fs::temp_directory_path() /
+           ("mscope_collector_parity_" + std::to_string(::getpid()));
   }
 
   static void SetUpTestSuite() {
