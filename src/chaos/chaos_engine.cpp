@@ -1,0 +1,191 @@
+#include "chaos/chaos_engine.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "sim/disk.h"
+
+namespace mscope::chaos {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("ChaosEngine: " + what);
+}
+
+}  // namespace
+
+ChaosEngine::ChaosEngine(core::Testbed& testbed, fleet::FleetCollection& fleet,
+                         FaultPlan plan)
+    : testbed_(testbed), fleet_(fleet), plan_(std::move(plan)) {
+  for (int t = 0; t < core::Testbed::kTiers; ++t) {
+    for (int r = 0; r < testbed_.replicas(t); ++r) {
+      leaf_index_[core::Testbed::replica_name(t, r)] = {t, r};
+    }
+  }
+}
+
+ChaosEngine::Target ChaosEngine::resolve(const std::string& name) const {
+  Target t;
+  if (name == "root") {
+    t.is_root = true;
+    t.wire = fleet_.root_wire();
+    return t;
+  }
+  // resolve() is const but relay lookup is not; the engine holds a non-const
+  // fleet reference for exactly this.
+  if (auto* relay = const_cast<fleet::FleetCollection&>(fleet_)
+                        .relay_by_name(name)) {
+    t.relay = relay;
+    t.wire = relay->wire_id();
+    return t;
+  }
+  const auto it = leaf_index_.find(name);
+  if (it == leaf_index_.end()) bad("unknown target '" + name + "'");
+  t.tier = it->second.first;
+  t.replica = it->second.second;
+  t.wire = testbed_.tier_wire_id(t.tier, t.replica);
+  return t;
+}
+
+void ChaosEngine::arm() {
+  if (armed_) bad("arm() called twice");
+  armed_ = true;
+  plan_.validate();
+  auto& sim = testbed_.simulation();
+  for (const auto& f : plan_.faults()) {
+    // Resolve every target now so a bad plan dies before the run starts,
+    // and kind/target mismatches are caught with the fault's name attached.
+    const Target a = resolve(f.a);
+    if (!f.b.empty()) (void)resolve(f.b);
+    switch (f.kind) {
+      case FaultKind::kCrashRelay:
+        if (!a.relay) bad(f.name + ": crash-relay target is not a relay");
+        break;
+      case FaultKind::kCrashLeaf:
+      case FaultKind::kRotate:
+      case FaultKind::kSlowDisk:
+        if (a.tier < 0) {
+          bad(f.name + ": " + std::string(to_string(f.kind)) +
+              " target must be a monitored node");
+        }
+        break;
+      default:
+        break;
+    }
+    sim.schedule(f.start, [this, &f] { apply(f, true); });
+    if (f.duration > 0) {
+      sim.schedule(f.start + f.duration, [this, &f] { apply(f, false); });
+    }
+  }
+  obs::Log::info("chaos: armed " + std::to_string(plan_.size()) +
+                 " faults on the virtual clock");
+}
+
+void ChaosEngine::apply(const FaultSpec& f, bool starting) {
+  auto& net = testbed_.network();
+  const Target a = resolve(f.a);
+  std::string describe;
+  switch (f.kind) {
+    case FaultKind::kPartition: {
+      const Target b = resolve(f.b);
+      net.set_link_down(a.wire, b.wire, starting);
+      describe = (starting ? "cut " : "healed ") + f.a + "<->" + f.b;
+      break;
+    }
+    case FaultKind::kBlackhole:
+      net.set_node_down(a.wire, starting);
+      describe = f.a + (starting ? " dark" : " reachable again");
+      break;
+    case FaultKind::kCrashRelay:
+      if (starting) {
+        a.relay->crash();
+        describe = f.a + " crashed";
+      } else {
+        a.relay->restart();
+        describe = f.a + " restarted (incarnation " +
+                   std::to_string(a.relay->incarnation()) + ")";
+      }
+      break;
+    case FaultKind::kCrashLeaf:
+      if (starting) {
+        fleet_.crash_leaf(f.a);
+        describe = f.a + " agent crashed";
+      } else {
+        fleet_.restart_leaf(f.a);
+        describe = f.a + " agent restarted";
+      }
+      break;
+    case FaultKind::kLoss: {
+      const Target b = resolve(f.b);
+      const sim::Network::LinkLoss loss = starting
+                                              ? sim::Network::LinkLoss{f.data_p, f.ack_p}
+                                              : sim::Network::LinkLoss{};
+      net.set_link_loss(a.wire, b.wire, loss);
+      net.set_link_loss(b.wire, a.wire, loss);
+      describe = (starting ? "loss storm on " : "loss cleared on ") + f.a +
+                 "<->" + f.b;
+      break;
+    }
+    case FaultKind::kRotate: {
+      auto& fac = testbed_.facility(a.tier, a.replica);
+      for (std::uint64_t i = 0; i < f.count; ++i) {
+        fac.for_each_file([this](logging::LogFile& file) {
+          file.rotate();
+          ++stats_.rotations;
+        });
+      }
+      describe = "rotated " + f.a + " logs x" + std::to_string(f.count);
+      break;
+    }
+    case FaultKind::kSlowDisk:
+      testbed_.node(a.tier, a.replica)
+          .disk()
+          .set_degradation(starting ? f.factor : 1.0);
+      describe = f.a + (starting ? " disk degraded" : " disk recovered");
+      break;
+    case FaultKind::kSkew:
+      net.set_send_skew(a.wire, starting ? f.skew : 0);
+      describe = f.a + (starting ? " clock skewed" : " clock resynced");
+      break;
+  }
+  if (starting) {
+    ++stats_.injected;
+    // Instantaneous faults (rotate bursts) never linger as "active".
+    if (f.duration > 0) ++stats_.active;
+  } else {
+    ++stats_.recovered;
+    if (stats_.active > 0) --stats_.active;
+  }
+  record(f, starting, std::move(describe));
+}
+
+void ChaosEngine::record(const FaultSpec& f, bool starting,
+                         std::string describe) {
+  Event ev;
+  ev.at = testbed_.simulation().now();
+  ev.fault = f.name;
+  ev.starting = starting;
+  ev.describe = std::move(describe);
+  obs::Log::info("chaos: t=" + std::to_string(ev.at) + " " + ev.fault + " " +
+                 std::string(to_string(f.kind)) + ": " + ev.describe);
+  update_gauges();
+  if (on_event_) on_event_(ev);
+  events_.push_back(std::move(ev));
+}
+
+void ChaosEngine::update_gauges() {
+  auto& reg = obs::Registry::global();
+  reg.gauge("chaos.faults.injected")
+      .set(static_cast<std::int64_t>(stats_.injected));
+  reg.gauge("chaos.faults.recovered")
+      .set(static_cast<std::int64_t>(stats_.recovered));
+  reg.gauge("chaos.faults.active")
+      .set(static_cast<std::int64_t>(stats_.active));
+  reg.gauge("chaos.rotations")
+      .set(static_cast<std::int64_t>(stats_.rotations));
+}
+
+}  // namespace mscope::chaos

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.h"
+#include "core/testbed.h"
+#include "fleet/fleet_collection.h"
+
+namespace mscope::chaos {
+
+/// Executes a FaultPlan against a running fleet: every fault start and end
+/// is an event on the virtual clock, scheduled at arm() time, so a plan
+/// perturbs the simulation deterministically — the same (plan, seed) always
+/// replays the same run bit-for-bit.
+///
+/// The engine is the only component that resolves a plan's *names* into
+/// live objects: "root" -> the fleet root's wire, "relay3" -> that
+/// RelayAggregator, "db1" -> the monitored replica's wire / disk / logging
+/// facility / collection agent. Resolution happens eagerly in arm(), so a
+/// plan referencing an unknown target fails fast instead of mid-run.
+///
+/// Every injection and recovery bumps `chaos.*` gauges in the global
+/// metrics registry; with fleet observability on they ride the existing
+/// MetaExporter into `mscope_meta_*` tables like any other health series.
+class ChaosEngine {
+ public:
+  /// One executed fault transition, for run reports.
+  struct Event {
+    SimTime at = 0;
+    std::string fault;  ///< FaultSpec::name
+    bool starting = false;  ///< true = injected, false = recovered
+    std::string describe;
+  };
+
+  ChaosEngine(core::Testbed& testbed, fleet::FleetCollection& fleet,
+              FaultPlan plan);
+
+  /// Schedules every fault transition on the virtual clock. Call once,
+  /// before Testbed::run(). Throws std::invalid_argument if the plan names
+  /// a target this topology does not have.
+  void arm();
+
+  /// Optional observer invoked at every fault transition (the scenario
+  /// binary uses it to narrate the run).
+  void set_on_event(std::function<void(const Event&)> cb) {
+    on_event_ = std::move(cb);
+  }
+
+  struct Stats {
+    std::uint64_t injected = 0;   ///< fault starts executed
+    std::uint64_t recovered = 0;  ///< fault ends executed
+    std::uint64_t active = 0;     ///< currently-active faults
+    std::uint64_t rotations = 0;  ///< individual rotate() calls issued
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  struct Target {
+    int tier = -1;      ///< >= 0 for monitored replicas
+    int replica = -1;
+    std::uint16_t wire = 0;
+    fleet::RelayAggregator* relay = nullptr;  ///< non-null for relay names
+    bool is_root = false;
+  };
+
+  [[nodiscard]] Target resolve(const std::string& name) const;
+  void apply(const FaultSpec& f, bool starting);
+  void record(const FaultSpec& f, bool starting, std::string describe);
+  void update_gauges();
+
+  core::Testbed& testbed_;
+  fleet::FleetCollection& fleet_;
+  FaultPlan plan_;
+  std::map<std::string, std::pair<int, int>> leaf_index_;  ///< name->(tier,r)
+  std::function<void(const Event&)> on_event_;
+  std::vector<Event> events_;
+  Stats stats_;
+  bool armed_ = false;
+};
+
+}  // namespace mscope::chaos

@@ -1,0 +1,274 @@
+#include "chaos/fault_plan.h"
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace mscope::chaos {
+
+namespace {
+
+/// FNV-1a of the fault name — the same stable name-keyed stream derivation
+/// Topology::node_stream uses for network jitter, so a fault's randomness
+/// depends only on (seed, fault name), never on list position or count.
+std::uint64_t name_stream(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("FaultPlan: " + what);
+}
+
+bool needs_peer(FaultKind k) {
+  return k == FaultKind::kPartition || k == FaultKind::kLoss;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kBlackhole: return "blackhole";
+    case FaultKind::kCrashRelay: return "crash-relay";
+    case FaultKind::kCrashLeaf: return "crash-leaf";
+    case FaultKind::kLoss: return "loss";
+    case FaultKind::kRotate: return "rotate";
+    case FaultKind::kSlowDisk: return "slow-disk";
+    case FaultKind::kSkew: return "skew";
+  }
+  return "?";
+}
+
+FaultKind fault_kind_from(const std::string& s) {
+  if (s == "partition") return FaultKind::kPartition;
+  if (s == "blackhole") return FaultKind::kBlackhole;
+  if (s == "crash-relay") return FaultKind::kCrashRelay;
+  if (s == "crash-leaf") return FaultKind::kCrashLeaf;
+  if (s == "loss") return FaultKind::kLoss;
+  if (s == "rotate") return FaultKind::kRotate;
+  if (s == "slow-disk") return FaultKind::kSlowDisk;
+  if (s == "skew") return FaultKind::kSkew;
+  bad("unknown fault kind '" + s + "'");
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  std::vector<FaultSpec> faults;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    FaultSpec f;
+    std::string kind, target;
+    if (!(ls >> f.name)) continue;  // blank / comment-only line
+    if (!(ls >> kind >> target >> f.start >> f.duration)) {
+      bad("line " + std::to_string(lineno) +
+          ": expected 'name kind target start duration'");
+    }
+    f.kind = fault_kind_from(kind);
+    const auto colon = target.find(':');
+    if (colon != std::string::npos) {
+      f.a = target.substr(0, colon);
+      f.b = target.substr(colon + 1);
+    } else {
+      f.a = target;
+    }
+    switch (f.kind) {
+      case FaultKind::kLoss:
+        if (!(ls >> f.data_p)) {
+          bad("line " + std::to_string(lineno) + ": loss needs data_p");
+        }
+        ls >> f.ack_p;  // optional; stays 0 if absent
+        break;
+      case FaultKind::kRotate:
+        if (!(ls >> f.count)) {
+          bad("line " + std::to_string(lineno) + ": rotate needs count");
+        }
+        break;
+      case FaultKind::kSlowDisk:
+        if (!(ls >> f.factor)) {
+          bad("line " + std::to_string(lineno) + ": slow-disk needs factor");
+        }
+        break;
+      case FaultKind::kSkew:
+        if (!(ls >> f.skew)) {
+          bad("line " + std::to_string(lineno) + ": skew needs usec value");
+        }
+        break;
+      default:
+        break;
+    }
+    faults.push_back(std::move(f));
+  }
+  FaultPlan plan(std::move(faults));
+  plan.validate();
+  return plan;
+}
+
+std::string FaultPlan::format() const {
+  std::string out =
+      "# name kind target[:peer] start_usec duration_usec [params]\n";
+  char buf[256];
+  for (const auto& f : faults_) {
+    std::string target = f.a;
+    if (!f.b.empty()) target += ":" + f.b;
+    std::snprintf(buf, sizeof buf, "%s %s %s %lld %lld", f.name.c_str(),
+                  to_string(f.kind), target.c_str(),
+                  static_cast<long long>(f.start),
+                  static_cast<long long>(f.duration));
+    out += buf;
+    switch (f.kind) {
+      case FaultKind::kLoss:
+        std::snprintf(buf, sizeof buf, " %g %g", f.data_p, f.ack_p);
+        out += buf;
+        break;
+      case FaultKind::kRotate:
+        std::snprintf(buf, sizeof buf, " %llu",
+                      static_cast<unsigned long long>(f.count));
+        out += buf;
+        break;
+      case FaultKind::kSlowDisk:
+        std::snprintf(buf, sizeof buf, " %g", f.factor);
+        out += buf;
+        break;
+      case FaultKind::kSkew:
+        std::snprintf(buf, sizeof buf, " %lld",
+                      static_cast<long long>(f.skew));
+        out += buf;
+        break;
+      default:
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void FaultPlan::validate() const {
+  std::set<std::string> names;
+  for (const auto& f : faults_) {
+    if (f.name.empty()) bad("fault with empty name");
+    if (!names.insert(f.name).second) bad("duplicate fault name " + f.name);
+    if (f.a.empty()) bad(f.name + ": empty target");
+    if (needs_peer(f.kind) == f.b.empty()) {
+      bad(f.name + ": " + std::string(to_string(f.kind)) +
+          (f.b.empty() ? " needs a target:peer pair" : " takes no peer"));
+    }
+    if (f.start < 0 || f.duration < 0) bad(f.name + ": negative time");
+    switch (f.kind) {
+      case FaultKind::kLoss:
+        if (f.data_p < 0 || f.ack_p < 0 || f.data_p + f.ack_p >= 1.0) {
+          bad(f.name + ": loss probabilities must be >= 0 with sum < 1");
+        }
+        break;
+      case FaultKind::kRotate:
+        if (f.count == 0) bad(f.name + ": rotate count must be >= 1");
+        break;
+      case FaultKind::kSlowDisk:
+        if (f.factor < 1.0) bad(f.name + ": slow-disk factor must be >= 1");
+        break;
+      case FaultKind::kSkew:
+        if (f.skew <= 0) bad(f.name + ": skew must be > 0 usec");
+        break;
+      default:
+        if (f.duration == 0) {
+          bad(f.name + ": " + std::string(to_string(f.kind)) +
+              " needs a duration");
+        }
+        break;
+    }
+  }
+}
+
+FaultPlan FaultPlan::randomized(std::uint64_t seed,
+                                const RandomOptions& opts) {
+  if (opts.kinds.empty()) bad("randomized: no kinds allowed");
+  if (opts.window_end <= opts.window_begin) bad("randomized: empty window");
+  std::vector<FaultSpec> faults;
+  for (int i = 0; i < opts.faults; ++i) {
+    FaultSpec f;
+    f.name = "f" + std::to_string(i + 1);
+    // One private stream per fault, keyed by its *name*: fault f3 for a
+    // given seed is the same fault regardless of how many siblings the
+    // plan has or the order they are generated in.
+    util::Rng rng(seed, name_stream(f.name));
+    // Each fault kind draws the same number of values in the same order, so
+    // a kind restricted out of one plan never shifts another fault's draws.
+    f.kind = opts.kinds[static_cast<std::size_t>(
+        rng.next_below(opts.kinds.size()))];
+    const auto pick = [&rng](const std::vector<std::string>& from)
+        -> std::string {
+      if (from.empty()) return {};
+      return from[static_cast<std::size_t>(rng.next_below(from.size()))];
+    };
+    const std::string leaf = pick(opts.leaves);
+    const std::string relay = pick(opts.relays);
+    f.start = opts.window_begin +
+              static_cast<SimTime>(rng.next_below(static_cast<std::uint64_t>(
+                  opts.window_end - opts.window_begin)));
+    f.duration =
+        opts.min_duration +
+        static_cast<SimTime>(rng.next_below(static_cast<std::uint64_t>(
+            opts.max_duration - opts.min_duration + 1)));
+    const double u1 = rng.next_double();
+    const double u2 = rng.next_double();
+    switch (f.kind) {
+      case FaultKind::kPartition:
+        f.a = relay.empty() ? leaf : relay;
+        f.b = "root";
+        break;
+      case FaultKind::kBlackhole:
+        f.a = leaf;
+        break;
+      case FaultKind::kCrashRelay:
+        f.a = relay;
+        break;
+      case FaultKind::kCrashLeaf:
+        f.a = leaf;
+        break;
+      case FaultKind::kLoss:
+        f.a = relay.empty() ? leaf : relay;
+        f.b = "root";
+        f.data_p = 0.05 + 0.25 * u1;
+        f.ack_p = 0.10 * u2;
+        break;
+      case FaultKind::kRotate:
+        f.a = leaf;
+        f.duration = 0;
+        f.count = 1 + static_cast<std::uint64_t>(2.999 * u1);
+        break;
+      case FaultKind::kSlowDisk:
+        f.a = leaf;
+        f.factor = 2.0 + 6.0 * u1;
+        break;
+      case FaultKind::kSkew:
+        f.a = leaf;
+        f.skew = 200 + static_cast<SimTime>(3000.0 * u1);
+        break;
+    }
+    // A fleet with no relays cannot host relay faults; fall back to a leaf
+    // blackhole so the plan keeps its fault count.
+    if (f.a.empty()) {
+      f.kind = FaultKind::kBlackhole;
+      f.a = leaf;
+      f.b.clear();
+    }
+    faults.push_back(std::move(f));
+  }
+  FaultPlan plan(std::move(faults));
+  plan.validate();
+  return plan;
+}
+
+}  // namespace mscope::chaos

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/simtime.h"
+
+namespace mscope::chaos {
+
+using util::SimTime;
+
+/// What kind of fleet-level failure a FaultSpec injects.
+enum class FaultKind : std::uint8_t {
+  kPartition,   ///< cut the link between two named nodes, heal at end
+  kBlackhole,   ///< one node dark on the network (NIC down, process alive)
+  kCrashRelay,  ///< relay process crash; restart (new incarnation) at end
+  kCrashLeaf,   ///< leaf collection-agent crash; restart at end
+  kLoss,        ///< loss storm on a link: data and/or ack loss probabilities
+  kRotate,      ///< log-rotation burst: rotate a node's logs `count` times
+  kSlowDisk,    ///< disk service times multiplied by `factor` for duration
+  kSkew,        ///< bounded clock skew on a node's sends for duration
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+/// Parses "partition", "crash-relay", ... Throws std::invalid_argument on
+/// unknown kind names.
+[[nodiscard]] FaultKind fault_kind_from(const std::string& s);
+
+/// One declarative fault: what, where, when, how hard. Target names are
+/// topology identities ("db1", "relay3", "root") resolved by the engine at
+/// arm time, never wire ids — a plan is portable across runs of the same
+/// topology and meaningless ids cannot leak into it.
+struct FaultSpec {
+  std::string name;  ///< unique id; keys the fault's RNG stream in
+                     ///< randomized plans (name-keyed like Topology streams)
+  FaultKind kind = FaultKind::kPartition;
+  std::string a;     ///< primary target (node / relay / "root")
+  std::string b;     ///< link peer for partition/loss; empty otherwise
+  SimTime start = 0;
+  SimTime duration = 0;  ///< 0 for instantaneous faults (rotate)
+  double data_p = 0.0;   ///< loss: P(payload dropped)
+  double ack_p = 0.0;    ///< loss: P(delivered but ack lost)
+  double factor = 0.0;   ///< slow-disk: service-time multiplier
+  std::uint64_t count = 0;  ///< rotate: rotations in the burst
+  SimTime skew = 0;      ///< skew: extra usec added to every send
+};
+
+/// A scripted schedule of faults over one run. Plans round-trip through a
+/// line-oriented text format (one fault per line, '#' comments):
+///
+///   # name kind        target[:peer] start_usec duration_usec [params]
+///   f1     partition   relay1:root   3000000    1500000
+///   f2     crash-relay relay2        5000000    800000
+///   f3     crash-leaf  web2          6000000    700000
+///   f4     loss        relay1:root   8000000    1200000   0.15 0.05
+///   f5     rotate      db2           9000000    0         3
+///   f6     skew        app1          10000000   2000000   1500
+///   f7     slow-disk   db2           11000000   900000    4.0
+///   f8     blackhole   web3          12000000   500000
+///
+/// so a headline scenario's exact schedule can be checked in, printed,
+/// edited by hand, and replayed bit-identically.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::vector<FaultSpec> faults)
+      : faults_(std::move(faults)) {}
+
+  /// Parses the text format above. Throws std::invalid_argument with line
+  /// context on malformed input, duplicate names, or out-of-range params.
+  [[nodiscard]] static FaultPlan parse(const std::string& text);
+
+  /// Formats back to the text form parse() accepts (round-trips).
+  [[nodiscard]] std::string format() const;
+
+  /// Structural validation (also run by parse()): unique non-empty names,
+  /// probabilities in [0, 1), positive factors/counts where required, peer
+  /// present exactly when the kind needs one. Throws std::invalid_argument.
+  void validate() const;
+
+  struct RandomOptions {
+    int faults = 6;
+    SimTime window_begin = 2 * util::kSec;
+    SimTime window_end = 10 * util::kSec;
+    SimTime min_duration = 200 * util::kMsec;
+    SimTime max_duration = 1500 * util::kMsec;
+    std::vector<std::string> leaves;  ///< monitored-node names
+    std::vector<std::string> relays;  ///< relay names ("relay0", ...)
+    /// Kinds the generator may draw. Defaults to everything.
+    std::vector<FaultKind> kinds = {
+        FaultKind::kPartition, FaultKind::kBlackhole, FaultKind::kCrashRelay,
+        FaultKind::kCrashLeaf, FaultKind::kLoss,      FaultKind::kRotate,
+        FaultKind::kSlowDisk,  FaultKind::kSkew};
+  };
+
+  /// Generates a deterministic random plan. Fault i is named "f<i+1>" and
+  /// drawn from its own RNG stream keyed by that *name* (FNV-1a, exactly
+  /// like Topology::node_stream) — so fault f3 is the same fault for a
+  /// given seed whether the plan has 5 faults or 50, and replaying a seed
+  /// reproduces the plan bit-identically.
+  [[nodiscard]] static FaultPlan randomized(std::uint64_t seed,
+                                            const RandomOptions& opts);
+
+  [[nodiscard]] const std::vector<FaultSpec>& faults() const {
+    return faults_;
+  }
+  [[nodiscard]] bool empty() const { return faults_.empty(); }
+  [[nodiscard]] std::size_t size() const { return faults_.size(); }
+
+ private:
+  std::vector<FaultSpec> faults_;
+};
+
+}  // namespace mscope::chaos

@@ -8,26 +8,60 @@ LogTailer::LogTailer(logging::LoggingFacility& facility, RingBuffer& buffer,
       buffer_(buffer),
       node_(std::move(node)),
       cfg_(cfg) {
+  attach();
+}
+
+LogTailer::~LogTailer() {
+  if (attached_) facility_.set_write_observer(nullptr);
+}
+
+void LogTailer::attach() {
+  if (attached_) return;
+  attached_ = true;
   facility_.set_write_observer(
       [this](const logging::LoggingFacility::WriteEvent& ev) { on_write(ev); });
 }
 
-LogTailer::~LogTailer() { facility_.set_write_observer(nullptr); }
+void LogTailer::detach() {
+  if (!attached_) return;
+  attached_ = false;
+  facility_.set_write_observer(nullptr);
+  // The agent process died: everything buffered in it is gone. Keep the
+  // per-file map entries (with their generations zeroed out) so the next
+  // write after attach() takes the resync path.
+  for (auto& [file, st] : files_) {
+    std::uint64_t lost = st.complete.size() + st.partial.size();
+    for (const auto& r : st.ready) lost += r.data.size();
+    stats_.crash_lost_bytes += lost;
+    st = FileState{};
+  }
+}
 
 void LogTailer::on_write(const logging::LoggingFacility::WriteEvent& ev) {
   const std::string name = ev.file.path().filename().string();
   FileState& st = files_[name];
 
   if (ev.generation != st.generation) {
-    // Rotation: everything held for the old generation is stale.
-    st = FileState{};
+    // The file rotated since the last observed write — possibly more than
+    // once (a rotation burst can advance the generation by > 1 between two
+    // appends). Bank everything held under the old generation first: the
+    // host file's copy of those bytes was truncated away, but the tailer
+    // already read them, so they must ship rather than vanish. Only then
+    // resynchronize to the new generation.
+    if (!st.complete.empty() || !st.partial.empty()) {
+      bank_held(name, st);
+      ++stats_.rotations_banked;
+    }
+    st.complete.clear();
+    st.partial.clear();
     st.generation = ev.generation;
     st.next_offset = ev.offset;
     st.ship_offset = ev.offset;
     ++stats_.resyncs;
   } else if (ev.offset != st.next_offset) {
-    // Missed writes (observer attached late). Restart at the observed
-    // offset; the gap stays unshipped rather than shipping reordered bytes.
+    // Missed writes (observer attached late, or re-attached after an agent
+    // crash). Restart at the observed offset; the gap stays unshipped
+    // rather than shipping reordered bytes.
     st.complete.clear();
     st.partial.clear();
     st.next_offset = ev.offset;
@@ -51,22 +85,52 @@ void LogTailer::on_write(const logging::LoggingFacility::WriteEvent& ev) {
   }
 }
 
+void LogTailer::bank_held(const std::string& file, FileState& st) {
+  // Frame held bytes into records *now*, while the old generation/offset
+  // bookkeeping is still valid — after the resync below, st tracks the new
+  // generation and could no longer tag them correctly. The trailing partial
+  // ships as-is (its newline died with the rotation).
+  std::string held = std::move(st.complete);
+  held += st.partial;
+  while (!held.empty()) {
+    const std::size_t cut = cut_point(held);
+    Record r;
+    r.file = file;
+    r.offset = st.ship_offset;
+    r.generation = st.generation;
+    r.data = held.substr(0, cut);
+    st.ship_offset += cut;
+    held.erase(0, cut);
+    st.ready.push_back(std::move(r));
+  }
+}
+
+std::size_t LogTailer::cut_point(const std::string& complete) const {
+  // Cut at the last line boundary within the size cap; a single oversized
+  // line ships whole (records must stay line-aligned).
+  if (complete.size() <= cfg_.max_record_bytes) return complete.size();
+  const auto within = complete.rfind('\n', cfg_.max_record_bytes - 1);
+  if (within != std::string::npos) return within + 1;
+  const auto next = complete.find('\n');
+  return (next == std::string::npos) ? complete.size() : next + 1;
+}
+
 void LogTailer::drain_complete(const std::string& file, FileState& st) {
-  while (!st.complete.empty()) {
-    // Cut at the last line boundary within the size cap; a single oversized
-    // line ships whole (records must stay line-aligned).
-    std::size_t cut;
-    if (st.complete.size() <= cfg_.max_record_bytes) {
-      cut = st.complete.size();
-    } else {
-      const auto within = st.complete.rfind('\n', cfg_.max_record_bytes - 1);
-      if (within != std::string::npos) {
-        cut = within + 1;
-      } else {
-        const auto next = st.complete.find('\n');
-        cut = (next == std::string::npos) ? st.complete.size() : next + 1;
-      }
+  // Banked pre-rotation records go first — they are older than anything in
+  // `complete` and per-channel order must be preserved hop to hop.
+  while (!st.ready.empty()) {
+    Record r = st.ready.front();
+    const std::size_t sz = r.data.size();
+    if (!buffer_.push(std::move(r))) {
+      ++stats_.blocked;  // kBlock and full: retry on pump()
+      return;
     }
+    st.ready.erase(st.ready.begin());
+    ++stats_.records;
+    stats_.bytes += sz;
+  }
+  while (!st.complete.empty()) {
+    const std::size_t cut = cut_point(st.complete);
     Record r;
     r.file = file;
     r.offset = st.ship_offset;
@@ -87,7 +151,7 @@ void LogTailer::drain_complete(const std::string& file, FileState& st) {
 
 void LogTailer::pump() {
   for (auto& [file, st] : files_) {
-    if (!st.complete.empty()) drain_complete(file, st);
+    if (!st.ready.empty() || !st.complete.empty()) drain_complete(file, st);
   }
 }
 
@@ -97,13 +161,14 @@ void LogTailer::flush() {
       st.complete += st.partial;
       st.partial.clear();
     }
-    if (!st.complete.empty()) drain_complete(file, st);
+    if (!st.ready.empty() || !st.complete.empty()) drain_complete(file, st);
   }
 }
 
 bool LogTailer::has_pending() const {
   for (const auto& [file, st] : files_) {
-    if (!st.complete.empty() || !st.partial.empty()) return true;
+    if (!st.ready.empty() || !st.complete.empty() || !st.partial.empty())
+      return true;
   }
   return false;
 }

@@ -4,6 +4,7 @@
 #include <map>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "collector/ring_buffer.h"
 #include "logging/facility.h"
@@ -21,6 +22,15 @@ namespace mscope::collector {
 ///   * (generation, offset) from the write event detect rotations and missed
 ///     writes; on either the tailer resynchronizes from the host file using
 ///     LogFile's rotation-safe read offset.
+///
+/// Rotation handling is loss-free and stable under bursts: when a write
+/// arrives under a new generation — including a generation jump > 1, i.e.
+/// the file rotated more than once since the tailer last saw it — every
+/// byte still held for the old generation is first *banked* as pre-framed
+/// records (tagged with the old generation and offsets it was read under)
+/// before the tailer resynchronizes to the new generation. Copytruncate
+/// rotation destroys those bytes on the host, but the tailer already read
+/// them, so they ship rather than silently vanish.
 class LogTailer {
  public:
   struct Config {
@@ -34,6 +44,8 @@ class LogTailer {
     std::uint64_t partial_holds = 0;  ///< appends that ended mid-line
     std::uint64_t blocked = 0;      ///< push attempts refused (kBlock)
     std::uint64_t resyncs = 0;      ///< rotation / missed-write recoveries
+    std::uint64_t rotations_banked = 0;  ///< rotations with held bytes saved
+    std::uint64_t crash_lost_bytes = 0;  ///< held bytes dropped by detach()
   };
 
   /// Installs itself as `facility`'s write observer; `node` names the source
@@ -55,16 +67,31 @@ class LogTailer {
   /// (end of run: the file will not grow any more).
   void flush();
 
+  /// Simulates the collection agent process dying: stops observing writes
+  /// and drops all held bytes (they lived in the process's memory). The
+  /// loss is counted in `Stats::crash_lost_bytes`; it surfaces as an
+  /// attributed gap at the next hop once the restarted tailer resumes at
+  /// the then-current file offsets.
+  void detach();
+
+  /// Restarts the agent: re-installs the write observer. The first write
+  /// seen per file lands on the missed-write resync path, so shipping
+  /// resumes cleanly at the live offset.
+  void attach();
+
+  [[nodiscard]] bool attached() const { return attached_; }
+
   /// True while any file still has unshipped bytes buffered here.
   [[nodiscard]] bool has_pending() const;
 
   /// Bytes buffered here and not yet accepted by the ring buffer (complete
-  /// lines held back by backpressure plus trailing partial lines) — the
-  /// tailer's lag behind the log files it is following.
+  /// lines held back by backpressure, trailing partial lines, and banked
+  /// pre-rotation records) — the tailer's lag behind its log files.
   [[nodiscard]] std::uint64_t pending_bytes() const {
     std::uint64_t n = 0;
     for (const auto& [file, st] : files_) {
       n += st.complete.size() + st.partial.size();
+      for (const auto& r : st.ready) n += r.data.size();
     }
     return n;
   }
@@ -74,6 +101,9 @@ class LogTailer {
 
  private:
   struct FileState {
+    /// Pre-framed records banked at rotation (old generation); these ship
+    /// before anything newer from this file.
+    std::vector<Record> ready;
     std::string complete;  ///< complete lines not yet accepted by the buffer
     std::string partial;   ///< trailing bytes with no newline yet
     std::uint64_t next_offset = 0;   ///< expected offset of the next append
@@ -82,13 +112,18 @@ class LogTailer {
   };
 
   void on_write(const logging::LoggingFacility::WriteEvent& ev);
-  /// Moves accepted prefixes of `complete` into the ring buffer.
+  /// Frames everything held for the current generation into `ready`.
+  void bank_held(const std::string& file, FileState& st);
+  /// Moves banked records, then accepted prefixes of `complete`, into the
+  /// ring buffer.
   void drain_complete(const std::string& file, FileState& st);
+  [[nodiscard]] std::size_t cut_point(const std::string& complete) const;
 
   logging::LoggingFacility& facility_;
   RingBuffer& buffer_;
   std::string node_;
   Config cfg_;
+  bool attached_ = false;
   std::map<std::string, FileState> files_;
   Stats stats_;
 };

@@ -1,6 +1,7 @@
 #include "collector/reliable_link.h"
 
 #include <cmath>
+#include <memory>
 #include <utility>
 
 namespace mscope::collector {
@@ -46,37 +47,93 @@ void ReliableLink::cancel() {
   on_abandoned_ = nullptr;
 }
 
+bool ReliableLink::peer_reachable(std::optional<std::uint64_t>* inc) const {
+  if (!net_.link_up(src_wire_, dst_wire_)) return false;
+  if (peer_inc_) {
+    *inc = peer_inc_();
+    return inc->has_value();
+  }
+  return true;
+}
+
+void ReliableLink::fail_or_retry(int attempt) {
+  ++stats_.send_failures;
+  if (attempt >= cfg_.max_retries) {
+    ++stats_.abandoned;
+    ++epoch_;
+    busy_ = false;
+    auto cb = std::move(on_abandoned_);
+    on_delivered_ = nullptr;
+    on_abandoned_ = nullptr;
+    if (cb) cb();
+    return;
+  }
+  ++stats_.retries;
+  const auto backoff = static_cast<SimTime>(
+      static_cast<double>(cfg_.backoff_base) *
+      std::pow(cfg_.backoff_factor, attempt));
+  sim_.schedule(backoff, [this, attempt, e = epoch_] {
+    if (e != epoch_) return;  // canceled or superseded meanwhile
+    try_send(attempt + 1);
+  });
+}
+
 void ReliableLink::try_send(int attempt) {
   if (!busy_) return;
-  if (fault_ && fault_(sim_.now(), seq_, attempt)) {
-    ++stats_.send_failures;
-    if (attempt >= cfg_.max_retries) {
-      ++stats_.abandoned;
-      ++epoch_;
-      busy_ = false;
-      auto cb = std::move(on_abandoned_);
-      on_delivered_ = nullptr;
-      on_abandoned_ = nullptr;
-      if (cb) cb();
-      return;
-    }
-    ++stats_.retries;
-    const auto backoff = static_cast<SimTime>(
-        static_cast<double>(cfg_.backoff_base) *
-        std::pow(cfg_.backoff_factor, attempt));
-    sim_.schedule(backoff, [this, attempt, e = epoch_] {
-      if (e != epoch_) return;  // canceled or superseded meanwhile
-      try_send(attempt + 1);
+
+  // Hold-back: an unreachable peer (cut link, blackholed host, or a dead
+  // process per the incarnation probe) pauses the transfer instead of
+  // spending retry attempts. The hold loop probes until the peer is back;
+  // the attempt counter is frozen so a long partition can never turn into
+  // an abandonment.
+  std::optional<std::uint64_t> inc;
+  if (!peer_reachable(&inc)) {
+    ++stats_.holds;
+    sim_.schedule(cfg_.reconnect_probe, [this, attempt, e = epoch_] {
+      if (e != epoch_) return;
+      try_send(attempt);
     });
+    return;
+  }
+
+  // Epoch handshake: the peer is back under a new incarnation — it crashed
+  // and restarted, losing its receive-side state. Exchange a small frame so
+  // the restart is visible on the wire, then tell the owner so the hop can
+  // rebuild resume offsets before the payload lands.
+  if (inc.has_value() && last_incarnation_ != inc) {
+    const bool restarted = last_incarnation_.has_value();
+    last_incarnation_ = inc;
+    if (restarted) {
+      ++stats_.reconnects;
+      net_.send(src_wire_, dst_wire_, conn_id_, 0, sim::Message::Kind::kRequest,
+                static_cast<std::uint32_t>(cfg_.handshake_bytes), [] {},
+                /*record_tap=*/false);
+      if (on_reconnect_) on_reconnect_(*inc);
+      if (!busy_) return;  // owner reacted by canceling the transfer
+    }
+  }
+
+  if (fault_ && fault_(sim_.now(), seq_, attempt)) {
+    fail_or_retry(attempt);
     return;
   }
   const auto wire_bytes = static_cast<std::uint32_t>(
       payload_bytes_ + cfg_.frame_overhead_bytes);
-  net_.send(
+  // The ack-loss flag outlives this frame: the deliver callback fires at
+  // least one sim event later, strictly after send() has returned and set
+  // the flag, so the single-threaded sim cannot race it.
+  auto ack_lost = std::make_shared<bool>(false);
+  const auto outcome = net_.send(
       src_wire_, dst_wire_, conn_id_, 0, sim::Message::Kind::kRequest,
       wire_bytes,
-      [this, e = epoch_] {
+      [this, e = epoch_, ack_lost] {
         if (e != epoch_) return;  // recovered by the out-of-band flush
+        if (*ack_lost) {
+          // The payload made it but the sender never learns: hand the
+          // duplicate to the destination while the sender retries.
+          if (on_spurious_) on_spurious_();
+          return;
+        }
         ++stats_.sends;
         stats_.bytes += payload_bytes_;
         ++epoch_;
@@ -87,6 +144,17 @@ void ReliableLink::try_send(int attempt) {
         if (cb) cb();
       },
       /*record_tap=*/false);
+  switch (outcome) {
+    case sim::SendOutcome::kSent:
+      return;
+    case sim::SendOutcome::kAckLost:
+      *ack_lost = true;
+      fail_or_retry(attempt);
+      return;
+    case sim::SendOutcome::kLost:
+      fail_or_retry(attempt);
+      return;
+  }
 }
 
 }  // namespace mscope::collector

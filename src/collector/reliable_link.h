@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "sim/network.h"
@@ -24,6 +25,22 @@ using util::SimTime;
 /// are sending and pass only its wire size plus completion callbacks.
 /// Sending charges modeled serialization CPU to the source node and real
 /// bytes to both NICs, exactly as Shipper always did.
+///
+/// mScopeChaos teaches the link to survive an unreachable peer instead of
+/// burning its retry budget into abandonment:
+///  - While the network says the link is down (partition, peer blackholed)
+///    or the peer-incarnation probe reports the peer process dead, the
+///    transfer is *held*: the link re-probes every `reconnect_probe` usec
+///    without consuming a retry attempt. Abandonment stays reserved for a
+///    peer that is reachable but persistently NACKing.
+///  - When the peer comes back under a new incarnation (it crashed and
+///    restarted), the link performs a small epoch handshake on the wire,
+///    bumps `Stats::reconnects`, and tells its owner via `on_reconnect` so
+///    the hop above can rebuild per-channel resume state.
+///  - A send whose payload arrived but whose acknowledgment was lost
+///    (`SendOutcome::kAckLost`) fires `on_spurious` — the owner hands the
+///    duplicate payload to the destination — and then retries as if the
+///    transfer failed, exercising downstream dedup.
 class ReliableLink {
  public:
   struct Config {
@@ -33,6 +50,10 @@ class ReliableLink {
     int max_retries = 10;                   ///< attempts before giving up
     SimTime backoff_base = 10 * util::kMsec;
     double backoff_factor = 2.0;
+    /// How often a held transfer re-probes an unreachable peer.
+    SimTime reconnect_probe = 50 * util::kMsec;
+    /// Wire size of the epoch handshake exchanged after a peer restart.
+    std::size_t handshake_bytes = 32;
   };
 
   struct Stats {
@@ -41,6 +62,8 @@ class ReliableLink {
     std::uint64_t send_failures = 0;  ///< attempts the fault injector killed
     std::uint64_t retries = 0;        ///< re-sends scheduled after a failure
     std::uint64_t abandoned = 0;      ///< transfers dropped after max_retries
+    std::uint64_t holds = 0;          ///< probe ticks spent peer-unreachable
+    std::uint64_t reconnects = 0;     ///< epoch handshakes after peer restart
     SimTime cpu_charged = 0;          ///< modeled source-node CPU spent
   };
 
@@ -48,6 +71,11 @@ class ReliableLink {
   /// lost/NACKed transfer). `attempt` is 0 for the first try.
   using FaultInjector = std::function<bool(SimTime now, std::uint64_t seq,
                                            int attempt)>;
+
+  /// Peer liveness probe: nullopt while the peer process is down, else the
+  /// peer's current incarnation number. Unset = peer assumed always alive
+  /// (the flat collector and the root never crash).
+  using PeerIncarnation = std::function<std::optional<std::uint64_t>()>;
 
   ReliableLink(sim::Simulation& sim, sim::Network& net, sim::Node& src_node,
                std::uint16_t src_wire, std::uint16_t dst_wire,
@@ -61,8 +89,9 @@ class ReliableLink {
             std::function<void()> on_delivered,
             std::function<void()> on_abandoned);
 
-  /// True while a transfer is unacknowledged (in the air, or waiting out a
-  /// retry backoff) — the caller must not start another.
+  /// True while a transfer is unacknowledged (in the air, waiting out a
+  /// retry backoff, or held for an unreachable peer) — the caller must not
+  /// start another.
   [[nodiscard]] bool busy() const { return busy_; }
 
   /// Forgets the in-flight transfer, if any: neither callback will fire.
@@ -70,12 +99,26 @@ class ReliableLink {
   void cancel();
 
   void set_fault_injector(FaultInjector f) { fault_ = std::move(f); }
+  void set_peer_incarnation(PeerIncarnation f) { peer_inc_ = std::move(f); }
+  /// Fired (with the peer's new incarnation) right after the epoch
+  /// handshake that follows a peer crash+restart.
+  void set_on_reconnect(std::function<void(std::uint64_t)> f) {
+    on_reconnect_ = std::move(f);
+  }
+  /// Fired when a payload reached the peer but its ack was lost: the owner
+  /// must hand a *copy* of the in-flight payload to the destination (the
+  /// bytes really did arrive) while the link retries the "failed" transfer.
+  void set_on_spurious(std::function<void()> f) {
+    on_spurious_ = std::move(f);
+  }
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 
  private:
   void try_send(int attempt);
+  void fail_or_retry(int attempt);
+  [[nodiscard]] bool peer_reachable(std::optional<std::uint64_t>* inc) const;
 
   sim::Simulation& sim_;
   sim::Network& net_;
@@ -85,6 +128,9 @@ class ReliableLink {
   std::string name_;
   Config cfg_;
   FaultInjector fault_;
+  PeerIncarnation peer_inc_;
+  std::function<void(std::uint64_t)> on_reconnect_;
+  std::function<void()> on_spurious_;
   std::uint64_t conn_id_ = 0;
   /// Incremented by cancel() and completion, so callbacks scheduled by a
   /// superseded transfer (a delivery racing the end-of-run flush, a backoff
@@ -95,6 +141,8 @@ class ReliableLink {
   std::size_t payload_bytes_ = 0;
   std::function<void()> on_delivered_;
   std::function<void()> on_abandoned_;
+  /// Last incarnation the peer was seen under; a change means it restarted.
+  std::optional<std::uint64_t> last_incarnation_;
   Stats stats_;
 };
 

@@ -88,6 +88,16 @@ class RingBuffer {
     return r;
   }
 
+  /// Discards everything buffered (a leaf agent crash: in-memory records
+  /// die with the process). Returns how many records were dropped so the
+  /// caller can account the loss; lifetime counters are left untouched.
+  std::size_t clear() {
+    const std::size_t n = size_;
+    head_ = 0;
+    size_ = 0;
+    return n;
+  }
+
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }

@@ -22,7 +22,18 @@ Shipper::Shipper(sim::Simulation& sim, sim::Network& net, sim::Node& src_node,
                                  .cpu_per_kb = cfg.cpu_per_kb,
                                  .max_retries = cfg.max_retries,
                                  .backoff_base = cfg.backoff_base,
-                                 .backoff_factor = cfg.backoff_factor}) {}
+                                 .backoff_factor = cfg.backoff_factor}) {
+  // Ack-loss path: the batch reached the peer but the ack vanished, so the
+  // link will retransmit. The peer must still receive the bytes that made
+  // it — hand over a *copy* while the original stays pending for the retry;
+  // the hop above trims the overlap via GapTracker::admit().
+  link_.set_on_spurious([this] {
+    if (pending_ == nullptr) return;
+    ++stats_.spurious;
+    Batch dup = *pending_;
+    sink_(std::move(dup), true);
+  });
+}
 
 void Shipper::start() {
   if (running_) return;
@@ -95,6 +106,15 @@ void Shipper::deliver(Batch&& batch, bool in_band) {
   sink_(std::move(batch), in_band);
 }
 
+void Shipper::crash() {
+  running_ = false;
+  if (pending_ != nullptr) {
+    stats_.crash_lost_bytes += pending_->bytes();
+    link_.cancel();
+    pending_.reset();
+  }
+}
+
 void Shipper::flush_now() {
   if (pending_ != nullptr) {
     // A transfer the end of the run cut off (in the air, or waiting out a
@@ -116,6 +136,8 @@ Shipper::Stats Shipper::stats() const {
   s.send_failures = link.send_failures;
   s.retries = link.retries;
   s.abandoned = link.abandoned;
+  s.holds = link.holds;
+  s.reconnects = link.reconnects;
   s.cpu_charged = link.cpu_charged;
   return s;
 }

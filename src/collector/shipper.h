@@ -53,6 +53,10 @@ class Shipper {
     std::uint64_t send_failures = 0; ///< attempts the fault injector killed
     std::uint64_t retries = 0;       ///< re-sends scheduled after a failure
     std::uint64_t abandoned = 0;     ///< batches dropped after max_retries
+    std::uint64_t holds = 0;         ///< probe ticks spent peer-unreachable
+    std::uint64_t reconnects = 0;    ///< epoch handshakes after peer restart
+    std::uint64_t spurious = 0;      ///< ack-lost duplicates handed downstream
+    std::uint64_t crash_lost_bytes = 0;  ///< in-flight bytes lost to crash()
     SimTime cpu_charged = 0;         ///< modeled source-node CPU spent
   };
 
@@ -72,10 +76,21 @@ class Shipper {
           std::uint16_t src_wire, std::uint16_t dst_wire, RingBuffer& buffer,
           Sink sink, std::string node_name, Config cfg);
 
-  /// Begins the periodic drain (call once, before the run).
+  /// Begins the periodic drain (call once, before the run; also restarts a
+  /// crashed or stopped shipper).
   void start();
   /// Stops at the next tick.
   void stop() { running_ = false; }
+
+  /// Simulates the shipping agent dying mid-transfer: the in-flight batch is
+  /// dropped *without* delivery (its bytes lived in process memory) and the
+  /// drain loop stops. The loss surfaces as an attributed gap at the next
+  /// hop once the restarted agent ships past it. Restart with start().
+  void crash();
+
+  /// The underlying transfer link — lets the fleet wiring install the
+  /// peer-incarnation probe and reconnect callback on this hop.
+  [[nodiscard]] ReliableLink& link() { return link_; }
 
   void set_fault_injector(FaultInjector f) {
     link_.set_fault_injector(std::move(f));

@@ -117,6 +117,14 @@ FleetCollection::FleetCollection(core::Testbed& testbed, ShardedWarehouse& db,
               pod->on_frame(std::move(f), in_band);
             },
             cfg_.relay));
+        // A pod relay can crash+restart: its children probe its incarnation
+        // so their uplinks hold while it is down and handshake when it
+        // returns reborn.
+        rack_relays_.back()->uplink().set_peer_incarnation(
+            [pod]() -> std::optional<std::uint64_t> {
+              if (pod->down()) return std::nullopt;
+              return pod->incarnation();
+            });
       } else {
         rack_relays_.push_back(std::make_unique<RelayAggregator>(
             sim, net, Topology::rack_name(r), root_wire_,
@@ -155,6 +163,19 @@ FleetCollection::FleetCollection(core::Testbed& testbed, ShardedWarehouse& db,
           sim, net, testbed_.node(tier, r), testbed_.tier_wire_id(tier, r),
           dst_wire, *ch.buffer, std::move(sink), ch.node, cfg_.shipper);
       ch.shipper->set_on_drain([t = ch.tailer.get()] { t->pump(); });
+      if (topology_.levels() >= 2) {
+        // Leaves probe their rack relay's incarnation: while the relay
+        // process is dead the leaf link holds its batch back (no retries
+        // burned), and the first send after a restart handshakes epochs.
+        RelayAggregator* relay =
+            rack_relays_[static_cast<std::size_t>(topology_.rack_of(ch.node))]
+                .get();
+        ch.shipper->link().set_peer_incarnation(
+            [relay]() -> std::optional<std::uint64_t> {
+              if (relay->down()) return std::nullopt;
+              return relay->incarnation();
+            });
+      }
       ch.shipper->start();
       channels_.push_back(std::move(ch));
     }
@@ -218,17 +239,69 @@ void FleetCollection::ingest_chunk(const std::string& node,
   // The root re-runs the same offset-gap accounting as every hop below it:
   // a hole that survived re-framing (a chunk-run split) is detected here
   // with origin-node attribution, and surfaced to the owning shard's
-  // transformer so the loss is never silently misparsed.
-  const std::uint64_t skipped =
-      root_gaps_.observe(node, file, generation, offset, data.size());
+  // transformer so the loss is never silently misparsed. The root is also
+  // the idempotence backstop — delivery keyed (node, file, generation,
+  // offset): a redelivered range that slipped past every relay (or arrived
+  // while a relay was mid-restart) is trimmed here, so a row can never be
+  // inserted twice no matter how the tree healed.
+  const auto admitted =
+      root_gaps_.admit(node, file, generation, offset, data.size());
   transform::StreamingTransformer& t =
       *transformers_[static_cast<std::size_t>(topology_.shard_of(node))];
-  if (skipped > 0) {
+  if (admitted.skipped > 0) {
     ++root_stats_.gaps;
-    root_stats_.gap_bytes += skipped;
-    t.note_gap(node, file, skipped);
+    root_stats_.gap_bytes += admitted.skipped;
+    t.note_gap(node, file, admitted.skipped);
   }
+  if (admitted.dup_bytes > 0) {
+    ++root_stats_.dups;
+    root_stats_.dup_bytes += admitted.dup_bytes;
+    if (admitted.dup_bytes >= data.size()) return;  // wholly redelivered
+    data.erase(0, admitted.dup_bytes);
+  }
+  root_ingested_[{node, file}] += data.size();
   t.ingest(node, file, std::move(data));
+}
+
+FleetCollection::Channel* FleetCollection::channel_by_node(
+    const std::string& node) {
+  for (auto& ch : channels_) {
+    if (ch.node == node) return &ch;
+  }
+  return nullptr;
+}
+
+RelayAggregator* FleetCollection::relay_by_name(const std::string& name) {
+  for (auto& relay : rack_relays_) {
+    if (relay->name() == name) return relay.get();
+  }
+  for (auto& relay : pod_relays_) {
+    if (relay->name() == name) return relay.get();
+  }
+  return nullptr;
+}
+
+void FleetCollection::crash_leaf(const std::string& node) {
+  Channel* ch = channel_by_node(node);
+  if (ch == nullptr) {
+    throw std::invalid_argument("crash_leaf: unknown node " + node);
+  }
+  ++leaf_crashes_;
+  // Everything the agent held in memory dies with it: the tailer's held
+  // lines, the ring buffer, and the batch in flight. Nothing is delivered;
+  // the next hop attributes the hole once the restarted agent ships past.
+  ch->tailer->detach();
+  ch->buffer->clear();
+  ch->shipper->crash();
+}
+
+void FleetCollection::restart_leaf(const std::string& node) {
+  Channel* ch = channel_by_node(node);
+  if (ch == nullptr) {
+    throw std::invalid_argument("restart_leaf: unknown node " + node);
+  }
+  ch->tailer->attach();
+  ch->shipper->start();
 }
 
 void FleetCollection::tick() {
@@ -267,6 +340,14 @@ void FleetCollection::scrape_gauges() {
         .set(static_cast<std::int64_t>(ship.retries));
     reg.gauge(p + "shipper.abandoned")
         .set(static_cast<std::int64_t>(ship.abandoned));
+    // Chaos degradation decisions at the leaf hop: batches held back for an
+    // unreachable relay, epoch handshakes after its restart, and ack-lost
+    // duplicates handed downstream for dedup.
+    reg.gauge(p + "shipper.holds").set(static_cast<std::int64_t>(ship.holds));
+    reg.gauge(p + "shipper.reconnects")
+        .set(static_cast<std::int64_t>(ship.reconnects));
+    reg.gauge(p + "shipper.spurious")
+        .set(static_cast<std::int64_t>(ship.spurious));
   }
   const auto scrape_relay = [&reg](const RelayAggregator& relay) {
     const std::string p = "fleet." + relay.name() + ".";
@@ -280,6 +361,17 @@ void FleetCollection::scrape_gauges() {
     reg.gauge(p + "lag_usec").set(s.last_lag);
     reg.gauge(p + "max_lag_usec").set(s.max_lag);
     reg.gauge(p + "cpu_usec").set(s.cpu_charged);
+    // Chaos degradation decisions at this hop.
+    reg.gauge(p + "holds").set(static_cast<std::int64_t>(s.holds));
+    reg.gauge(p + "reconnects").set(static_cast<std::int64_t>(s.reconnects));
+    reg.gauge(p + "deduped_bytes")
+        .set(static_cast<std::int64_t>(s.deduped_bytes));
+    reg.gauge(p + "abandoned_bytes")
+        .set(static_cast<std::int64_t>(s.abandoned_bytes));
+    reg.gauge(p + "crashes").set(static_cast<std::int64_t>(s.crashes));
+    reg.gauge(p + "shed_bytes").set(static_cast<std::int64_t>(s.shed_bytes));
+    reg.gauge(p + "resumed_channels")
+        .set(static_cast<std::int64_t>(s.resumed_channels));
   };
   for (const auto& relay : rack_relays_) scrape_relay(*relay);
   for (const auto& relay : pod_relays_) scrape_relay(*relay);
@@ -288,6 +380,10 @@ void FleetCollection::scrape_gauges() {
   reg.gauge("fleet.root.gaps").set(static_cast<std::int64_t>(root_stats_.gaps));
   reg.gauge("fleet.root.gap_bytes")
       .set(static_cast<std::int64_t>(root_stats_.gap_bytes));
+  reg.gauge("fleet.root.deduped")
+      .set(static_cast<std::int64_t>(root_stats_.dups));
+  reg.gauge("fleet.root.deduped_bytes")
+      .set(static_cast<std::int64_t>(root_stats_.dup_bytes));
   reg.gauge("fleet.root.lag_usec").set(root_stats_.last_lag);
   reg.gauge("fleet.root.max_lag_usec").set(root_stats_.max_lag);
   reg.gauge("fleet.root.cpu_usec").set(root_stats_.cpu_charged);
@@ -350,6 +446,9 @@ FleetCollection::Totals FleetCollection::totals() const {
     t.batches += ship.batches;
     t.leaf_retries += ship.retries;
     t.leaf_abandoned += ship.abandoned;
+    t.leaf_holds += ship.holds;
+    t.leaf_reconnects += ship.reconnects;
+    t.leaf_spurious += ship.spurious;
     t.shipping_cpu += ship.cpu_charged;
   }
   const auto fold_relay = [&t](const RelayAggregator& relay) {
@@ -357,12 +456,22 @@ FleetCollection::Totals FleetCollection::totals() const {
     t.relay_frames += s.frames_out;
     t.relay_retries += s.retries;
     t.relay_abandoned += s.abandoned;
+    t.relay_holds += s.holds;
+    t.relay_reconnects += s.reconnects;
+    t.relay_crashes += s.crashes;
+    t.relay_deduped_bytes += s.deduped_bytes;
+    t.relay_abandoned_bytes += s.abandoned_bytes;
+    t.relay_shed_bytes += s.shed_bytes;
+    t.resumed_channels += s.resumed_channels;
     t.relay_cpu += s.cpu_charged;
   };
   for (const auto& relay : rack_relays_) fold_relay(*relay);
   for (const auto& relay : pod_relays_) fold_relay(*relay);
+  t.leaf_crashes = leaf_crashes_;
   t.root_gaps = root_stats_.gaps;
   t.root_gap_bytes = root_stats_.gap_bytes;
+  t.root_dups = root_stats_.dups;
+  t.root_dup_bytes = root_stats_.dup_bytes;
   t.root_cpu = root_stats_.cpu_charged;
   t.last_lag = root_stats_.last_lag;
   t.max_lag = root_stats_.max_lag;

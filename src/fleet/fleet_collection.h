@@ -101,6 +101,21 @@ class FleetCollection {
   /// per-shard transformers in shard order.
   void finish();
 
+  /// Kills one monitored node's collection *agent* (tailer + buffer +
+  /// shipper): held bytes and the in-flight batch die with the process.
+  /// The monitored server itself keeps serving — only monitoring stops.
+  /// The loss surfaces as origin-attributed gaps upstream once the
+  /// restarted agent resumes at the live file offsets.
+  void crash_leaf(const std::string& node);
+  /// Restarts a crashed leaf agent; tailing resumes at current offsets.
+  void restart_leaf(const std::string& node);
+
+  /// Rack/pod relay lookup by display name ("relay3", "pod1"); null if the
+  /// name names no relay in this tree.
+  [[nodiscard]] RelayAggregator* relay_by_name(const std::string& name);
+  /// Leaf channel lookup by monitored-node name; null if unknown.
+  [[nodiscard]] Channel* channel_by_node(const std::string& node);
+
   [[nodiscard]] const Topology& topology() const { return topology_; }
   [[nodiscard]] const std::vector<Channel>& channels() const {
     return channels_;
@@ -114,6 +129,7 @@ class FleetCollection {
     return pod_relays_;
   }
   [[nodiscard]] sim::Node& root_node() { return *root_node_; }
+  [[nodiscard]] std::uint16_t root_wire() const { return root_wire_; }
   [[nodiscard]] transform::StreamingTransformer& shard_transformer(int i) {
     return *transformers_.at(static_cast<std::size_t>(i));
   }
@@ -133,6 +149,19 @@ class FleetCollection {
     std::uint64_t relay_abandoned = 0; ///< frames given up after max_retries
     std::uint64_t root_gaps = 0;       ///< holes observed arriving at root
     std::uint64_t root_gap_bytes = 0;  ///< log bytes lost in those holes
+    std::uint64_t root_dups = 0;       ///< redelivered chunks trimmed at root
+    std::uint64_t root_dup_bytes = 0;  ///< duplicate bytes suppressed at root
+    std::uint64_t leaf_holds = 0;      ///< leaf link probes peer-unreachable
+    std::uint64_t leaf_reconnects = 0; ///< leaf epoch handshakes
+    std::uint64_t leaf_spurious = 0;   ///< ack-lost duplicates leaves re-sent
+    std::uint64_t leaf_crashes = 0;    ///< agent processes killed
+    std::uint64_t relay_holds = 0;     ///< relay uplink hold-back probes
+    std::uint64_t relay_reconnects = 0;
+    std::uint64_t relay_crashes = 0;
+    std::uint64_t relay_deduped_bytes = 0;  ///< dups trimmed at relays
+    std::uint64_t relay_abandoned_bytes = 0;
+    std::uint64_t relay_shed_bytes = 0;     ///< queue-bound sheds at relays
+    std::uint64_t resumed_channels = 0;     ///< channels primed post-restart
     SimTime shipping_cpu = 0;          ///< modeled CPU on monitored nodes
     SimTime relay_cpu = 0;             ///< modeled CPU on relay nodes
     SimTime root_cpu = 0;              ///< modeled ingest CPU at the root
@@ -145,6 +174,20 @@ class FleetCollection {
   [[nodiscard]] const std::map<std::string, collector::GapTracker::Stats>&
   gaps_by_node() const {
     return root_gaps_.per_node();
+  }
+
+  /// The root's gap/dedup tracker — per-channel positions let tests close
+  /// the byte-conservation books: bytes written at the origin == unique
+  /// bytes ingested + attributed holes.
+  [[nodiscard]] const collector::GapTracker& root_gap_tracker() const {
+    return root_gaps_;
+  }
+
+  /// Unique (post-dedup) bytes the root ingested per (node, file) channel.
+  [[nodiscard]] const std::map<std::pair<std::string, std::string>,
+                               std::uint64_t>&
+  root_ingested_bytes() const {
+    return root_ingested_;
   }
 
  private:
@@ -171,8 +214,10 @@ class FleetCollection {
   std::vector<std::unique_ptr<RelayAggregator>> pod_relays_;
   std::vector<Channel> channels_;
   collector::GapTracker root_gaps_;
+  std::map<std::pair<std::string, std::string>, std::uint64_t> root_ingested_;
   core::QueueSignal queue_signal_;
   bool finished_ = false;
+  std::uint64_t leaf_crashes_ = 0;
 
   struct RootStats {
     std::uint64_t frames = 0;
@@ -180,6 +225,8 @@ class FleetCollection {
     std::uint64_t bytes = 0;
     std::uint64_t gaps = 0;
     std::uint64_t gap_bytes = 0;
+    std::uint64_t dups = 0;      ///< redelivered chunks trimmed at the root
+    std::uint64_t dup_bytes = 0; ///< duplicate bytes suppressed at the root
     SimTime cpu_charged = 0;
     SimTime last_lag = 0;
     SimTime max_lag = 0;

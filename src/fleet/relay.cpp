@@ -10,7 +10,11 @@ namespace mscope::fleet {
 RelayAggregator::RelayAggregator(sim::Simulation& sim, sim::Network& net,
                                  std::string name, std::uint16_t parent_wire,
                                  Sink sink, Config cfg)
-    : sim_(sim), name_(std::move(name)), cfg_(cfg), sink_(std::move(sink)) {
+    : sim_(sim),
+      net_(net),
+      name_(std::move(name)),
+      cfg_(cfg),
+      sink_(std::move(sink)) {
   sim::Node::Config nc;
   nc.name = name_;
   nc.cores = cfg_.cores;
@@ -18,15 +22,60 @@ RelayAggregator::RelayAggregator(sim::Simulation& sim, sim::Network& net,
   wire_ = net.register_node(node_.get());
   uplink_ = std::make_unique<collector::ReliableLink>(
       sim, net, *node_, wire_, parent_wire, name_, cfg_.uplink);
+  // Ack-loss on the uplink: the frame reached the parent but the ack died,
+  // so the link retries. Hand the parent a copy of the frame that actually
+  // arrived; its gap tracker trims the retransmission's overlap.
+  uplink_->set_on_spurious([this] {
+    if (pending_ == nullptr) return;
+    RelayFrame dup = *pending_;
+    sink_(std::move(dup), true);
+  });
 }
 
 void RelayAggregator::start() {
-  if (running_) return;
+  if (running_ || down_) return;
   running_ = true;
   sim_.schedule(cfg_.start_at + cfg_.forward_interval, [this] { tick(); });
 }
 
+void RelayAggregator::crash() {
+  if (down_) return;
+  ++stats_.crashes;
+  down_ = true;
+  running_ = false;
+  std::uint64_t lost = queue_bytes_;
+  if (pending_ != nullptr) {
+    lost += pending_->bytes();
+    uplink_->cancel();
+    pending_.reset();
+  }
+  stats_.crash_lost_bytes += lost;
+  queue_.clear();
+  queue_bytes_ = 0;
+  // Per-channel offsets die with the process; the restarted relay rebuilds
+  // them by priming from post-resume arrivals. The parent's tracker — which
+  // never lost state — attributes the crash window.
+  gaps_ = collector::GapTracker{};
+  net_.set_node_down(wire_, true);
+}
+
+void RelayAggregator::restart() {
+  if (!down_) return;
+  down_ = false;
+  ++incarnation_;
+  resume_priming_ = true;
+  net_.set_node_down(wire_, false);
+  start();
+}
+
 void RelayAggregator::on_batch(collector::Batch&& batch, bool in_band) {
+  if (down_) {
+    // A delivery already on the wire when the process died: the bytes hit a
+    // dead socket. The sender's link never learns (its ack is gone too) and
+    // will retry against the restarted incarnation.
+    ++stats_.rx_while_down;
+    return;
+  }
   ++stats_.batches_in;
   const std::size_t bytes = batch.bytes();
   stats_.bytes_in += bytes;
@@ -45,6 +94,10 @@ void RelayAggregator::on_batch(collector::Batch&& batch, bool in_band) {
 }
 
 void RelayAggregator::on_frame(RelayFrame&& frame, bool in_band) {
+  if (down_) {
+    ++stats_.rx_while_down;
+    return;
+  }
   ++stats_.frames_in;
   const std::size_t bytes = frame.bytes();
   stats_.bytes_in += bytes;
@@ -65,15 +118,40 @@ void RelayAggregator::on_frame(RelayFrame&& frame, bool in_band) {
 void RelayAggregator::enqueue(const std::string& node, const std::string& file,
                               std::uint64_t generation, std::uint64_t offset,
                               std::string&& data, SimTime assembled_at) {
-  const std::uint64_t size = data.size();
+  // Resume after restart: this incarnation has no idea how much of the
+  // channel its predecessor forwarded, so the first chunk it sees defines
+  // the channel's position without counting a gap (or a dup).
+  if (resume_priming_ && !gaps_.known(node, file)) {
+    gaps_.prime(node, file, generation, offset);
+    ++stats_.resumed_channels;
+  }
   // Observe the stream here too: a hole that opened upstream (an abandoned
   // leaf transfer, or a child relay's lost frame) is visible — and
-  // attributed to its origin node — at *every* hop it passes through.
-  const std::uint64_t skipped =
-      gaps_.observe(node, file, generation, offset, size);
-  if (skipped > 0) {
+  // attributed to its origin node — at *every* hop it passes through. The
+  // same admission check trims redelivered bytes (an ack-lost transfer's
+  // retransmission) so nothing is ever forwarded twice.
+  const auto admitted =
+      gaps_.admit(node, file, generation, offset, data.size());
+  if (admitted.skipped > 0) {
     ++stats_.gaps;
-    stats_.gap_bytes += skipped;
+    stats_.gap_bytes += admitted.skipped;
+  }
+  if (admitted.dup_bytes > 0) {
+    ++stats_.deduped;
+    stats_.deduped_bytes += admitted.dup_bytes;
+    if (admitted.dup_bytes >= data.size()) return;  // wholly redelivered
+    data.erase(0, admitted.dup_bytes);
+    offset += admitted.dup_bytes;
+  }
+  const std::uint64_t size = data.size();
+  // Bounded hold-back: while the uplink is partitioned away the queue
+  // absorbs leaf traffic only up to the cap; beyond it the newest arrival
+  // is shed (the oldest bytes keep their place so contiguous runs survive).
+  // The shed range surfaces as a root-attributed gap.
+  if (cfg_.max_queue_bytes != 0 &&
+      queue_bytes_ + size > cfg_.max_queue_bytes) {
+    stats_.shed_bytes += size;
+    return;
   }
 
   Channel& ch = queue_[{node, file}];
@@ -125,6 +203,14 @@ void RelayAggregator::tick() {
             pending_.reset();
           },
           [this] {
+            // Abandonment is not a silent drop: attribute every origin
+            // chunk the frame carried, at the hop that gave up on it. The
+            // same bytes surface as a gap at the parent; recording them
+            // here pins *which* relay lost them.
+            for (const auto& c : pending_->chunks) {
+              gaps_.note_abandoned(c.node, c.data.size());
+            }
+            stats_.abandoned_bytes += pending_->bytes();
             obs::Log::warn("relay " + name_ + ": abandoning frame #" +
                            std::to_string(pending_->seq) + " after " +
                            std::to_string(cfg_.uplink.max_retries + 1) +
@@ -186,6 +272,7 @@ void RelayAggregator::deliver(RelayFrame&& frame, bool in_band) {
 }
 
 void RelayAggregator::flush_now() {
+  if (down_) return;  // a dead process has nothing to flush
   if (pending_ != nullptr) {
     // A frame the end of the run cut off (in the air, or waiting out a
     // retry backoff): deliver it directly so no byte is lost.
@@ -206,6 +293,8 @@ RelayAggregator::Stats RelayAggregator::stats() const {
   const collector::ReliableLink::Stats& up = uplink_->stats();
   s.retries = up.retries;
   s.abandoned = up.abandoned;
+  s.holds = up.holds;
+  s.reconnects = up.reconnects;
   s.cpu_charged = stats_.cpu_charged + up.cpu_charged;
   return s;
 }

@@ -31,6 +31,23 @@ using util::SimTime;
 /// uses. Receiving charges modeled decode CPU, forwarding charges modeled
 /// serialization CPU, both on the relay's own node, so the cost of every
 /// extra tree level is measurable the same way monitor overhead is.
+///
+/// mScopeChaos hardens the hop:
+///  - crash()/restart() model the relay process dying and coming back under
+///    a new incarnation. A crash loses the queue, the in-flight frame, and
+///    the gap tracker; the restarted relay *primes* each channel from the
+///    first chunk that arrives (it cannot know what its previous self
+///    forwarded), leaving crash-window attribution to the parent hop whose
+///    tracker never lost state.
+///  - Redelivered bytes (an ack-lost leaf batch retransmitted) are trimmed
+///    at admission via GapTracker::admit(), so the relay never forwards the
+///    same (node, file, generation, offset) range twice.
+///  - The queue is bounded by `max_queue_bytes` during hold-back: while the
+///    uplink is partitioned away the relay keeps absorbing leaf traffic
+///    until the cap, then sheds the newest arrivals (accounted per origin).
+///  - An uplink frame abandoned after max_retries is no longer a silent
+///    drop: every origin chunk in it is routed through the gap tracker as
+///    an attributed local abandonment.
 class RelayAggregator {
  public:
   struct Config {
@@ -38,6 +55,8 @@ class RelayAggregator {
     std::size_t max_frame_bytes = 256 * 1024;     ///< payload cap per frame
     SimTime cpu_per_batch = 40;  ///< decode cost per arriving batch/frame
     SimTime cpu_per_kb = 8;      ///< per-KB ingest cost
+    /// Hold-back bound: queued bytes beyond this are shed (0 = unbounded).
+    std::size_t max_queue_bytes = 0;
     collector::ReliableLink::Config uplink;  ///< retry/backoff like Shipper
     int cores = 4;
     SimTime start_at = 0;
@@ -55,6 +74,16 @@ class RelayAggregator {
     std::uint64_t gap_bytes = 0;  ///< bytes lost in those holes
     std::uint64_t retries = 0;    ///< uplink re-sends after injected faults
     std::uint64_t abandoned = 0;  ///< frames given up after max_retries
+    std::uint64_t abandoned_bytes = 0;  ///< origin bytes those frames carried
+    std::uint64_t deduped = 0;          ///< chunks trimmed at admission
+    std::uint64_t deduped_bytes = 0;    ///< redelivered bytes trimmed
+    std::uint64_t holds = 0;        ///< uplink probe ticks peer-unreachable
+    std::uint64_t reconnects = 0;   ///< uplink epoch handshakes
+    std::uint64_t crashes = 0;      ///< times this relay process died
+    std::uint64_t crash_lost_bytes = 0;  ///< queue+in-flight bytes a crash ate
+    std::uint64_t shed_bytes = 0;   ///< arrivals dropped at the queue bound
+    std::uint64_t resumed_channels = 0;  ///< channels primed after restart
+    std::uint64_t rx_while_down = 0;     ///< deliveries that hit a dead relay
     SimTime cpu_charged = 0;      ///< decode + serialization CPU, this node
     SimTime last_lag = 0;         ///< now - oldest_assembled at last forward
     SimTime max_lag = 0;
@@ -73,6 +102,18 @@ class RelayAggregator {
   void start();
   void stop() { running_ = false; }
 
+  /// The relay process dies: queue, in-flight frame, and per-channel gap
+  /// state are lost (accounted in `crash_lost_bytes`), the node is
+  /// blackholed on the network, and downstream links see it as dead via
+  /// the incarnation probe until restart().
+  void crash();
+  /// The relay process comes back under a new incarnation with empty state;
+  /// the first chunk arriving per channel primes its resume offset.
+  void restart();
+  [[nodiscard]] bool down() const { return down_; }
+  /// Monotonic process-incarnation number; bumps on every restart().
+  [[nodiscard]] std::uint64_t incarnation() const { return incarnation_; }
+
   /// Leaf ingress: a Shipper::Sink-compatible endpoint, so a leaf channel
   /// ships to a relay exactly as it would ship to the root aggregator.
   void on_batch(collector::Batch&& batch, bool in_band = true);
@@ -86,6 +127,10 @@ class RelayAggregator {
   void set_fault_injector(collector::ReliableLink::FaultInjector f) {
     uplink_->set_fault_injector(std::move(f));
   }
+
+  /// The uplink transfer link — lets the fleet wiring install the parent's
+  /// incarnation probe / reconnect callback on this hop too.
+  [[nodiscard]] collector::ReliableLink& uplink() { return *uplink_; }
 
   /// This relay's own machine (for CPU accounting assertions).
   [[nodiscard]] sim::Node& node() { return *node_; }
@@ -110,6 +155,7 @@ class RelayAggregator {
   void deliver(RelayFrame&& frame, bool in_band);
 
   sim::Simulation& sim_;
+  sim::Network& net_;
   std::string name_;
   Config cfg_;
   Sink sink_;
@@ -130,6 +176,11 @@ class RelayAggregator {
 
   std::uint64_t next_seq_ = 0;
   bool running_ = false;
+  bool down_ = false;
+  /// True after restart(): unknown channels prime instead of observing, so
+  /// the relay does not misattribute its own crash window as an origin gap.
+  bool resume_priming_ = false;
+  std::uint64_t incarnation_ = 1;
   SimTime pending_since_ = 0;
   std::unique_ptr<RelayFrame> pending_;
   Stats stats_;

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <filesystem>
 #include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "logging/log_file.h"
 #include "sim/node.h"
@@ -70,6 +72,17 @@ class LoggingFacility {
 
   /// Flushes all open files to the host filesystem.
   void flush_all();
+
+  /// Visits every open log file in sorted-name order (deterministic), e.g.
+  /// so a chaos rotation burst can rotate a node's whole log directory the
+  /// way a cron-driven logrotate would.
+  void for_each_file(const std::function<void(LogFile&)>& fn) {
+    std::vector<std::string> names;
+    names.reserve(files_.size());
+    for (const auto& [name, file] : files_) names.push_back(name);
+    std::sort(names.begin(), names.end());
+    for (const auto& name : names) fn(*files_[name]);
+  }
 
   /// Installs (or clears, with nullptr) the single write observer. The
   /// observer runs synchronously after the host append, before the call

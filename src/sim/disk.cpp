@@ -20,7 +20,11 @@ SimTime Disk::service_time(std::uint64_t bytes) const {
   // bandwidth_mbps MB/s == bandwidth_mbps bytes/usec.
   const double transfer = static_cast<double>(bytes) / cfg_.bandwidth_mbps;
   (void)usec_per_byte;
-  return cfg_.per_op + static_cast<SimTime>(std::llround(transfer));
+  const SimTime healthy =
+      cfg_.per_op + static_cast<SimTime>(std::llround(transfer));
+  if (degradation_ == 1.0) return healthy;
+  return static_cast<SimTime>(
+      std::llround(static_cast<double>(healthy) * degradation_));
 }
 
 void Disk::submit(std::uint64_t bytes, bool is_write, Callback done) {

@@ -47,6 +47,13 @@ class Disk {
   /// Service time for a transfer of `bytes`.
   [[nodiscard]] SimTime service_time(std::uint64_t bytes) const;
 
+  /// Slow-disk fault knob (mScopeChaos): service times of ops *started*
+  /// after the call are multiplied by `factor` (1.0 = healthy). Models a
+  /// degraded spindle / throttled volume episode without touching the
+  /// disk's accounting.
+  void set_degradation(double factor) { degradation_ = factor; }
+  [[nodiscard]] double degradation() const { return degradation_; }
+
  private:
   struct Op {
     std::uint64_t bytes;
@@ -59,6 +66,7 @@ class Disk {
   Simulation& sim_;
   Node& node_;
   Config cfg_;
+  double degradation_ = 1.0;
   bool busy_ = false;
   SimTime busy_time_ = 0;
   std::uint64_t bytes_read_ = 0;

@@ -7,12 +7,43 @@
 
 namespace mscope::sim {
 
-void Network::send(std::uint16_t src, std::uint16_t dst, std::uint64_t conn,
-                   std::uint64_t req_id, Message::Kind kind,
-                   std::uint32_t bytes, Deliver deliver, bool record_tap) {
+SendOutcome Network::send(std::uint16_t src, std::uint16_t dst,
+                          std::uint64_t conn, std::uint64_t req_id,
+                          Message::Kind kind, std::uint32_t bytes,
+                          Deliver deliver, bool record_tap) {
   if (src >= nodes_.size() || dst >= nodes_.size())
     throw std::out_of_range("Network::send: unregistered node");
   nodes_[src]->add_net_tx(bytes);
+
+  SendOutcome outcome = SendOutcome::kSent;
+  if (faults_possible_) {
+    if (!link_up(src, dst)) {
+      // Partitioned or blackholed: the packets leave the source NIC and die
+      // on the wire. Reliable senders check link_up() first and never get
+      // here; fire-and-forget traffic just vanishes, like real UDP into a
+      // black hole.
+      ++fault_stats_.dropped_sends;
+      fault_stats_.dropped_bytes += bytes;
+      return SendOutcome::kLost;
+    }
+    const auto loss = link_loss_.find({src, dst});
+    if (loss != link_loss_.end()) {
+      // One roll per send decides the message's fate on a lossy link. The
+      // draw comes from the sender's private chaos stream, so the sequence
+      // of fates replays exactly for a given plan seed.
+      const double r = loss_rng(src).next_double();
+      if (r < loss->second.data) {
+        ++fault_stats_.dropped_sends;
+        fault_stats_.dropped_bytes += bytes;
+        return SendOutcome::kLost;
+      }
+      if (r < loss->second.data + loss->second.ack) {
+        ++fault_stats_.lost_acks;
+        outcome = SendOutcome::kAckLost;
+      }
+    }
+  }
+
   nodes_[dst]->add_net_rx(bytes);
   if (tap_ != nullptr && record_tap) {
     tap_->record(Message{sim_.now(), src, dst, conn, req_id, kind, bytes});
@@ -22,7 +53,9 @@ void Network::send(std::uint16_t src, std::uint16_t dst, std::uint64_t conn,
     hop += static_cast<SimTime>(jitter_rng(src).next_below(
         static_cast<std::uint64_t>(cfg_.jitter) + 1));
   }
+  if (faults_possible_ && src < send_skew_.size()) hop += send_skew_[src];
   sim_.schedule(hop, std::move(deliver));
+  return outcome;
 }
 
 void Network::seed_node_stream(std::uint16_t wire, std::uint64_t stream_tag) {
@@ -32,6 +65,51 @@ void Network::seed_node_stream(std::uint16_t wire, std::uint64_t stream_tag) {
   if (jitter_rngs_.size() < nodes_.size()) jitter_rngs_.resize(nodes_.size());
   stream_tags_[wire] = stream_tag;
   jitter_rngs_[wire].reset();  // re-derive from the new tag on next draw
+  if (wire < loss_rngs_.size()) loss_rngs_[wire].reset();
+}
+
+void Network::set_link_down(std::uint16_t a, std::uint16_t b, bool down) {
+  faults_possible_ = true;
+  if (down) {
+    cut_links_[edge(a, b)] = true;
+  } else {
+    cut_links_.erase(edge(a, b));
+  }
+}
+
+void Network::set_node_down(std::uint16_t wire, bool down) {
+  faults_possible_ = true;
+  ensure_per_node_sizes();
+  node_down_[wire] = down ? 1 : 0;
+}
+
+void Network::set_link_loss(std::uint16_t src, std::uint16_t dst,
+                            LinkLoss loss) {
+  faults_possible_ = true;
+  if (loss.data <= 0.0 && loss.ack <= 0.0) {
+    link_loss_.erase({src, dst});
+  } else {
+    link_loss_[{src, dst}] = loss;
+  }
+}
+
+void Network::set_send_skew(std::uint16_t wire, SimTime extra) {
+  faults_possible_ = true;
+  ensure_per_node_sizes();
+  send_skew_[wire] = extra;
+}
+
+bool Network::link_up(std::uint16_t src, std::uint16_t dst) const {
+  if (!faults_possible_) return true;
+  if (src < node_down_.size() && node_down_[src] != 0) return false;
+  if (dst < node_down_.size() && node_down_[dst] != 0) return false;
+  const auto it = cut_links_.find(edge(src, dst));
+  return it == cut_links_.end();
+}
+
+void Network::ensure_per_node_sizes() {
+  if (node_down_.size() < nodes_.size()) node_down_.resize(nodes_.size(), 0);
+  if (send_skew_.size() < nodes_.size()) send_skew_.resize(nodes_.size(), 0);
 }
 
 util::Rng& Network::jitter_rng(std::uint16_t src) {
@@ -43,6 +121,20 @@ util::Rng& Network::jitter_rng(std::uint16_t src) {
     const std::uint64_t tag =
         stream_tags_[src] != 0 ? stream_tags_[src] : src;
     slot = std::make_unique<util::Rng>(cfg_.seed, tag);
+  }
+  return *slot;
+}
+
+util::Rng& Network::loss_rng(std::uint16_t src) {
+  if (loss_rngs_.size() < nodes_.size()) loss_rngs_.resize(nodes_.size());
+  if (stream_tags_.size() < nodes_.size()) stream_tags_.resize(nodes_.size());
+  auto& slot = loss_rngs_[src];
+  if (slot == nullptr) {
+    // Same identity tag as the jitter stream but a disjoint split, so loss
+    // storms never advance (or depend on) the jitter sequence.
+    const std::uint64_t tag =
+        stream_tags_[src] != 0 ? stream_tags_[src] : src;
+    slot = std::make_unique<util::Rng>(cfg_.seed, tag ^ 0x43484153ULL);
   }
   return *slot;
 }

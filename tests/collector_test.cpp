@@ -187,6 +187,59 @@ TEST_F(TailerFixture, RotationTriggersResync) {
   EXPECT_EQ(r2->data, "after\n");
 }
 
+TEST_F(TailerFixture, RotationBanksHeldFragmentsUnderTheOldGeneration) {
+  // Regression (mScopeChaos satellite): a fragment held back waiting for
+  // its newline used to be *cleared* by the rotation resync — the bytes
+  // were already truncated out of the host file, so they vanished without
+  // a trace. They must ship instead, tagged with the generation and offset
+  // they were read under.
+  RingBuffer buf(64, OverflowPolicy::kBlock);
+  LogTailer tailer(fac_, buf, "web1");
+  auto& f = fac_.open("a.log");
+  fac_.write_block(f, "held-fragment", 0);  // no newline: held in the tailer
+  f.rotate();
+  fac_.write(f, "fresh", 0);
+  EXPECT_GE(tailer.stats().rotations_banked, 1u);
+  auto banked = buf.pop();
+  auto fresh = buf.pop();
+  ASSERT_TRUE(banked && fresh);
+  EXPECT_EQ(banked->data, "held-fragment");
+  EXPECT_EQ(banked->generation, 0u);
+  EXPECT_EQ(banked->offset, 0u);
+  EXPECT_EQ(fresh->data, "fresh\n");
+  EXPECT_EQ(fresh->generation, 1u);
+}
+
+TEST_F(TailerFixture, DoubleRotationBetweenWritesLosesNothing) {
+  // Regression (mScopeChaos satellite): a rotation *burst* advances the
+  // generation by more than one between two observed writes. The old
+  // handling compared generations with == upstream assumptions that broke
+  // on jumps; the tailer must bank at every observation point and resync
+  // to whatever generation the next write lands in.
+  RingBuffer buf(64, OverflowPolicy::kBlock);
+  LogTailer tailer(fac_, buf, "web1");
+  auto& f = fac_.open("a.log");
+  fac_.write_block(f, "gen0", 0);
+  f.rotate();
+  fac_.write_block(f, "gen1", 0);  // banks "gen0", holds "gen1"
+  f.rotate();
+  f.rotate();                      // generation jumps 1 -> 3
+  fac_.write(f, "gen3", 0);        // banks "gen1", ships "gen3\n"
+  EXPECT_EQ(tailer.stats().rotations_banked, 2u);
+  auto r0 = buf.pop();
+  auto r1 = buf.pop();
+  auto r3 = buf.pop();
+  ASSERT_TRUE(r0 && r1 && r3);
+  EXPECT_EQ(r0->data, "gen0");
+  EXPECT_EQ(r0->generation, 0u);
+  EXPECT_EQ(r1->data, "gen1");
+  EXPECT_EQ(r1->generation, 1u);
+  EXPECT_EQ(r3->data, "gen3\n");
+  EXPECT_EQ(r3->generation, 3u);
+  EXPECT_EQ(r3->offset, 0u);
+  EXPECT_FALSE(tailer.has_pending());
+}
+
 TEST_F(TailerFixture, BlockedRecordsRecoverViaPump) {
   RingBuffer buf(1, OverflowPolicy::kBlock);
   LogTailer tailer(fac_, buf, "web1");
