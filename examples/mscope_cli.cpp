@@ -18,6 +18,7 @@
 // archived warehouse.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -30,13 +31,17 @@
 
 #include "core/milliscope.h"
 #include "core/report.h"
+#include "core/trace.h"
 #include "db/query.h"
 #include "db/sql.h"
 #include "db/sqlengine/engine.h"
 #include "db/sqlengine/token.h"
 #include "fleet/topology.h"
+#include "flow/attribution.h"
+#include "flow/materializer.h"
 #include "obs/metrics.h"
 #include "transform/warehouse_io.h"
+#include "util/id_codec.h"
 
 using namespace mscope;
 
@@ -55,6 +60,8 @@ struct Args {
   bool monitors = true;
   bool want_report = true;
   std::uint64_t seed = 42;
+  double bucket_ms = 500.0;
+  int top_k = 3;
 };
 
 void usage() {
@@ -72,7 +79,14 @@ void usage() {
       "      --explain prints the physical plan with row counts\n"
       "  mscope_cli stats [--archive DIR] [run flags]\n"
       "      live metrics registry + mscope_meta_* tables; with --archive,\n"
-      "      reads the meta tables of a previously archived warehouse\n");
+      "      reads the meta tables of a previously archived warehouse\n"
+      "  mscope_cli trace --archive DIR <req_id>\n"
+      "      renders one request's Fig. 5 happens-before diagram;\n"
+      "      <req_id> is decimal or the 12-hex form from the logs\n"
+      "  mscope_cli flow --archive DIR [--bucket MS] [--top K]\n"
+      "      bulk-materializes every request's trace into\n"
+      "      mscope_flow_spans/_requests and prints the per-bucket\n"
+      "      per-tier latency attribution with top-K slow exemplars\n");
 }
 
 std::optional<Args> parse(int argc, char** argv) {
@@ -118,8 +132,17 @@ std::optional<Args> parse(int argc, char** argv) {
       a.monitors = false;
     } else if (flag == "--no-report") {
       a.want_report = false;
+    } else if (flag == "--bucket") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.bucket_ms = std::atof(v);
+    } else if (flag == "--top") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      a.top_k = std::atoi(v);
     } else if (flag.rfind("--", 0) != 0 &&
-               (a.command == "query" || a.command == "sql")) {
+               (a.command == "query" || a.command == "sql" ||
+                a.command == "trace")) {
       a.sql = flag;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
@@ -129,13 +152,14 @@ std::optional<Args> parse(int argc, char** argv) {
   return a;
 }
 
-void print_report(const db::Database& db, util::SimTime horizon) {
-  // Discover the deployment from the warehouse itself: every replica of a
-  // tier appears in the ms_node metadata table.
+/// Discovers the deployment from the warehouse itself: every replica of a
+/// tier appears in the ms_node metadata table. `services` (if non-null)
+/// receives the per-tier service names.
+core::Diagnoser::Tables discover_tables(const db::Database& db,
+                                        std::vector<std::string>* services_out) {
   static const char* kPrefixes[4] = {"ev_apache", "ev_tomcat", "ev_cjdbc",
                                      "ev_mysql"};
   core::Diagnoser::Tables tables;
-  std::vector<std::string> flat_events, services;
   const db::Table& node_table = db.get(db::Database::kNodeTable);
   const auto service_col = node_table.column_index("service");
   const auto node_col = node_table.column_index("node");
@@ -157,11 +181,20 @@ void print_report(const db::Database& db, util::SimTime horizon) {
       collectl.push_back("res_collectl_" + node);
       nodes.push_back(node);
     }
-    flat_events.push_back(events.front());
-    services.push_back(service);
+    if (services_out != nullptr) services_out->push_back(service);
     tables.event_tables.push_back(std::move(events));
     tables.collectl_tables.push_back(std::move(collectl));
     tables.nodes.push_back(std::move(nodes));
+  }
+  return tables;
+}
+
+void print_report(const db::Database& db, util::SimTime horizon) {
+  std::vector<std::string> services;
+  const core::Diagnoser::Tables tables = discover_tables(db, &services);
+  std::vector<std::string> flat_events;
+  for (const auto& group : tables.event_tables) {
+    flat_events.push_back(group.front());
   }
   core::Diagnoser diagnoser(db, tables);
   const auto pit = diagnoser.pit(horizon);
@@ -385,6 +418,97 @@ void print_meta_tables(const db::Database& db) {
   }
 }
 
+/// Renders one request's Fig. 5 happens-before diagram from an archived
+/// warehouse (previously only reachable via the trace_anatomy example).
+int cmd_trace(const Args& a) {
+  if (a.archive.empty() || a.sql.empty()) {
+    usage();
+    return 2;
+  }
+  // Accept the wire form (12 uppercase/lowercase hex) or plain decimal.
+  std::optional<std::uint64_t> id = util::IdCodec::decode(a.sql);
+  if (!id && !a.sql.empty() &&
+      a.sql.find_first_not_of("0123456789") == std::string::npos) {
+    id = std::strtoull(a.sql.c_str(), nullptr, 10);
+  }
+  if (!id) {
+    std::fprintf(stderr, "bad request id: %s\n", a.sql.c_str());
+    return 2;
+  }
+
+  db::Database db;
+  transform::WarehouseIO::load(db, a.archive);
+  std::vector<std::string> services;
+  const core::Diagnoser::Tables tables = discover_tables(db, &services);
+  const auto recon =
+      core::TraceReconstructor::for_groups(db, tables.event_tables, services);
+  const auto trace = recon.reconstruct(*id);
+  if (!trace) {
+    std::fprintf(stderr, "request %s not found in %s\n",
+                 util::IdCodec::encode(*id).c_str(), a.archive.c_str());
+    return 1;
+  }
+  std::printf("%s", core::TraceReconstructor::render(*trace).c_str());
+  std::printf("response time %.3f ms; per-tier exclusive:",
+              util::to_msec(trace->response_time()));
+  for (std::size_t tier = 0; tier < services.size(); ++tier) {
+    util::SimTime excl = 0;
+    for (const auto& s : trace->spans) {
+      if (s.tier == static_cast<int>(tier)) excl += s.exclusive_time();
+    }
+    std::printf(" %s %.3f ms%s", services[tier].c_str(), util::to_msec(excl),
+                tier + 1 < services.size() ? " |" : "\n");
+  }
+  return 0;
+}
+
+/// Bulk-materializes the whole run's traces and prints the per-bucket
+/// per-tier latency attribution.
+int cmd_flow(const Args& a) {
+  if (a.archive.empty()) {
+    usage();
+    return 2;
+  }
+  db::Database db;
+  transform::WarehouseIO::load(db, a.archive);
+  std::vector<std::string> services;
+  const core::Diagnoser::Tables tables = discover_tables(db, &services);
+
+  flow::Materializer mat(db, flow::Deployment::from(tables, services));
+  const flow::Result result = mat.run();
+  flow::Materializer::materialize(result, db);
+  std::printf("materialized %zu spans / %zu requests (%llu skew-clamped) "
+              "into %s + %s\n",
+              result.spans.size(), result.requests.size(),
+              static_cast<unsigned long long>(result.skewed_spans),
+              flow::Materializer::kSpansTable,
+              flow::Materializer::kRequestsTable);
+
+  const auto attr =
+      flow::attribute(result, util::msecf(a.bucket_ms),
+                      static_cast<std::size_t>(std::max(a.top_k, 0)));
+  std::printf("%s", flow::render(result, attr).c_str());
+
+  // The slowest bucket's exemplars, as Fig. 5 traces.
+  const flow::Bucket* worst = nullptr;
+  for (const auto& b : attr.buckets) {
+    if (b.requests > 0 && (worst == nullptr || b.max_rt_ms > worst->max_rt_ms)) {
+      worst = &b;
+    }
+  }
+  if (worst != nullptr && !worst->slowest.empty()) {
+    std::printf("\nslowest bucket at %.0f ms — top %zu requests:\n",
+                util::to_msec(worst->begin), worst->slowest.size());
+    for (const std::uint32_t idx : worst->slowest) {
+      std::printf("%s",
+                  core::TraceReconstructor::render(
+                      result.trace(result.requests[idx]))
+                      .c_str());
+    }
+  }
+  return 0;
+}
+
 int cmd_stats(const Args& a) {
   if (!a.archive.empty()) {
     db::Database db;
@@ -439,6 +563,8 @@ int main(int argc, char** argv) {
     if (args->command == "query") return cmd_query(*args);
     if (args->command == "sql") return cmd_sql(*args);
     if (args->command == "stats") return cmd_stats(*args);
+    if (args->command == "trace") return cmd_trace(*args);
+    if (args->command == "flow") return cmd_flow(*args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mscope_cli: error: %s\n", e.what());
     return 1;

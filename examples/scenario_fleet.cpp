@@ -16,6 +16,8 @@
 
 #include "core/milliscope.h"
 #include "fleet/fleet_collection.h"
+#include "flow/attribution.h"
+#include "flow/materializer.h"
 
 using namespace mscope;
 
@@ -114,6 +116,33 @@ int main(int argc, char** argv) {
     if (d.bottleneck_node == "db1" && d.root_cause == "disk-io") pinned = true;
   }
 
+  // mScopeFlow: bulk-materialize every request's causal path over the
+  // merged shard view, then drill into the diagnosed VSB window — the
+  // request-level evidence must finger the same tier the resource-level
+  // diagnosis did, and name the stalled replica.
+  bool drill_agrees = !diagnoses.empty();
+  std::size_t exemplars_printed = 0;
+  {
+    flow::Materializer mat(
+        db, flow::Deployment::from(exp.tables(), core::Testbed::services()));
+    const flow::Result flows = mat.run();
+    flow::Materializer::materialize(flows, db.shard(0));
+    std::printf("\nmScopeFlow: %zu requests / %zu spans materialized into "
+                "%d-shard warehouse\n",
+                flows.requests.size(), flows.spans.size(),
+                fleet.topology().shards());
+    for (const auto& d : diagnoses) {
+      const flow::DrillDown dd =
+          flow::drill_down(flows, d.window.begin, d.window.end, 3);
+      std::printf("%s", flow::render(flows, dd).c_str());
+      if (dd.culprit_tier != d.bottleneck_tier ||
+          dd.culprit_node != d.bottleneck_node) {
+        drill_agrees = false;
+      }
+      exemplars_printed += dd.exemplars.size();
+    }
+  }
+
   std::filesystem::remove_all(cfg.log_dir);
 
   if (t.dropped != 0 || t.root_gaps != 0) {
@@ -125,7 +154,14 @@ int main(int argc, char** argv) {
                 cfg.nodes_per_tier[3]);
     return 1;
   }
-  std::printf("\nOK: %d servers, one faulty replica, correctly pinned\n",
+  if (!drill_agrees || exemplars_printed < 3) {
+    std::printf("\nFAIL: flow drill-down disagrees with the VSB diagnosis "
+                "(%zu exemplars)\n",
+                exemplars_printed);
+    return 1;
+  }
+  std::printf("\nOK: %d servers, one faulty replica, correctly pinned — and "
+              "the request-level drill-down agrees\n",
               servers);
   return 0;
 }

@@ -15,6 +15,8 @@
 #include "db/query.h"
 #include "db/sql.h"
 #include "fleet/fleet_collection.h"
+#include "flow/attribution.h"
+#include "flow/materializer.h"
 #include "obs/meta_exporter.h"
 #include "obs/metrics.h"
 #include "transform/warehouse_io.h"
@@ -136,6 +138,27 @@ int run_explorer() {
   panel("meta: what did SQL execution itself cost?",
         "SELECT name, MAX(value) AS total FROM mscope_meta_metrics "
         "WHERE name LIKE 'db.sql.%' GROUP BY name ORDER BY name");
+
+  // mScopeFlow panel: bulk-materialize every request's causal path into the
+  // warehouse, then query the flow tables like any other table — the
+  // per-request per-tier exclusive times are now first-class warehouse
+  // citizens, not a demo binary's printout.
+  std::printf("\n=== mScopeFlow: whole-run trace analytics ===\n");
+  {
+    flow::Materializer mat(
+        db, flow::Deployment::from(exp.tables(), core::Testbed::services()));
+    const flow::Result flows = mat.run();
+    flow::Materializer::materialize(flows, db);
+    print_table(db.get(flow::Materializer::kRequestsTable), 5);
+    const auto attr = flow::attribute(flows, util::sec(1), 1);
+    std::printf("-- per-second latency attribution\n%s",
+                flow::render(flows, attr).c_str());
+    panel("flow: which tier holds the slow requests?",
+          "SELECT complete, COUNT(*) AS n, AVG(excl_mysql_usec) AS "
+          "avg_db_usec, MAX(excl_mysql_usec) AS peak_db_usec "
+          "FROM mscope_flow_requests WHERE rt_usec > 100000 "
+          "GROUP BY complete");
+  }
 
   // mScopeFleet panel: the same experiment collected live through a small
   // two-level tree into a 2-shard warehouse. The tree reports its own

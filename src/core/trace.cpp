@@ -11,9 +11,18 @@ namespace mscope::core {
 SimTime TraceSpan::exclusive_time() const {
   SimTime t = inclusive_time();
   for (const auto& [ds, dr] : calls) {
-    if (ds >= 0 && dr >= 0) t -= (dr - ds);
+    // A skewed call with dr < ds must not *inflate* the exclusive time.
+    if (ds >= 0 && dr >= 0 && dr > ds) t -= (dr - ds);
   }
   return std::max<SimTime>(t, 0);
+}
+
+bool TraceSpan::skewed() const {
+  if (ua >= 0 && ud >= 0 && ud < ua) return true;
+  for (const auto& [ds, dr] : calls) {
+    if (ds >= 0 && dr >= 0 && dr < ds) return true;
+  }
+  return false;
 }
 
 SimTime Trace::response_time() const {
@@ -26,9 +35,20 @@ SimTime Trace::response_time() const {
 TraceReconstructor::TraceReconstructor(const db::Catalog& db,
                                        std::vector<std::string> event_tables,
                                        std::vector<std::string> services)
-    : db_(db),
-      event_tables_(std::move(event_tables)),
-      services_(std::move(services)) {}
+    : db_(db), services_(std::move(services)) {
+  tier_tables_.reserve(event_tables.size());
+  for (auto& name : event_tables) {
+    tier_tables_.push_back({std::move(name)});
+  }
+}
+
+TraceReconstructor TraceReconstructor::for_groups(
+    const db::Catalog& db, std::vector<std::vector<std::string>> tier_tables,
+    std::vector<std::string> services) {
+  TraceReconstructor tr(db, std::vector<std::string>{}, std::move(services));
+  tr.tier_tables_ = std::move(tier_tables);
+  return tr;
+}
 
 std::optional<Trace> TraceReconstructor::reconstruct(
     std::uint64_t req_id) const {
@@ -36,47 +56,49 @@ std::optional<Trace> TraceReconstructor::reconstruct(
   trace.req_id = req_id;
   const std::string hex = util::IdCodec::encode(req_id);
 
-  for (std::size_t tier = 0; tier < event_tables_.size(); ++tier) {
-    const db::Table* table = db_.find(event_tables_[tier]);
-    if (table == nullptr) continue;
-    const auto rid = table->column_index("req_id");
-    if (!rid) continue;
-    for (db::RowCursor cur = table->scan(); cur.next();) {
-      const db::Value& v = cur.row()[*rid];
-      if (db::is_null(v) || db::value_to_string(v) != hex) continue;
-      TraceSpan span;
-      span.tier = static_cast<int>(tier);
-      span.service = tier < services_.size() ? services_[tier] : "?";
-      if (const auto c = table->column_index("visit")) {
-        if (const auto x = db::as_int(cur.row()[*c]))
-          span.visit = static_cast<int>(*x);
+  for (std::size_t tier = 0; tier < tier_tables_.size(); ++tier) {
+    for (const std::string& table_name : tier_tables_[tier]) {
+      const db::Table* table = db_.find(table_name);
+      if (table == nullptr) continue;
+      const auto rid = table->column_index("req_id");
+      if (!rid) continue;
+      for (db::RowCursor cur = table->scan(); cur.next();) {
+        const db::Value& v = cur.row()[*rid];
+        if (db::is_null(v) || db::value_to_string(v) != hex) continue;
+        TraceSpan span;
+        span.tier = static_cast<int>(tier);
+        span.service = tier < services_.size() ? services_[tier] : "?";
+        if (const auto c = table->column_index("visit")) {
+          if (const auto x = db::as_int(cur.row()[*c]))
+            span.visit = static_cast<int>(*x);
+        }
+        if (const auto c = table->column_index("ua_usec")) {
+          if (const auto x = db::as_int(cur.row()[*c])) span.ua = *x;
+        }
+        if (const auto c = table->column_index("ud_usec")) {
+          if (const auto x = db::as_int(cur.row()[*c])) span.ud = *x;
+        }
+        // Single downstream pair (Apache, CJDBC)...
+        const auto ds = table->column_index("ds_usec");
+        const auto dr = table->column_index("dr_usec");
+        if (ds && dr) {
+          const auto a = db::as_int(cur.row()[*ds]);
+          const auto b = db::as_int(cur.row()[*dr]);
+          if (a && b) span.calls.emplace_back(*a, *b);
+        }
+        // ...or the Tomcat monitor's variable-width dsN/drN columns.
+        for (int call = 0; call < 64; ++call) {
+          const auto dsn =
+              table->column_index("ds" + std::to_string(call) + "_usec");
+          const auto drn =
+              table->column_index("dr" + std::to_string(call) + "_usec");
+          if (!dsn || !drn) break;
+          const auto a = db::as_int(cur.row()[*dsn]);
+          const auto b = db::as_int(cur.row()[*drn]);
+          if (a && b) span.calls.emplace_back(*a, *b);
+        }
+        trace.spans.push_back(std::move(span));
       }
-      if (const auto c = table->column_index("ua_usec")) {
-        if (const auto x = db::as_int(cur.row()[*c])) span.ua = *x;
-      }
-      if (const auto c = table->column_index("ud_usec")) {
-        if (const auto x = db::as_int(cur.row()[*c])) span.ud = *x;
-      }
-      // Single downstream pair (Apache, CJDBC)...
-      const auto ds = table->column_index("ds_usec");
-      const auto dr = table->column_index("dr_usec");
-      if (ds && dr) {
-        const auto a = db::as_int(cur.row()[*ds]);
-        const auto b = db::as_int(cur.row()[*dr]);
-        if (a && b) span.calls.emplace_back(*a, *b);
-      }
-      // ...or the Tomcat monitor's variable-width dsN/drN columns.
-      for (int call = 0; call < 64; ++call) {
-        const auto dsn =
-            table->column_index("ds" + std::to_string(call) + "_usec");
-        const auto drn =
-            table->column_index("dr" + std::to_string(call) + "_usec");
-        if (!dsn || !drn) break;
-        const auto a = db::as_int(cur.row()[*dsn]);
-        const auto b = db::as_int(cur.row()[*drn]);
-        if (a && b) span.calls.emplace_back(*a, *b);
-      }
-      trace.spans.push_back(std::move(span));
     }
   }
   if (trace.spans.empty()) return std::nullopt;
@@ -90,15 +112,18 @@ std::optional<Trace> TraceReconstructor::reconstruct(
 
 std::vector<std::uint64_t> TraceReconstructor::request_ids() const {
   std::vector<std::uint64_t> ids;
-  const db::Table* table = db_.find(event_tables_.front());
-  if (table == nullptr) return ids;
-  const auto rid = table->column_index("req_id");
-  if (!rid) return ids;
-  for (db::RowCursor cur = table->scan(); cur.next();) {
-    const db::Value& v = cur.row()[*rid];
-    if (db::is_null(v)) continue;
-    if (const auto id = util::IdCodec::decode(db::value_to_string(v))) {
-      ids.push_back(*id);
+  if (tier_tables_.empty()) return ids;
+  for (const std::string& table_name : tier_tables_.front()) {
+    const db::Table* table = db_.find(table_name);
+    if (table == nullptr) continue;
+    const auto rid = table->column_index("req_id");
+    if (!rid) continue;
+    for (db::RowCursor cur = table->scan(); cur.next();) {
+      const db::Value& v = cur.row()[*rid];
+      if (db::is_null(v)) continue;
+      if (const auto id = util::IdCodec::decode(db::value_to_string(v))) {
+        ids.push_back(*id);
+      }
     }
   }
   return ids;

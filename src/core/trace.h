@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -25,9 +26,16 @@ struct TraceSpan {
   /// Time spent at this tier excluding downstream waits (the paper's
   /// "contribution of each server to the response time").
   [[nodiscard]] SimTime exclusive_time() const;
+  /// Clamped at 0: under injected clock skew (mScopeChaos) cross-tier
+  /// timestamps can run backwards, and a negative duration would poison
+  /// every aggregate downstream. skewed() flags such spans instead.
   [[nodiscard]] SimTime inclusive_time() const {
-    return (ua >= 0 && ud >= 0) ? ud - ua : 0;
+    return (ua >= 0 && ud >= 0) ? std::max<SimTime>(ud - ua, 0) : 0;
   }
+  /// True when any timestamp pair of this span runs backwards (ud < ua, or
+  /// a downstream return before its send) — the signature of corrupted or
+  /// clock-skewed records.
+  [[nodiscard]] bool skewed() const;
 };
 
 /// A request's full causal path, reconstructed by joining the event tables
@@ -49,10 +57,21 @@ class TraceReconstructor {
                      std::vector<std::string> event_tables,
                      std::vector<std::string> services);
 
+  /// Replica-aware form: `tier_tables[t]` lists every replica's event table
+  /// of tier t (a request visits exactly one replica per tier, so scanning
+  /// the whole group finds its records wherever they landed). The flat
+  /// constructor above is the single-replica special case. A named factory
+  /// rather than an overload: brace-initialized table lists would otherwise
+  /// be ambiguous between the two vector shapes.
+  [[nodiscard]] static TraceReconstructor for_groups(
+      const db::Catalog& db, std::vector<std::vector<std::string>> tier_tables,
+      std::vector<std::string> services);
+
   /// Reconstructs one request's trace; nullopt if the ID appears nowhere.
   [[nodiscard]] std::optional<Trace> reconstruct(std::uint64_t req_id) const;
 
-  /// All request IDs present in the front tier's table, completion-ordered.
+  /// All request IDs present in the front tier's table(s), in row order
+  /// (completion-ordered for a single front replica).
   [[nodiscard]] std::vector<std::uint64_t> request_ids() const;
 
   /// Renders a Fig. 5-style happens-before diagram.
@@ -65,7 +84,7 @@ class TraceReconstructor {
 
  private:
   const db::Catalog& db_;
-  std::vector<std::string> event_tables_;
+  std::vector<std::vector<std::string>> tier_tables_;
   std::vector<std::string> services_;
 };
 

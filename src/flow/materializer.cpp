@@ -1,0 +1,461 @@
+#include "flow/materializer.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "db/table.h"
+#include "db/value.h"
+#include "obs/metrics.h"
+#include "util/id_codec.h"
+
+namespace mscope::flow {
+namespace {
+
+/// Column handles of one event table, resolved once per table instead of
+/// once per row (the per-ID oracle re-resolves them for every span).
+struct EventColumns {
+  std::size_t req_id = 0;
+  std::optional<std::size_t> visit, ua, ud;
+  /// Downstream call pairs in oracle order: the single ds/dr pair
+  /// (Apache, CJDBC) or the Tomcat monitor's variable-width dsN/drN run.
+  std::vector<std::pair<std::size_t, std::size_t>> calls;
+};
+
+std::optional<EventColumns> resolve(const db::Table& t) {
+  const auto rid = t.column_index("req_id");
+  if (!rid) return std::nullopt;
+  EventColumns c;
+  c.req_id = *rid;
+  c.visit = t.column_index("visit");
+  c.ua = t.column_index("ua_usec");
+  c.ud = t.column_index("ud_usec");
+  const auto ds = t.column_index("ds_usec");
+  const auto dr = t.column_index("dr_usec");
+  if (ds && dr) c.calls.emplace_back(*ds, *dr);
+  for (int call = 0; call < 64; ++call) {
+    const auto dsn = t.column_index("ds" + std::to_string(call) + "_usec");
+    const auto drn = t.column_index("dr" + std::to_string(call) + "_usec");
+    if (!dsn || !drn) break;
+    c.calls.emplace_back(*dsn, *drn);
+  }
+  return c;
+}
+
+/// Decodes a request-id cell string exactly the way the per-ID oracle
+/// matches it: the oracle compares against IdCodec::encode(id) (12
+/// uppercase hex), so only strings that round-trip to themselves count —
+/// lowercase hex decodes but would never match the oracle's string compare.
+bool decode_canonical(const std::string& s, std::uint64_t* out) {
+  const auto id = util::IdCodec::decode(s);
+  if (!id || util::IdCodec::encode(*id) != s) return false;
+  *out = *id;
+  return true;
+}
+
+/// One numeric column of one segment, decoded in a single sequential pass
+/// (for_each_as_int has exactly as_int's semantics, doubles included).
+struct NumericScratch {
+  std::vector<SimTime> val;
+  std::vector<char> has;
+
+  void load(const db::segment::ColumnChunk& chunk, std::size_t rows) {
+    val.assign(rows, 0);
+    has.assign(rows, 0);
+    chunk.for_each_as_int([&](std::size_t i, std::int64_t v) {
+      val[i] = v;
+      has[i] = 1;
+    });
+  }
+};
+
+/// Emission-time builder shared by the sealed and tail scan loops.
+struct Emitter {
+  Result* out;
+  std::int32_t tier;
+  std::int32_t flat;
+
+  void push(std::uint64_t id, const NumericScratch* visit,
+            const NumericScratch* ua, const NumericScratch* ud,
+            const std::vector<NumericScratch>& calls, std::size_t row) {
+    SpanRec s;
+    s.req_id = id;
+    s.tier = tier;
+    s.table = flat;
+    if (visit != nullptr && visit->has[row]) {
+      s.visit = static_cast<std::int32_t>(visit->val[row]);
+    }
+    if (ua != nullptr && ua->has[row]) s.ua = ua->val[row];
+    if (ud != nullptr && ud->has[row]) s.ud = ud->val[row];
+    s.calls_begin = static_cast<std::uint32_t>(out->calls.size());
+    for (std::size_t c = 0; c + 1 < calls.size(); c += 2) {
+      if (calls[c].has[row] && calls[c + 1].has[row]) {
+        out->calls.emplace_back(calls[c].val[row], calls[c + 1].val[row]);
+      }
+    }
+    finish(s);
+  }
+
+  void push_row(std::uint64_t id, const EventColumns& cols,
+                const std::vector<db::Value>& row) {
+    SpanRec s;
+    s.req_id = id;
+    s.tier = tier;
+    s.table = flat;
+    if (cols.visit) {
+      if (const auto x = db::as_int(row[*cols.visit])) {
+        s.visit = static_cast<std::int32_t>(*x);
+      }
+    }
+    if (cols.ua) {
+      if (const auto x = db::as_int(row[*cols.ua])) s.ua = *x;
+    }
+    if (cols.ud) {
+      if (const auto x = db::as_int(row[*cols.ud])) s.ud = *x;
+    }
+    s.calls_begin = static_cast<std::uint32_t>(out->calls.size());
+    for (const auto& [ds, dr] : cols.calls) {
+      const auto a = db::as_int(row[ds]);
+      const auto b = db::as_int(row[dr]);
+      if (a && b) out->calls.emplace_back(*a, *b);
+    }
+    finish(s);
+  }
+
+ private:
+  void finish(SpanRec& s) {
+    s.calls_end = static_cast<std::uint32_t>(out->calls.size());
+    bool skew = s.ua >= 0 && s.ud >= 0 && s.ud < s.ua;
+    for (std::uint32_t c = s.calls_begin; !skew && c < s.calls_end; ++c) {
+      const auto& [ds, dr] = out->calls[c];
+      skew = ds >= 0 && dr >= 0 && dr < ds;
+    }
+    if (skew) ++out->skewed_spans;
+    out->spans.push_back(s);
+  }
+};
+
+/// Derives "<node>" from "ev_<service>_<node>" when Deployment::nodes was
+/// left empty.
+std::string node_from_table(const std::string& table) {
+  const auto us = table.rfind('_');
+  return us == std::string::npos ? table : table.substr(us + 1);
+}
+
+}  // namespace
+
+Deployment Deployment::from(const core::Diagnoser::Tables& t,
+                            std::vector<std::string> services) {
+  Deployment d;
+  d.event_tables = t.event_tables;
+  d.nodes = t.nodes;
+  d.services = std::move(services);
+  return d;
+}
+
+core::TraceSpan Result::span(const SpanRec& s) const {
+  core::TraceSpan out;
+  out.tier = s.tier;
+  out.service = s.table >= 0 ? table_service[static_cast<std::size_t>(s.table)]
+                             : std::string("?");
+  out.visit = s.visit;
+  out.ua = s.ua;
+  out.ud = s.ud;
+  out.calls.assign(calls.begin() + s.calls_begin, calls.begin() + s.calls_end);
+  return out;
+}
+
+core::Trace Result::trace(const RequestRec& r) const {
+  core::Trace t;
+  t.req_id = r.req_id;
+  t.spans.reserve(r.span_end - r.span_begin);
+  for (std::uint32_t i = r.span_begin; i < r.span_end; ++i) {
+    t.spans.push_back(span(spans[i]));
+  }
+  return t;
+}
+
+const RequestRec* Result::find(std::uint64_t req_id) const {
+  const auto it = std::lower_bound(
+      requests.begin(), requests.end(), req_id,
+      [](const RequestRec& r, std::uint64_t id) { return r.req_id < id; });
+  if (it == requests.end() || it->req_id != req_id) return nullptr;
+  return &*it;
+}
+
+SimTime Result::tier_exclusive(const RequestRec& r, int tier) const {
+  SimTime sum = 0;
+  for (std::uint32_t i = r.span_begin; i < r.span_end; ++i) {
+    if (spans[i].tier == tier) sum += span_exclusive(*this, spans[i]);
+  }
+  return sum;
+}
+
+const std::string& Result::node_of(const RequestRec& r, int tier) const {
+  static const std::string kEmpty;
+  for (std::uint32_t i = r.span_begin; i < r.span_end; ++i) {
+    if (spans[i].tier == tier && spans[i].table >= 0) {
+      return table_node[static_cast<std::size_t>(spans[i].table)];
+    }
+  }
+  return kEmpty;
+}
+
+SimTime span_inclusive(const SpanRec& s) {
+  return (s.ua >= 0 && s.ud >= 0) ? std::max<SimTime>(s.ud - s.ua, 0) : 0;
+}
+
+SimTime span_exclusive(const Result& r, const SpanRec& s) {
+  SimTime t = span_inclusive(s);
+  for (std::uint32_t c = s.calls_begin; c < s.calls_end; ++c) {
+    const auto& [ds, dr] = r.calls[c];
+    if (ds >= 0 && dr >= 0 && dr > ds) t -= (dr - ds);
+  }
+  return std::max<SimTime>(t, 0);
+}
+
+Materializer::Materializer(const db::Catalog& db, Deployment dep)
+    : db_(db), dep_(std::move(dep)) {}
+
+void Materializer::scan_table(const db::Table& t, std::int32_t flat,
+                              Result& out) {
+  const auto cols = resolve(t);
+  if (!cols) return;
+
+  Emitter emit{&out, out.table_tier[static_cast<std::size_t>(flat)], flat};
+
+  // Sealed segments: columnar path. The req_id dictionary is decoded once
+  // per *distinct* id string, the timestamp columns once per column — this
+  // is where the 50x over per-ID row scans comes from.
+  std::vector<NumericScratch> call_scratch(cols->calls.size() * 2);
+  NumericScratch visit_s, ua_s, ud_s;
+  std::vector<std::uint64_t> dict_id;
+  std::vector<char> dict_ok;
+  for (const auto& seg : t.storage().segments()) {
+    const std::size_t rows = seg.row_count();
+    if (rows == 0) continue;
+    const auto& rid_chunk = seg.column(cols->req_id);
+
+    if (cols->visit) visit_s.load(seg.column(*cols->visit), rows);
+    if (cols->ua) ua_s.load(seg.column(*cols->ua), rows);
+    if (cols->ud) ud_s.load(seg.column(*cols->ud), rows);
+    for (std::size_t c = 0; c < cols->calls.size(); ++c) {
+      call_scratch[2 * c].load(seg.column(cols->calls[c].first), rows);
+      call_scratch[2 * c + 1].load(seg.column(cols->calls[c].second), rows);
+    }
+    const NumericScratch* vp = cols->visit ? &visit_s : nullptr;
+    const NumericScratch* uap = cols->ua ? &ua_s : nullptr;
+    const NumericScratch* udp = cols->ud ? &ud_s : nullptr;
+
+    if (const auto* tc =
+            std::get_if<db::segment::TextChunk>(&rid_chunk.data())) {
+      dict_id.assign(tc->dict().size(), 0);
+      dict_ok.assign(tc->dict().size(), 0);
+      for (std::size_t k = 0; k < tc->dict().size(); ++k) {
+        dict_ok[k] =
+            decode_canonical(tc->dict()[k].str(), &dict_id[k]) ? 1 : 0;
+      }
+      const auto& codes = tc->codes();
+      for (std::size_t i = 0; i < rows; ++i) {
+        const std::uint32_t code = codes[i];
+        if (code == db::segment::TextChunk::kNullCode || !dict_ok[code]) {
+          continue;
+        }
+        emit.push(dict_id[code], vp, uap, udp, call_scratch, i);
+      }
+    } else {
+      // Rare: a req_id column that inferred as numeric (all-digit hex).
+      // Per-cell materialization with the same canonical-string guard keeps
+      // oracle equivalence; throughput does not matter on this path.
+      for (std::size_t i = 0; i < rows; ++i) {
+        const db::Value v = rid_chunk.cell(i);
+        std::uint64_t id = 0;
+        if (db::is_null(v) || !decode_canonical(db::value_to_string(v), &id)) {
+          continue;
+        }
+        emit.push(id, vp, uap, udp, call_scratch, i);
+      }
+    }
+  }
+
+  // Row-major tail (rows since the last seal).
+  for (const auto& row : t.storage().tail()) {
+    const db::Value& v = row[cols->req_id];
+    std::uint64_t id = 0;
+    if (db::is_null(v) || !decode_canonical(db::value_to_string(v), &id)) {
+      continue;
+    }
+    emit.push_row(id, *cols, row);
+  }
+}
+
+Result Materializer::run() const {
+  Result out;
+
+  // Flatten the deployment: one scan per (tier, replica) table, in the same
+  // tier-major order the oracle visits tables, so the stable sort below
+  // reproduces its span order exactly.
+  out.tiers = dep_.event_tables.size();
+  for (std::size_t tier = 0; tier < dep_.event_tables.size(); ++tier) {
+    for (std::size_t rep = 0; rep < dep_.event_tables[tier].size(); ++rep) {
+      const std::string& name = dep_.event_tables[tier][rep];
+      const std::int32_t flat = static_cast<std::int32_t>(out.table_tier.size());
+      out.table_tier.push_back(static_cast<int>(tier));
+      out.table_service.push_back(
+          tier < dep_.services.size() ? dep_.services[tier] : "?");
+      out.table_node.push_back(
+          tier < dep_.nodes.size() && rep < dep_.nodes[tier].size()
+              ? dep_.nodes[tier][rep]
+              : node_from_table(name));
+      const db::Table* t = db_.find(name);
+      if (t != nullptr) scan_table(*t, flat, out);
+    }
+  }
+
+  // Sort-merge on req_id. stable_sort preserves the (tier, table, row)
+  // emission order inside each request, and the second per-request pass is
+  // the oracle's own (tier, visit) stable sort — so trace(r) comes out
+  // cell-identical to TraceReconstructor::reconstruct(r.req_id).
+  std::stable_sort(out.spans.begin(), out.spans.end(),
+                   [](const SpanRec& a, const SpanRec& b) {
+                     return a.req_id < b.req_id;
+                   });
+
+  std::vector<char> tier_seen(out.tiers, 0);
+  for (std::size_t begin = 0; begin < out.spans.size();) {
+    std::size_t end = begin;
+    while (end < out.spans.size() &&
+           out.spans[end].req_id == out.spans[begin].req_id) {
+      ++end;
+    }
+    std::stable_sort(out.spans.begin() + static_cast<std::ptrdiff_t>(begin),
+                     out.spans.begin() + static_cast<std::ptrdiff_t>(end),
+                     [](const SpanRec& a, const SpanRec& b) {
+                       if (a.tier != b.tier) return a.tier < b.tier;
+                       return a.visit < b.visit;
+                     });
+
+    RequestRec r;
+    r.req_id = out.spans[begin].req_id;
+    r.span_begin = static_cast<std::uint32_t>(begin);
+    r.span_end = static_cast<std::uint32_t>(end);
+    std::fill(tier_seen.begin(), tier_seen.end(), 0);
+    SimTime max_ud = -1;
+    for (std::size_t i = begin; i < end; ++i) {
+      const SpanRec& s = out.spans[i];
+      if (s.tier >= 0 && static_cast<std::size_t>(s.tier) < out.tiers) {
+        tier_seen[static_cast<std::size_t>(s.tier)] = 1;
+      }
+      if (s.ud > max_ud) max_ud = s.ud;
+    }
+    const SpanRec& front = out.spans[begin];
+    if (front.tier == 0) {
+      r.rt = span_inclusive(front);
+      r.completed = front.ud >= 0 ? front.ud : max_ud;
+    } else {
+      r.completed = max_ud;
+    }
+    r.complete =
+        out.tiers > 0 &&
+        std::all_of(tier_seen.begin(), tier_seen.end(),
+                    [](char seen) { return seen != 0; });
+    out.requests.push_back(r);
+    begin = end;
+  }
+
+  auto& reg = obs::Registry::global();
+  reg.counter("flow.spans").add(out.spans.size());
+  reg.counter("flow.requests").add(out.requests.size());
+  reg.counter("flow.skewed_spans").add(out.skewed_spans);
+  return out;
+}
+
+void Materializer::materialize(const Result& r, db::Database& out) {
+  out.drop(kSpansTable);
+  out.drop(kRequestsTable);
+
+  db::Schema span_schema = {
+      {"req_id", db::DataType::kText},   {"tier", db::DataType::kInt},
+      {"service", db::DataType::kText},  {"node", db::DataType::kText},
+      {"visit", db::DataType::kInt},     {"ua_usec", db::DataType::kInt},
+      {"ud_usec", db::DataType::kInt},   {"calls", db::DataType::kInt},
+      {"wait_usec", db::DataType::kInt}, {"incl_usec", db::DataType::kInt},
+      {"excl_usec", db::DataType::kInt}};
+  db::Table& spans = out.create_table(kSpansTable, std::move(span_schema));
+  spans.reserve(r.spans.size());
+
+  db::Schema req_schema = {{"req_id", db::DataType::kText},
+                           {"begin_usec", db::DataType::kInt},
+                           {"end_usec", db::DataType::kInt},
+                           {"rt_usec", db::DataType::kInt},
+                           {"completed_usec", db::DataType::kInt},
+                           {"spans", db::DataType::kInt},
+                           {"tiers", db::DataType::kInt},
+                           {"complete", db::DataType::kInt}};
+  for (std::size_t tier = 0; tier < r.tiers; ++tier) {
+    // Per-tier exclusive contribution column, named by the tier's service.
+    std::string service = "t" + std::to_string(tier);
+    for (std::size_t t = 0; t < r.table_tier.size(); ++t) {
+      if (r.table_tier[t] == static_cast<int>(tier)) {
+        service = r.table_service[t];
+        break;
+      }
+    }
+    req_schema.push_back({"excl_" + service + "_usec", db::DataType::kInt});
+  }
+  db::Table& reqs = out.create_table(kRequestsTable, std::move(req_schema));
+  reqs.reserve(r.requests.size());
+
+  for (const RequestRec& req : r.requests) {
+    const db::TextRef hex(util::IdCodec::encode(req.req_id));
+    SimTime begin = -1;
+    SimTime end = -1;
+    std::size_t distinct_tiers = 0;
+    std::vector<char> tier_seen(r.tiers, 0);
+    for (std::uint32_t i = req.span_begin; i < req.span_end; ++i) {
+      const SpanRec& s = r.spans[i];
+      if (s.ua >= 0 && (begin < 0 || s.ua < begin)) begin = s.ua;
+      if (s.ud > end) end = s.ud;
+      if (s.tier >= 0 && static_cast<std::size_t>(s.tier) < r.tiers &&
+          !tier_seen[static_cast<std::size_t>(s.tier)]) {
+        tier_seen[static_cast<std::size_t>(s.tier)] = 1;
+        ++distinct_tiers;
+      }
+
+      const SimTime incl = span_inclusive(s);
+      const SimTime excl = span_exclusive(r, s);
+      SimTime wait = 0;
+      for (std::uint32_t c = s.calls_begin; c < s.calls_end; ++c) {
+        const auto& [ds, dr] = r.calls[c];
+        if (ds >= 0 && dr >= 0 && dr > ds) wait += dr - ds;
+      }
+      spans.insert({hex, std::int64_t{s.tier},
+                    db::TextRef(r.table_service[static_cast<std::size_t>(
+                        s.table)]),
+                    db::TextRef(r.table_node[static_cast<std::size_t>(s.table)]),
+                    std::int64_t{s.visit}, std::int64_t{s.ua},
+                    std::int64_t{s.ud},
+                    std::int64_t{s.calls_end - s.calls_begin},
+                    std::int64_t{wait}, std::int64_t{incl},
+                    std::int64_t{excl}});
+    }
+
+    db::Table::Row row = {hex,
+                          std::int64_t{begin},
+                          std::int64_t{end},
+                          std::int64_t{req.rt},
+                          std::int64_t{req.completed},
+                          std::int64_t{req.span_end - req.span_begin},
+                          static_cast<std::int64_t>(distinct_tiers),
+                          std::int64_t{req.complete ? 1 : 0}};
+    for (std::size_t tier = 0; tier < r.tiers; ++tier) {
+      row.push_back(
+          std::int64_t{r.tier_exclusive(req, static_cast<int>(tier))});
+    }
+    reqs.insert(std::move(row));
+  }
+
+  spans.seal_all();
+  reqs.seal_all();
+}
+
+}  // namespace mscope::flow

@@ -1,0 +1,42 @@
+#include "flow/waterfall.h"
+
+#include <string>
+
+#include "obs/trace.h"
+#include "util/id_codec.h"
+
+namespace mscope::flow {
+
+std::size_t export_waterfalls(const Result& r,
+                              const std::vector<std::uint32_t>& requests,
+                              const std::string& path) {
+  // The tracer's clock is only consulted by scoped spans; waterfall events
+  // carry explicit virtual times, so a null-ish clock is fine.
+  obs::Tracer tracer([] { return util::SimTime{0}; });
+  std::size_t written = 0;
+
+  for (const std::uint32_t idx : requests) {
+    if (idx >= r.requests.size()) continue;
+    const RequestRec& req = r.requests[idx];
+    const std::string track = "req " + util::IdCodec::encode(req.req_id);
+    for (std::uint32_t i = req.span_begin; i < req.span_end; ++i) {
+      const SpanRec& s = r.spans[i];
+      if (s.ua < 0 || s.ud < 0 || s.ud < s.ua) continue;  // holes, skew
+      const std::string& service =
+          r.table_service[static_cast<std::size_t>(s.table)];
+      tracer.record(service + " visit " + std::to_string(s.visit), track,
+                    s.ua, s.ud);
+      ++written;
+      for (std::uint32_t c = s.calls_begin; c < s.calls_end; ++c) {
+        const auto& [ds, dr] = r.calls[c];
+        if (ds < 0 || dr < 0 || dr < ds) continue;
+        tracer.record(service + " -> downstream", track, ds, dr);
+        ++written;
+      }
+    }
+  }
+  tracer.save_chrome_json(path);
+  return written;
+}
+
+}  // namespace mscope::flow

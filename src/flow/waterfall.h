@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flow/materializer.h"
+
+namespace mscope::flow {
+
+/// Exports reconstructed *request* waterfalls as Chrome/Perfetto trace-event
+/// JSON, reusing obs::Tracer's trace-event writer (which otherwise only
+/// exports pipeline spans): one track per request, one complete event per
+/// tier visit on the run's virtual timeline, plus one per downstream call.
+/// `requests` are indexes into Result::requests (e.g. DrillDown::exemplars).
+/// Returns the number of spans written.
+std::size_t export_waterfalls(const Result& r,
+                              const std::vector<std::uint32_t>& requests,
+                              const std::string& path);
+
+}  // namespace mscope::flow
